@@ -1,0 +1,133 @@
+//! ASCII chart rendering — the textual stand-in for Fig. 4's bar and pie
+//! charts. Pure string builders, no terminal control codes.
+
+/// Render a horizontal bar chart. `items` are `(label, value)`; bars are
+/// scaled to `width` characters of the largest value.
+pub fn bar_chart(title: &str, items: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = items.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{} {value:.1}\n",
+            "#".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Render a stacked percentage bar per row — used for the per-attribute
+/// verified/probably/arguably/dirty breakdown. `rows` are
+/// `(label, [fractions])` where fractions sum to ≤ 1; `glyphs` supplies one
+/// fill character per segment.
+pub fn stacked_bars(
+    title: &str,
+    rows: &[(String, Vec<f64>)],
+    glyphs: &[char],
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, fracs) in rows {
+        out.push_str(&format!("  {label:<label_w$} |"));
+        let mut used = 0usize;
+        for (i, f) in fracs.iter().enumerate() {
+            let g = glyphs.get(i).copied().unwrap_or('?');
+            let n = (f * width as f64).round() as usize;
+            let n = n.min(width.saturating_sub(used));
+            out.push_str(&g.to_string().repeat(n));
+            used += n;
+        }
+        out.push_str(&" ".repeat(width.saturating_sub(used)));
+        out.push('|');
+        // annotate percentages
+        let pct: Vec<String> = fracs.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        out.push_str(&format!(" {}\n", pct.join("/")));
+    }
+    out
+}
+
+/// Render a textual "pie": proportions as a single segmented bar plus a
+/// legend with percentages.
+pub fn pie_chart(title: &str, items: &[(String, f64)], width: usize) -> String {
+    let total: f64 = items.iter().map(|(_, v)| *v).sum();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    const GLYPHS: [char; 8] = ['#', '*', '+', '.', 'o', '=', '~', '-'];
+    out.push_str("  [");
+    let mut used = 0usize;
+    for (i, (_, v)) in items.iter().enumerate() {
+        let frac = if total > 0.0 { v / total } else { 0.0 };
+        let n = ((frac * width as f64).round() as usize).min(width.saturating_sub(used));
+        out.push_str(&GLYPHS[i % GLYPHS.len()].to_string().repeat(n));
+        used += n;
+    }
+    out.push_str(&" ".repeat(width.saturating_sub(used)));
+    out.push_str("]\n");
+    for (i, (label, v)) in items.iter().enumerate() {
+        let frac = if total > 0.0 { v / total * 100.0 } else { 0.0 };
+        out.push_str(&format!(
+            "  {} {label}: {v:.0} ({frac:.1}%)\n",
+            GLYPHS[i % GLYPHS.len()]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let s = bar_chart(
+            "violations",
+            &[("phi1".into(), 10.0), ("phi2".into(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains(&"#".repeat(20)));
+        assert!(lines[2].contains(&"#".repeat(10)));
+        assert!(!lines[2].contains(&"#".repeat(11)));
+    }
+
+    #[test]
+    fn stacked_bars_fill_and_annotate() {
+        let s = stacked_bars(
+            "classes",
+            &[("CNT".into(), vec![0.5, 0.25, 0.25])],
+            &['#', '+', '.'],
+            8,
+        );
+        assert!(s.contains("####++.."), "{s}");
+        assert!(s.contains("50%/25%/25%"), "{s}");
+    }
+
+    #[test]
+    fn pie_chart_legend_sums_to_hundred() {
+        let s = pie_chart(
+            "pie",
+            &[("a".into(), 3.0), ("b".into(), 1.0)],
+            12,
+        );
+        assert!(s.contains("75.0%"), "{s}");
+        assert!(s.contains("25.0%"), "{s}");
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        assert!(bar_chart("t", &[], 10).contains('t'));
+        assert!(pie_chart("t", &[], 10).contains('['));
+        assert!(stacked_bars("t", &[], &['#'], 10).contains('t'));
+    }
+}

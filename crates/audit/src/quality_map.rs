@@ -1,0 +1,169 @@
+//! The tuple-level data quality map (Fig. 3): a shading per tuple
+//! proportional to `vio(t)` — "the darker the colour of a tuple, the
+//! greater vio(t) is".
+
+use detect::violation::ViolationReport;
+use minidb::{RowId, Table};
+
+/// Shading glyphs from clean to dirtiest.
+pub const SHADES: [char; 6] = [' ', '.', ':', '*', '#', '@'];
+
+/// One row of the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRow {
+    /// Tuple id.
+    pub row: RowId,
+    /// Its `vio(t)`.
+    pub vio: u64,
+    /// Shade bucket index into [`SHADES`].
+    pub bucket: usize,
+}
+
+/// The quality map over a table (in row order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityMap {
+    /// Rows of the map.
+    pub rows: Vec<MapRow>,
+    /// Largest `vio(t)` (for the scale legend).
+    pub max_vio: u64,
+}
+
+/// Shade bucket for a violation count: 0 ↦ 0, then log-ish growth.
+pub fn bucket_of(vio: u64) -> usize {
+    match vio {
+        0 => 0,
+        1 => 1,
+        2..=3 => 2,
+        4..=7 => 3,
+        8..=15 => 4,
+        _ => 5,
+    }
+}
+
+/// Shade bucket scaled to the observed maximum: buckets split the
+/// `log(1+vio)` range so the map keeps a visible gradient even when a few
+/// giant violating groups inflate the absolute counts (each member of a
+/// group of n conflicts with up to n−1 partners, so vio(t) grows with
+/// group size — see the tuple-level definition in the paper §2).
+pub fn bucket_scaled(vio: u64, max_vio: u64) -> usize {
+    if vio == 0 {
+        return 0;
+    }
+    if max_vio <= 16 {
+        return bucket_of(vio);
+    }
+    let frac = ((1 + vio) as f64).ln() / ((1 + max_vio) as f64).ln();
+    1 + ((frac * 4.0).floor() as usize).min(4)
+}
+
+/// Build the quality map for `table` under `report`.
+pub fn quality_map(table: &Table, report: &ViolationReport) -> QualityMap {
+    let mut vios = Vec::with_capacity(table.len());
+    let mut max_vio = 0;
+    for (id, _) in table.iter() {
+        let vio = report.vio_of(id);
+        max_vio = max_vio.max(vio);
+        vios.push((id, vio));
+    }
+    let rows = vios
+        .into_iter()
+        .map(|(row, vio)| MapRow {
+            row,
+            vio,
+            bucket: bucket_scaled(vio, max_vio),
+        })
+        .collect();
+    QualityMap { rows, max_vio }
+}
+
+impl QualityMap {
+    /// Render as a compact grid, `per_line` tuples per row of output, with
+    /// a legend. Each tuple is one glyph.
+    pub fn render(&self, per_line: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "data quality map — {} tuples, max vio(t) = {}\n",
+            self.rows.len(),
+            self.max_vio
+        ));
+        out.push_str(
+            "legend (log-scaled to max): ' '=clean  '.' ':' '*' '#' '@' = increasingly dirty\n",
+        );
+        for chunk in self.rows.chunks(per_line.max(1)) {
+            out.push('|');
+            for r in chunk {
+                out.push(SHADES[r.bucket]);
+            }
+            out.push('|');
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The dirtiest tuples, by `vio(t)` descending (ties by row id), at
+    /// most `k` — the "worst offenders" list of the demo's map view.
+    pub fn worst(&self, k: usize) -> Vec<MapRow> {
+        let mut rows: Vec<MapRow> = self.rows.iter().filter(|r| r.vio > 0).cloned().collect();
+        rows.sort_by_key(|r| (std::cmp::Reverse(r.vio), r.row));
+        rows.truncate(k);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detect::detect_native;
+    use minidb::{Schema, Table, Value};
+
+    fn setup() -> (Table, ViolationReport) {
+        let schema = Schema::of_strings(&["A", "B"]);
+        let mut t = Table::new("r", schema);
+        for (a, b) in [("k", "x"), ("k", "x"), ("k", "y"), ("m", "z")] {
+            t.insert(vec![Value::str(a), Value::str(b)]).unwrap();
+        }
+        let cfds = cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+        let report = detect_native(&t, &cfds).unwrap();
+        (t, report)
+    }
+
+    #[test]
+    fn buckets_grow_with_vio() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(100), 5);
+    }
+
+    #[test]
+    fn map_reflects_vio_counts() {
+        let (t, r) = setup();
+        let m = quality_map(&t, &r);
+        assert_eq!(m.rows.len(), 4);
+        assert_eq!(m.rows[0].vio, 1); // 'x' conflicts with one 'y'
+        assert_eq!(m.rows[2].vio, 2); // 'y' conflicts with two 'x'
+        assert_eq!(m.rows[3].vio, 0);
+        assert_eq!(m.max_vio, 2);
+    }
+
+    #[test]
+    fn render_contains_grid_and_legend() {
+        let (t, r) = setup();
+        let m = quality_map(&t, &r);
+        let s = m.render(2);
+        assert!(s.contains("legend"));
+        // 4 tuples at 2 per line = 2 grid lines framed by '|'.
+        assert_eq!(s.lines().filter(|l| l.starts_with('|')).count(), 2);
+    }
+
+    #[test]
+    fn worst_orders_by_vio_desc() {
+        let (t, r) = setup();
+        let m = quality_map(&t, &r);
+        let w = m.worst(10);
+        assert_eq!(w[0].row, RowId(2));
+        assert_eq!(w[0].vio, 2);
+        assert_eq!(w.len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! E1/E2/A1: detection cost vs data size, vs tableau size, and merged vs
+//! per-pattern SQL (paper claim: "efficient SQL-based techniques", [3]'s
+//! scalability experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detect::{detect_native, detect_parallel, detect_sql, detect_sql_per_pattern};
+use sdq_bench::{scaled_pattern_cfds, workload};
+
+fn e1_detection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_detection_vs_rows");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let w = workload(rows, 0.05, 11);
+        group.bench_with_input(BenchmarkId::new("sql", rows), &rows, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| detect_sql(&mut db, "customer", &w.cfds).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("native", rows), &rows, |b, _| {
+            let t = w.db.table("customer").unwrap();
+            b.iter(|| detect_native(t, &w.cfds).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", rows), &rows, |b, _| {
+            let t = w.db.table("customer").unwrap();
+            b.iter(|| detect_parallel(t, &w.cfds, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn e2_detection_vs_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_detection_vs_patterns");
+    group.sample_size(10);
+    let w = workload(10_000, 0.05, 13);
+    for k in [1usize, 4, 16, 64] {
+        let cfds = scaled_pattern_cfds(k);
+        group.bench_with_input(BenchmarkId::new("native", k), &k, |b, _| {
+            let t = w.db.table("customer").unwrap();
+            b.iter(|| detect_native(t, &cfds).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sql_merged", k), &k, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| detect_sql(&mut db, "customer", &cfds).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn a1_merged_vs_per_pattern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_merged_vs_per_pattern");
+    group.sample_size(10);
+    let w = workload(5_000, 0.05, 17);
+    for k in [4usize, 16] {
+        let cfds = scaled_pattern_cfds(k);
+        group.bench_with_input(BenchmarkId::new("merged", k), &k, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| detect_sql(&mut db, "customer", &cfds).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("per_pattern", k), &k, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| detect_sql_per_pattern(&mut db, "customer", &cfds).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_detection_scaling,
+    e2_detection_vs_patterns,
+    a1_merged_vs_per_pattern
+);
+criterion_main!(benches);

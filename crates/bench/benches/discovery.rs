@@ -1,0 +1,55 @@
+//! E7: dependency discovery cost — FDs (TANE), constant CFDs (itemset
+//! mining), variable CFDs (CTane) vs data size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_customers, generate_planted, CustomerConfig, GenericConfig};
+use discovery::{discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig};
+
+fn e7_fd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fd_discovery");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let p = generate_planted(&GenericConfig {
+            rows,
+            attrs: 6,
+            domain: 20,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::new("tane", rows), &rows, |b, _| {
+            b.iter(|| discover_fds(&p.table, &TaneConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn e7_cfd_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_cfd_mining");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let t = generate_customers(&CustomerConfig {
+            rows,
+            ..CustomerConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("constant", rows), &rows, |b, _| {
+            let cfg = MinerConfig {
+                min_support: rows / 20,
+                max_lhs: 1,
+                relation: "customer".into(),
+            };
+            b.iter(|| mine_constant_cfds(&t, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("variable", rows), &rows, |b, _| {
+            let cfg = CtaneConfig {
+                max_lhs: 1,
+                max_constants: 1,
+                min_support: rows / 10,
+                relation: "customer".into(),
+            };
+            b.iter(|| mine_variable_cfds(&t, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e7_fd_discovery, e7_cfd_mining);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E3: incremental vs batch detection under update batches of growing size
+//! ([3] §7: incremental detection beats re-running detection for small
+//! deltas; the crossover shows where batch wins again).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detect::{detect_native, IncrementalDetector};
+use minidb::Value;
+use sdq_bench::workload;
+
+fn delta_updates(
+    w: &datagen::DirtyCustomers,
+    delta: usize,
+) -> Vec<(minidb::RowId, usize, Value)> {
+    // Deterministic cell updates: corrupt CITY of the first `delta` rows.
+    w.db.table("customer")
+        .unwrap()
+        .iter()
+        .take(delta)
+        .enumerate()
+        .map(|(i, (id, _))| (id, 2usize, Value::str(format!("UPD{i}"))))
+        .collect()
+}
+
+fn e3_incremental_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_incremental_vs_batch");
+    group.sample_size(10);
+    let rows = 20_000;
+    let w = workload(rows, 0.02, 19);
+    for delta in [16usize, 256, 4_096] {
+        let updates = delta_updates(&w, delta);
+        // Incremental: apply the delta to a prebuilt detector.
+        group.bench_with_input(BenchmarkId::new("incremental", delta), &delta, |b, _| {
+            let t = w.db.table("customer").unwrap();
+            let det = IncrementalDetector::build(t, &w.cfds).unwrap();
+            b.iter_batched(
+                || (det.clone(), w.db.clone()),
+                |(mut det, mut db)| {
+                    for (id, col, val) in &updates {
+                        let before: Vec<Value> =
+                            db.table("customer").unwrap().get(*id).unwrap().to_vec();
+                        db.update_cell("customer", *id, *col, val.clone()).unwrap();
+                        let after: Vec<Value> =
+                            db.table("customer").unwrap().get(*id).unwrap().to_vec();
+                        det.update(*id, &before, &after);
+                    }
+                    det.total_violations()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // Batch: apply the delta then re-run full detection.
+        group.bench_with_input(BenchmarkId::new("batch_rerun", delta), &delta, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| {
+                    for (id, col, val) in &updates {
+                        db.update_cell("customer", *id, *col, val.clone()).unwrap();
+                    }
+                    detect_native(db.table("customer").unwrap(), &w.cfds)
+                        .unwrap()
+                        .len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e3_incremental_vs_batch);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E4/A2: repair cost vs data size and noise rate, plus the
+//! similarity-term ablation ([8]'s scalability experiments; the demo's
+//! "repair functionality without excess human interaction").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repair::{batch_repair, incremental_repair, RepairConfig};
+use sdq_bench::workload;
+
+fn e4_repair_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_repair_vs_rows");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let w = workload(rows, 0.05, 23);
+        group.bench_with_input(BenchmarkId::new("batch", rows), &rows, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn e4_repair_vs_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_repair_vs_noise");
+    group.sample_size(10);
+    for pct in [2u32, 5, 10] {
+        let w = workload(5_000, pct as f64 / 100.0, 29);
+        group.bench_with_input(BenchmarkId::new("batch", pct), &pct, |b, _| {
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn e4_incremental_repair(c: &mut Criterion) {
+    // IncRepair over a small dirty delta against a large clean base.
+    let mut group = c.benchmark_group("e4_incremental_repair");
+    group.sample_size(10);
+    let clean = datagen::generate_customers(&datagen::CustomerConfig {
+        rows: 20_000,
+        ..datagen::CustomerConfig::default()
+    });
+    let cfds = datagen::canonical_cfds();
+    for delta in [8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("inc", delta), &delta, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut db = minidb::Database::new();
+                    db.register_table(clean.clone());
+                    let donors: Vec<Vec<minidb::Value>> = clean
+                        .iter()
+                        .take(delta)
+                        .map(|(_, r)| {
+                            let mut row = r.to_vec();
+                            row[2] = minidb::Value::str("XXX");
+                            row
+                        })
+                        .collect();
+                    let ids: Vec<minidb::RowId> = donors
+                        .into_iter()
+                        .map(|row| db.insert_row("customer", row).unwrap())
+                        .collect();
+                    (db, ids)
+                },
+                |(mut db, ids)| {
+                    incremental_repair(&mut db, "customer", &cfds, &ids, &RepairConfig::default())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn a2_similarity_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_similarity_ablation");
+    group.sample_size(10);
+    let w = workload(5_000, 0.05, 31);
+    for (label, use_similarity) in [("with_similarity", true), ("uniform_cost", false)] {
+        group.bench_function(label, |b| {
+            let cfg = RepairConfig {
+                use_similarity,
+                ..RepairConfig::default()
+            };
+            b.iter_batched(
+                || w.db.clone(),
+                |mut db| batch_repair(&mut db, "customer", &w.cfds, &cfg),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e4_repair_scaling,
+    e4_repair_vs_noise,
+    e4_incremental_repair,
+    a2_similarity_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E6: static analysis cost — consistency checking vs |Σ| (consistent and
+//! inconsistent chains, with and without finite domains) and implication.
+
+use cfd::implication::implies;
+use cfd::satisfiability::check_consistency;
+use cfd::DomainSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minidb::Value;
+use sdq_bench::{contradictory_chain, rule_chain};
+
+fn e6_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_consistency_vs_rules");
+    let dom = DomainSpec::all_infinite();
+    for n in [8usize, 32, 128] {
+        let consistent = rule_chain(n);
+        group.bench_with_input(BenchmarkId::new("consistent_chain", n), &n, |b, _| {
+            b.iter(|| check_consistency(&consistent, &dom).unwrap())
+        });
+        let contradictory = contradictory_chain(n);
+        group.bench_with_input(BenchmarkId::new("contradictory_chain", n), &n, |b, _| {
+            b.iter(|| check_consistency(&contradictory, &dom).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn e6_finite_domains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_finite_domains");
+    // Boolean attributes make the problem NP-hard; measure the practical
+    // cost of the case-analysis the solver performs.
+    let cfds = cfd::parse::parse_cfds(
+        "r: [F0=true] -> [B='x']\n\
+         r: [F0=false] -> [B='x']\n\
+         r: [F1=true] -> [C='y']\n\
+         r: [F1=false] -> [C='y']\n\
+         r: [F2=true] -> [D='z']\n\
+         r: [F2=false] -> [D='z']",
+    )
+    .unwrap();
+    let mut dom = DomainSpec::all_infinite();
+    for f in ["F0", "F1", "F2"] {
+        dom = dom.with_finite(f, vec![Value::Bool(true), Value::Bool(false)]);
+    }
+    group.bench_function("three_boolean_attrs", |b| {
+        b.iter(|| check_consistency(&cfds, &dom).unwrap())
+    });
+    let phi = cfd::parse::parse_cfd("r: [E=_] -> [B='x']").unwrap();
+    group.bench_function("implication_with_booleans", |b| {
+        b.iter(|| implies(&cfds, &phi, &dom).unwrap())
+    });
+    group.finish();
+}
+
+fn e6_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_implication");
+    let dom = DomainSpec::all_infinite();
+    for n in [4usize, 16, 64] {
+        let sigma = rule_chain(n);
+        let phi = cfd::parse::parse_cfd(&format!("r: [A0='v0'] -> [A{n}='v{n}']")).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain_implies", n), &n, |b, _| {
+            b.iter(|| {
+                let r = implies(&sigma, &phi, &dom).unwrap();
+                assert!(r);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e6_consistency, e6_finite_domains, e6_implication);
+criterion_main!(benches);

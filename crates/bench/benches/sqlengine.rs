@@ -1,0 +1,53 @@
+//! Substrate microbenchmarks: the SQL operations the detection queries
+//! lean on — filtered scans, group-by with COUNT(DISTINCT), hash
+//! self-joins, and tableau-style wildcard joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdq_bench::workload;
+
+fn engine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqlengine");
+    group.sample_size(10);
+    for rows in [5_000usize, 20_000] {
+        let w = workload(rows, 0.05, 37);
+        let db = w.db;
+        group.bench_with_input(BenchmarkId::new("filtered_scan", rows), &rows, |b, _| {
+            b.iter(|| {
+                db.query("SELECT name FROM customer WHERE cnt = 'UK' AND city <> 'EDI'")
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("group_count_distinct", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    db.query(
+                        "SELECT cnt, zip, COUNT(DISTINCT city) FROM customer \
+                         GROUP BY cnt, zip HAVING COUNT(DISTINCT city) > 1",
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("hash_self_join", rows), &rows, |b, _| {
+            b.iter(|| {
+                db.query(
+                    "SELECT a.__rowid FROM customer a, customer b \
+                     WHERE a.zip = b.zip AND a.city <> b.city",
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("order_limit", rows), &rows, |b, _| {
+            b.iter(|| {
+                db.query("SELECT name, city FROM customer ORDER BY name LIMIT 50")
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_ops);
+criterion_main!(benches);

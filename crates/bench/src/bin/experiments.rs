@@ -1,0 +1,254 @@
+//! Regenerate the measured experiment tables E1–E7 / A1–A2 recorded in
+//! EXPERIMENTS.md (wall-clock timings plus quality metrics).
+//!
+//! ```sh
+//! cargo run --release --bin experiments           # all experiments
+//! cargo run --release --bin experiments -- e1 e5  # a subset
+//! ```
+
+use std::time::Instant;
+
+use cfd::satisfiability::check_consistency;
+use cfd::DomainSpec;
+use detect::{detect_native, detect_sql, detect_sql_per_pattern, IncrementalDetector};
+use discovery::{discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig};
+use minidb::Value;
+use repair::{batch_repair, score_repair, RepairConfig};
+use sdq_bench::{contradictory_chain, rule_chain, scaled_pattern_cfds, workload};
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if wanted("e1") {
+        println!("== E1: detection time vs relation size (5% noise) ==");
+        println!("{:>8} {:>12} {:>12} {:>10}", "rows", "sql (ms)", "native (ms)", "violations");
+        for rows in [1_000usize, 5_000, 20_000, 50_000] {
+            let w = workload(rows, 0.05, 11);
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            let sql = detect_sql(&mut db, "customer", &w.cfds).unwrap();
+            let t_sql = ms(t0);
+            let t0 = Instant::now();
+            let native = detect_native(w.db.table("customer").unwrap(), &w.cfds).unwrap();
+            let t_native = ms(t0);
+            assert_eq!(sql.len(), native.len());
+            println!("{rows:>8} {t_sql:>12.1} {t_native:>12.1} {:>10}", sql.len());
+        }
+        println!();
+    }
+
+    if wanted("e2") {
+        println!("== E2: detection time vs pattern-tableau size (10k rows) ==");
+        println!("{:>10} {:>14} {:>14}", "patterns", "sql (ms)", "native (ms)");
+        let w = workload(10_000, 0.05, 13);
+        for k in [1usize, 4, 16, 64] {
+            let cfds = scaled_pattern_cfds(k);
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            detect_sql(&mut db, "customer", &cfds).unwrap();
+            let t_sql = ms(t0);
+            let t0 = Instant::now();
+            detect_native(w.db.table("customer").unwrap(), &cfds).unwrap();
+            let t_native = ms(t0);
+            println!("{k:>10} {t_sql:>14.1} {t_native:>14.1}");
+        }
+        println!();
+    }
+
+    if wanted("e3") {
+        println!("== E3: incremental vs batch detection (20k rows) ==");
+        println!("{:>8} {:>16} {:>16}", "delta", "incremental (ms)", "batch (ms)");
+        let w = workload(20_000, 0.02, 19);
+        let base = IncrementalDetector::build(w.db.table("customer").unwrap(), &w.cfds).unwrap();
+        for delta in [1usize, 16, 256, 4_096] {
+            let updates: Vec<(minidb::RowId, Vec<Value>, Vec<Value>)> = w
+                .db
+                .table("customer")
+                .unwrap()
+                .iter()
+                .take(delta)
+                .enumerate()
+                .map(|(i, (id, row))| {
+                    let before = row.to_vec();
+                    let mut after = before.clone();
+                    after[2] = Value::str(format!("UPD{i}"));
+                    (id, before, after)
+                })
+                .collect();
+            // incremental
+            let mut det = base.clone();
+            let t0 = Instant::now();
+            for (id, before, after) in &updates {
+                det.update(*id, before, after);
+            }
+            let _ = det.total_violations();
+            let t_inc = ms(t0);
+            // batch re-run (after applying updates to a copy)
+            let mut db = w.db.clone();
+            for (id, _, after) in &updates {
+                db.update_cell("customer", *id, 2, after[2].clone()).unwrap();
+            }
+            let t0 = Instant::now();
+            detect_native(db.table("customer").unwrap(), &w.cfds).unwrap();
+            let t_batch = ms(t0);
+            println!("{delta:>8} {t_inc:>16.2} {t_batch:>16.1}");
+        }
+        println!();
+    }
+
+    if wanted("e4") {
+        println!("== E4: repair time vs relation size (5% noise) ==");
+        println!("{:>8} {:>12} {:>10} {:>10}", "rows", "repair (ms)", "changes", "residual");
+        for rows in [1_000usize, 5_000, 20_000] {
+            let w = workload(rows, 0.05, 23);
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            let r = batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()).unwrap();
+            let t = ms(t0);
+            println!("{rows:>8} {t:>12.1} {:>10} {:>10}", r.changes.len(), r.residual.len());
+        }
+        println!();
+    }
+
+    if wanted("e5") {
+        println!("== E5: repair quality vs noise rate (10k rows) ==");
+        println!(
+            "{:>7} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            "noise", "errors", "changed", "P_loc", "R_loc", "P", "R"
+        );
+        for pct in [1u32, 2, 5, 10] {
+            let w = workload(10_000, pct as f64 / 100.0, 29);
+            let dirty = w.db.table("customer").unwrap().clone();
+            let mut db = w.db.clone();
+            let r = batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()).unwrap();
+            assert!(r.residual.is_empty(), "E5 requires convergence");
+            let q = score_repair(&dirty, db.table("customer").unwrap(), &w.clean);
+            println!(
+                "{pct:>6}% {:>8} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                q.error_cells, q.changed_cells, q.precision_loc, q.recall_loc, q.precision, q.recall
+            );
+        }
+        println!();
+    }
+
+    if wanted("e6") {
+        println!("== E6: consistency analysis time vs |Σ| ==");
+        println!("{:>8} {:>18} {:>20}", "rules", "consistent (µs)", "contradictory (µs)");
+        let dom = DomainSpec::all_infinite();
+        for n in [8usize, 32, 128, 256] {
+            let cons = rule_chain(n);
+            let t0 = Instant::now();
+            for _ in 0..10 {
+                check_consistency(&cons, &dom).unwrap();
+            }
+            let t_c = ms(t0) * 100.0; // 10 iters → µs
+            let contra = contradictory_chain(n);
+            let t0 = Instant::now();
+            for _ in 0..10 {
+                check_consistency(&contra, &dom).unwrap();
+            }
+            let t_i = ms(t0) * 100.0;
+            println!("{n:>8} {t_c:>18.1} {t_i:>20.1}");
+        }
+        println!();
+    }
+
+    if wanted("e7") {
+        println!("== E7: discovery time vs relation size ==");
+        println!(
+            "{:>8} {:>11} {:>8} {:>13} {:>8} {:>13} {:>8}",
+            "rows", "tane (ms)", "#fds", "miner (ms)", "#const", "ctane (ms)", "#var"
+        );
+        for rows in [1_000usize, 5_000, 20_000] {
+            let t = datagen::generate_customers(&datagen::CustomerConfig {
+                rows,
+                ..datagen::CustomerConfig::default()
+            });
+            let t0 = Instant::now();
+            let fds = discover_fds(&t, &TaneConfig::default());
+            let t_tane = ms(t0);
+            let t0 = Instant::now();
+            let consts = mine_constant_cfds(
+                &t,
+                &MinerConfig {
+                    min_support: rows / 20,
+                    max_lhs: 1,
+                    relation: "customer".into(),
+                },
+            );
+            let t_miner = ms(t0);
+            let t0 = Instant::now();
+            let vars = mine_variable_cfds(
+                &t,
+                &CtaneConfig {
+                    max_lhs: 1,
+                    max_constants: 1,
+                    min_support: rows / 10,
+                    relation: "customer".into(),
+                },
+            );
+            let t_ctane = ms(t0);
+            println!(
+                "{rows:>8} {t_tane:>11.1} {:>8} {t_miner:>13.1} {:>8} {t_ctane:>13.1} {:>8}",
+                fds.len(),
+                consts.len(),
+                vars.len()
+            );
+        }
+        println!();
+    }
+
+    if wanted("a1") {
+        println!("== A1: merged tableau query vs per-pattern queries (5k rows) ==");
+        println!("{:>10} {:>13} {:>17}", "patterns", "merged (ms)", "per-pattern (ms)");
+        let w = workload(5_000, 0.05, 17);
+        for k in [4usize, 16, 64] {
+            let cfds = scaled_pattern_cfds(k);
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            detect_sql(&mut db, "customer", &cfds).unwrap();
+            let t_m = ms(t0);
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            detect_sql_per_pattern(&mut db, "customer", &cfds).unwrap();
+            let t_p = ms(t0);
+            println!("{k:>10} {t_m:>13.1} {t_p:>17.1}");
+        }
+        println!();
+    }
+
+    if wanted("a2") {
+        println!("== A2: repair cost model with vs without similarity (5k rows) ==");
+        println!(
+            "{:>12} {:>18} {:>10} {:>10} {:>8} {:>8}",
+            "noise kind", "cost model", "changes", "cost", "P", "R"
+        );
+        for (kind, typo_fraction) in [("typos only", 1.0), ("mixed 25/75", 0.25), ("swaps only", 0.0)]
+        {
+            let w = datagen::dirty_customers_typed(5_000, 0.05, 31, typo_fraction);
+            for (label, sim) in [("similarity (DL)", true), ("uniform 0/1", false)] {
+                let dirty = w.db.table("customer").unwrap().clone();
+                let mut db = w.db.clone();
+                let cfg = RepairConfig {
+                    use_similarity: sim,
+                    ..RepairConfig::default()
+                };
+                let r = batch_repair(&mut db, "customer", &w.cfds, &cfg).unwrap();
+                let q = score_repair(&dirty, db.table("customer").unwrap(), &w.clean);
+                println!(
+                    "{kind:>12} {label:>18} {:>10} {:>10.1} {:>8.3} {:>8.3}",
+                    r.changes.len(),
+                    r.total_cost,
+                    q.precision,
+                    q.recall
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal covers of CFD sets.
+//!
+//! A cover is *minimal* when (1) no CFD is implied by the others and (2) no
+//! LHS attribute can be dropped from any CFD without changing the implied
+//! set. Minimality keeps the detection workload small: every redundant
+//! pattern row costs a scan in the merged detection queries.
+
+use crate::dependency::Cfd;
+use crate::domain::DomainSpec;
+use crate::error::CfdResult;
+use crate::implication::implies;
+use crate::pattern::Pattern;
+
+/// Compute a minimal cover of `sigma` (order-dependent, deterministic).
+pub fn minimal_cover(sigma: &[Cfd], domains: &DomainSpec) -> CfdResult<Vec<Cfd>> {
+    // Phase 1: left-reduce each CFD.
+    let mut work: Vec<Cfd> = Vec::with_capacity(sigma.len());
+    for c in sigma {
+        work.push(left_reduce(c, sigma, domains)?);
+    }
+    // Phase 2: drop CFDs implied by the rest.
+    let mut keep: Vec<bool> = vec![true; work.len()];
+    for i in 0..work.len() {
+        let rest: Vec<Cfd> = work
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && keep[*j])
+            .map(|(_, c)| c.clone())
+            .collect();
+        if implies(&rest, &work[i], domains)? {
+            keep[i] = false;
+        }
+    }
+    Ok(work
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(c, _)| c)
+        .collect())
+}
+
+/// Remove LHS attributes of `c` that are redundant given `sigma`.
+fn left_reduce(c: &Cfd, sigma: &[Cfd], domains: &DomainSpec) -> CfdResult<Cfd> {
+    let mut current = c.clone();
+    let mut i = 0;
+    while i < current.lhs.len() {
+        if current.lhs.len() == 1 {
+            break; // keep at least one attribute for a non-degenerate rule
+        }
+        let mut reduced = current.clone();
+        reduced.lhs.remove(i);
+        reduced.lhs_pat.remove(i);
+        // The reduced CFD implies the original (augmentation), so swapping
+        // preserves the implied set iff Σ implies the reduced one.
+        if implies(sigma, &reduced, domains)? {
+            current = reduced;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(current)
+}
+
+/// Syntactic redundancy: `a` subsumes `b` when they share relation and
+/// embedded FD and every `a`-matched tuple pattern is matched by… i.e. `b`'s
+/// patterns are cell-wise subsumed by `a`'s and the RHS patterns agree
+/// appropriately. Cheap pre-filter before the full implication test.
+pub fn subsumes(a: &Cfd, b: &Cfd) -> bool {
+    if !a.relation.eq_ignore_ascii_case(&b.relation)
+        || !a.rhs.eq_ignore_ascii_case(&b.rhs)
+        || a.lhs.len() != b.lhs.len()
+    {
+        return false;
+    }
+    // Match attributes pairwise (order-insensitive).
+    let mut used = vec![false; a.lhs.len()];
+    for (bn, bp) in b.lhs.iter().zip(&b.lhs_pat) {
+        let found = a.lhs.iter().enumerate().find(|(i, an)| {
+            !used[*i] && an.eq_ignore_ascii_case(bn) && bp.subsumed_by(&a.lhs_pat[*i])
+        });
+        match found {
+            Some((i, _)) => used[i] = true,
+            None => return false,
+        }
+    }
+    match (&a.rhs_pat, &b.rhs_pat) {
+        (Pattern::Wild, Pattern::Wild) => true,
+        (Pattern::Const(x), Pattern::Const(y)) => x.strong_eq(y),
+        // A constant RHS is strictly stronger than a variable RHS on the
+        // same pattern scope.
+        (Pattern::Const(_), Pattern::Wild) => true,
+        (Pattern::Wild, Pattern::Const(_)) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_cfd, parse_cfds};
+
+    fn cover(src: &str) -> Vec<String> {
+        let sigma = parse_cfds(src).unwrap();
+        minimal_cover(&sigma, &DomainSpec::all_infinite())
+            .unwrap()
+            .iter()
+            .map(|c| c.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn drops_transitively_implied_fd() {
+        let c = cover("r: [A] -> [B]\nr: [B] -> [C]\nr: [A] -> [C]");
+        assert_eq!(c.len(), 2);
+        assert!(!c.iter().any(|s| s.contains("[A=_] -> [C=_]")));
+    }
+
+    #[test]
+    fn drops_specialized_pattern() {
+        let c = cover("customer: [CC=_] -> [CNT=_]\ncustomer: [CC='44'] -> [CNT=_]");
+        assert_eq!(c.len(), 1);
+        assert!(c[0].contains("CC=_"));
+    }
+
+    #[test]
+    fn left_reduces_superfluous_attributes() {
+        // B is superfluous in [A,B] -> [C] given [A] -> [C].
+        let c = cover("r: [A] -> [C]\nr: [A, B] -> [C]");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0], "r: [A=_] -> [C=_]");
+    }
+
+    #[test]
+    fn keeps_independent_cfds() {
+        let c = cover(
+            "customer: [CNT, ZIP] -> [CITY]\n\
+             customer: [CNT='UK', ZIP=_] -> [STR=_]\n\
+             customer: [CC='44'] -> [CNT='UK']",
+        );
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn constant_rhs_implies_variable_rhs_version() {
+        let c = cover(
+            "customer: [CC='44'] -> [CNT='UK']\n\
+             customer: [CC='44'] -> [CNT=_]",
+        );
+        assert_eq!(c.len(), 1);
+        assert!(c[0].contains("'UK'"));
+    }
+
+    #[test]
+    fn subsumption_prefilter() {
+        let gen = parse_cfd("r: [A=_] -> [B=_]").unwrap();
+        let spec = parse_cfd("r: [A='1'] -> [B=_]").unwrap();
+        let conz = parse_cfd("r: [A='1'] -> [B='2']").unwrap();
+        assert!(subsumes(&gen, &spec));
+        assert!(!subsumes(&spec, &gen));
+        assert!(subsumes(&conz, &spec)); // constant RHS stronger
+        assert!(!subsumes(&spec, &conz));
+    }
+}

@@ -1,0 +1,43 @@
+//! Errors for CFD parsing, binding and analysis.
+
+use std::fmt;
+
+/// Errors produced while parsing, binding or analysing CFDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfdError {
+    /// Syntax error in the textual CFD notation.
+    Parse(String),
+    /// The CFD references an attribute missing from the schema.
+    UnknownAttribute(String),
+    /// Structural problem (e.g. empty LHS pattern list mismatch).
+    Malformed(String),
+    /// Analysis was asked on an unbound or mismatched relation.
+    RelationMismatch {
+        /// Relation the CFD declares.
+        expected: String,
+        /// Relation it was applied to.
+        found: String,
+    },
+    /// Static analysis exceeded its search budget (the underlying problems
+    /// are NP-/coNP-complete); raise the budget or shrink the input.
+    Budget,
+}
+
+impl fmt::Display for CfdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfdError::Parse(m) => write!(f, "CFD parse error: {m}"),
+            CfdError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            CfdError::Malformed(m) => write!(f, "malformed CFD: {m}"),
+            CfdError::RelationMismatch { expected, found } => {
+                write!(f, "CFD is declared on {expected}, applied to {found}")
+            }
+            CfdError::Budget => write!(f, "static analysis search budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CfdError {}
+
+/// Result alias for CFD operations.
+pub type CfdResult<T> = Result<T, CfdError>;

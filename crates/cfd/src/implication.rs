@@ -1,0 +1,506 @@
+//! Implication analysis: does Σ ⊨ φ?
+//!
+//! Σ implies φ iff **no** instance satisfies Σ while violating φ. A
+//! violation of φ = (X → A, tp) involves at most two tuples (one when
+//! `tp[A]` is a constant), and every sub-instance of a Σ-satisfying instance
+//! still satisfies Σ, so it suffices to search for a one- or two-tuple
+//! counterexample. Candidate values per attribute are the constants of
+//! Σ ∪ {φ} plus two fresh sentinels (so the two tuples can agree or
+//! disagree outside the constants), or the declared finite domain.
+//!
+//! Implication with finite domains is coNP-complete ([3] Thm 3.5); the
+//! search is budgeted. For inputs that are all plain FDs, the classical
+//! attribute-closure test is used instead (linear time).
+
+use std::collections::HashMap;
+
+use minidb::Value;
+
+use crate::dependency::Cfd;
+use crate::domain::DomainSpec;
+use crate::error::{CfdError, CfdResult};
+use crate::satisfiability::DEFAULT_NODE_BUDGET;
+
+/// Does `sigma` imply `phi`? (See module docs for semantics and complexity.)
+pub fn implies(sigma: &[Cfd], phi: &Cfd, domains: &DomainSpec) -> CfdResult<bool> {
+    implies_budgeted(sigma, phi, domains, DEFAULT_NODE_BUDGET)
+}
+
+/// [`implies`] with an explicit search budget.
+pub fn implies_budgeted(
+    sigma: &[Cfd],
+    phi: &Cfd,
+    domains: &DomainSpec,
+    budget: u64,
+) -> CfdResult<bool> {
+    // Fast path: plain FDs on both sides — classical closure.
+    if phi.is_plain_fd() && sigma.iter().all(|c| c.is_plain_fd()) {
+        return Ok(fd_closure_implies(sigma, phi));
+    }
+    let mut solver = PairSolver::new(sigma, phi, domains, budget)?;
+    // Σ ⊨ φ iff no counterexample exists.
+    Ok(!solver.counterexample_exists()?)
+}
+
+/// Attribute-closure implication test for plain FDs.
+fn fd_closure_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
+    let mut closure: Vec<String> = phi.lhs.iter().map(|a| a.to_ascii_lowercase()).collect();
+    let target = phi.rhs.to_ascii_lowercase();
+    loop {
+        let mut grew = false;
+        for c in sigma {
+            let lhs_in = c
+                .lhs
+                .iter()
+                .all(|a| closure.iter().any(|x| x.eq_ignore_ascii_case(a)));
+            let rhs = c.rhs.to_ascii_lowercase();
+            if lhs_in && !closure.contains(&rhs) {
+                closure.push(rhs);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    closure.contains(&target)
+}
+
+/// A rule interpreted over the two-tuple search space.
+#[derive(Debug, Clone)]
+enum PairRule {
+    /// Constant-RHS CFD: per tuple, if all (slot, const) conditions hold
+    /// then slot `rhs` = `value`.
+    Const {
+        conds: Vec<(usize, Value)>,
+        rhs: usize,
+        value: Value,
+    },
+    /// Variable CFD ψ = (Y → B, sp) with `sp[B] = _`: if both tuples match
+    /// the constant LHS cells and agree on all of Y, they must agree on B.
+    Var {
+        conds: Vec<(usize, Value)>, // constant cells of sp[Y]
+        lhs: Vec<usize>,            // all Y slots
+        rhs: usize,                 // B slot
+    },
+}
+
+struct PairSolver {
+    n_attrs: usize,
+    /// Candidate values per slot (attribute); shared by both tuples.
+    candidates: Vec<Vec<Value>>,
+    rules: Vec<PairRule>,
+    /// φ's data, expressed over slots.
+    phi_conds: Vec<(usize, Value)>,
+    phi_lhs: Vec<usize>,
+    phi_rhs: usize,
+    phi_rhs_const: Option<Value>,
+    budget: u64,
+    nodes: u64,
+}
+
+impl PairSolver {
+    fn new(
+        sigma: &[Cfd],
+        phi: &Cfd,
+        domains: &DomainSpec,
+        budget: u64,
+    ) -> CfdResult<PairSolver> {
+        let mut attr_ids: HashMap<String, usize> = HashMap::new();
+        let mut attrs: Vec<String> = Vec::new();
+        let mut constants: Vec<Vec<Value>> = Vec::new();
+        let slot = |name: &str,
+                        attrs: &mut Vec<String>,
+                        constants: &mut Vec<Vec<Value>>,
+                        attr_ids: &mut HashMap<String, usize>| {
+            let key = name.to_ascii_lowercase();
+            *attr_ids.entry(key.clone()).or_insert_with(|| {
+                attrs.push(key);
+                constants.push(Vec::new());
+                attrs.len() - 1
+            })
+        };
+        let note_constants = |c: &Cfd,
+                                  attrs: &mut Vec<String>,
+                                  constants: &mut Vec<Vec<Value>>,
+                                  attr_ids: &mut HashMap<String, usize>| {
+            for (a, p) in c.lhs.iter().zip(&c.lhs_pat) {
+                let s = slot(a, attrs, constants, attr_ids);
+                if let Some(v) = p.constant() {
+                    constants[s].push(v.clone());
+                }
+            }
+            let s = slot(&c.rhs, attrs, constants, attr_ids);
+            if let Some(v) = c.rhs_pat.constant() {
+                constants[s].push(v.clone());
+            }
+        };
+        for c in sigma {
+            note_constants(c, &mut attrs, &mut constants, &mut attr_ids);
+        }
+        note_constants(phi, &mut attrs, &mut constants, &mut attr_ids);
+
+        let candidates: Vec<Vec<Value>> = attrs
+            .iter()
+            .zip(&constants)
+            .map(|(a, cs)| domains.candidates(a, cs, 2))
+            .collect();
+        if candidates.iter().any(|c| c.is_empty()) {
+            return Err(CfdError::Malformed(
+                "attribute with an empty declared domain".into(),
+            ));
+        }
+
+        let mut rules = Vec::new();
+        for c in sigma {
+            let lhs_slots: Vec<usize> = c
+                .lhs
+                .iter()
+                .map(|a| attr_ids[&a.to_ascii_lowercase()])
+                .collect();
+            let conds: Vec<(usize, Value)> = c
+                .lhs
+                .iter()
+                .zip(&c.lhs_pat)
+                .filter_map(|(a, p)| {
+                    p.constant()
+                        .map(|v| (attr_ids[&a.to_ascii_lowercase()], v.clone()))
+                })
+                .collect();
+            let rhs = attr_ids[&c.rhs.to_ascii_lowercase()];
+            match c.rhs_pat.constant() {
+                Some(v) => rules.push(PairRule::Const {
+                    conds,
+                    rhs,
+                    value: v.clone(),
+                }),
+                None => rules.push(PairRule::Var {
+                    conds,
+                    lhs: lhs_slots,
+                    rhs,
+                }),
+            }
+        }
+
+        let phi_conds: Vec<(usize, Value)> = phi
+            .lhs
+            .iter()
+            .zip(&phi.lhs_pat)
+            .filter_map(|(a, p)| {
+                p.constant()
+                    .map(|v| (attr_ids[&a.to_ascii_lowercase()], v.clone()))
+            })
+            .collect();
+        let phi_lhs: Vec<usize> = phi
+            .lhs
+            .iter()
+            .map(|a| attr_ids[&a.to_ascii_lowercase()])
+            .collect();
+        let phi_rhs = attr_ids[&phi.rhs.to_ascii_lowercase()];
+
+        Ok(PairSolver {
+            n_attrs: attrs.len(),
+            candidates,
+            rules,
+            phi_conds,
+            phi_lhs,
+            phi_rhs,
+            phi_rhs_const: phi.rhs_pat.constant().cloned(),
+            budget,
+            nodes: 0,
+        })
+    }
+
+    fn counterexample_exists(&mut self) -> CfdResult<bool> {
+        // Assignment layout: slots [0, n) = tuple 1, [n, 2n) = tuple 2.
+        // For a constant-RHS φ a single tuple suffices: tuple 2 is cloned
+        // from tuple 1 (kept identical so pair rules are trivially fine).
+        let n = self.n_attrs;
+        let two_tuples = self.phi_rhs_const.is_none();
+        let total = if two_tuples { 2 * n } else { n };
+        let mut assign: Vec<Option<Value>> = vec![None; total];
+
+        // Seed: tuple 1 (and tuple 2) must match φ's constant LHS cells.
+        for (s, v) in &self.phi_conds.clone() {
+            if !self.try_set(&mut assign, *s, v.clone()) {
+                return Ok(false);
+            }
+            if two_tuples && !self.try_set(&mut assign, n + *s, v.clone()) {
+                return Ok(false);
+            }
+        }
+        self.search(&mut assign, two_tuples)
+    }
+
+    fn try_set(&self, assign: &mut [Option<Value>], slot: usize, v: Value) -> bool {
+        let attr = slot % self.n_attrs;
+        if !self.candidates[attr].iter().any(|c| c.strong_eq(&v)) {
+            return false;
+        }
+        match &assign[slot] {
+            Some(x) => x.strong_eq(&v),
+            None => {
+                assign[slot] = Some(v);
+                true
+            }
+        }
+    }
+
+    /// Check all constraints on a (possibly partial) assignment; complete
+    /// assignments are judged exactly.
+    fn consistent(&self, assign: &[Option<Value>], two: bool) -> bool {
+        let n = self.n_attrs;
+        let get = |t: usize, a: usize| -> Option<&Value> {
+            let idx = if t == 0 || !two { a } else { n + a };
+            assign[idx].as_ref()
+        };
+        let tuples: &[usize] = if two { &[0, 1] } else { &[0] };
+        // Σ constant rules per tuple.
+        for r in &self.rules {
+            if let PairRule::Const { conds, rhs, value } = r {
+                for &t in tuples {
+                    let fires = conds
+                        .iter()
+                        .all(|(s, v)| matches!(get(t, *s), Some(x) if x.strong_eq(v)));
+                    if fires {
+                        if let Some(x) = get(t, *rhs) {
+                            if !x.strong_eq(value) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if two {
+            // Σ variable rules across the pair.
+            for r in &self.rules {
+                if let PairRule::Var { conds, lhs, rhs } = r {
+                    let both_match = conds.iter().all(|(s, v)| {
+                        matches!(get(0, *s), Some(x) if x.strong_eq(v))
+                            && matches!(get(1, *s), Some(x) if x.strong_eq(v))
+                    });
+                    if !both_match {
+                        continue;
+                    }
+                    let mut agree_lhs = true;
+                    for &s in lhs {
+                        match (get(0, s), get(1, s)) {
+                            (Some(a), Some(b)) => {
+                                if !a.strong_eq(b) {
+                                    agree_lhs = false;
+                                    break;
+                                }
+                            }
+                            _ => {
+                                agree_lhs = false; // undecided: don't prune yet
+                                break;
+                            }
+                        }
+                    }
+                    if agree_lhs {
+                        if let (Some(a), Some(b)) = (get(0, *rhs), get(1, *rhs)) {
+                            if !a.strong_eq(b) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Does the completed assignment actually violate φ?
+    fn violates_phi(&self, assign: &[Option<Value>], two: bool) -> bool {
+        let n = self.n_attrs;
+        let v1 = |a: usize| assign[a].as_ref().expect("complete");
+        match &self.phi_rhs_const {
+            Some(c) => {
+                // Single tuple: matches LHS pattern, RHS differs.
+                let matches = self
+                    .phi_conds
+                    .iter()
+                    .all(|(s, v)| v1(*s).strong_eq(v));
+                matches && !v1(self.phi_rhs).strong_eq(c)
+            }
+            None => {
+                if !two {
+                    return false;
+                }
+                let v2 = |a: usize| assign[n + a].as_ref().expect("complete");
+                let both_match = self.phi_conds.iter().all(|(s, v)| {
+                    v1(*s).strong_eq(v) && v2(*s).strong_eq(v)
+                });
+                let agree = self.phi_lhs.iter().all(|&s| v1(s).strong_eq(v2(s)));
+                both_match && agree && !v1(self.phi_rhs).strong_eq(v2(self.phi_rhs))
+            }
+        }
+    }
+
+    fn search(&mut self, assign: &mut Vec<Option<Value>>, two: bool) -> CfdResult<bool> {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(CfdError::Budget);
+        }
+        if !self.consistent(assign, two) {
+            return Ok(false);
+        }
+        let next = assign.iter().position(Option::is_none);
+        let Some(slot) = next else {
+            return Ok(self.consistent(assign, two) && self.violates_phi(assign, two));
+        };
+        let attr = slot % self.n_attrs;
+        let cands = self.candidates[attr].clone();
+        for v in cands {
+            // Prune with φ's structure: tuple 2 must agree with tuple 1 on
+            // φ's LHS, and differ on φ's RHS (variable case).
+            if two && slot >= self.n_attrs {
+                let a = slot - self.n_attrs;
+                if self.phi_lhs.contains(&a) {
+                    if let Some(x) = &assign[a] {
+                        if !x.strong_eq(&v) {
+                            continue;
+                        }
+                    }
+                }
+                if a == self.phi_rhs && self.phi_rhs_const.is_none() {
+                    if let Some(x) = &assign[self.phi_rhs] {
+                        if x.strong_eq(&v) {
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Constant-RHS φ single-tuple case: force the violation shape.
+            if !two && slot == self.phi_rhs {
+                if let Some(c) = &self.phi_rhs_const {
+                    if c.strong_eq(&v) {
+                        continue;
+                    }
+                }
+            }
+            assign[slot] = Some(v);
+            if self.search(assign, two)? {
+                return Ok(true);
+            }
+            assign[slot] = None;
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_cfd, parse_cfds};
+
+    fn imp(sigma: &str, phi: &str) -> bool {
+        let s = parse_cfds(sigma).unwrap();
+        let p = parse_cfd(phi).unwrap();
+        implies(&s, &p, &DomainSpec::all_infinite()).unwrap()
+    }
+
+    #[test]
+    fn plain_fd_transitivity_via_closure() {
+        assert!(imp("r: [A] -> [B]\nr: [B] -> [C]", "r: [A] -> [C]"));
+        assert!(!imp("r: [A] -> [B]", "r: [B] -> [A]"));
+        assert!(imp("r: [A] -> [B]", "r: [A, C] -> [B]"));
+    }
+
+    #[test]
+    fn cfd_is_implied_by_more_general_pattern() {
+        // The plain FD CC -> CNT implies the conditional [CC='44'] -> [CNT=_].
+        assert!(imp("customer: [CC] -> [CNT]", "customer: [CC='44'] -> [CNT=_]"));
+        // But not the constant-RHS version: the FD does not pin the value.
+        assert!(!imp(
+            "customer: [CC] -> [CNT]",
+            "customer: [CC='44'] -> [CNT='UK']"
+        ));
+    }
+
+    #[test]
+    fn constant_rules_chain() {
+        assert!(imp(
+            "r: [A='1'] -> [B='2']\nr: [B='2'] -> [C='3']",
+            "r: [A='1'] -> [C='3']"
+        ));
+        assert!(!imp(
+            "r: [A='1'] -> [B='2']\nr: [B='9'] -> [C='3']",
+            "r: [A='1'] -> [C='3']"
+        ));
+    }
+
+    #[test]
+    fn constant_rule_implies_weaker_variable_rule() {
+        // [CC='44'] -> [CNT='UK'] pins CNT for all matching tuples, hence
+        // any two matching tuples agree: [CC='44'] -> [CNT=_].
+        assert!(imp(
+            "customer: [CC='44'] -> [CNT='UK']",
+            "customer: [CC='44'] -> [CNT=_]"
+        ));
+        // The converse fails.
+        assert!(!imp(
+            "customer: [CC='44'] -> [CNT=_]",
+            "customer: [CC='44'] -> [CNT='UK']"
+        ));
+    }
+
+    #[test]
+    fn pattern_specialization_is_implied() {
+        // A variable CFD on all of CC implies its restriction to CC='44'.
+        assert!(imp(
+            "customer: [CC=_] -> [CNT=_]",
+            "customer: [CC='44'] -> [CNT=_]"
+        ));
+        // The restriction does not imply the general rule.
+        assert!(!imp(
+            "customer: [CC='44'] -> [CNT=_]",
+            "customer: [CC=_] -> [CNT=_]"
+        ));
+    }
+
+    #[test]
+    fn augmenting_lhs_preserves_implication() {
+        assert!(imp(
+            "r: [A=_] -> [C=_]",
+            "r: [A=_, B=_] -> [C=_]"
+        ));
+        assert!(!imp(
+            "r: [A=_, B=_] -> [C=_]",
+            "r: [A=_] -> [C=_]"
+        ));
+    }
+
+    #[test]
+    fn inconsistent_sigma_implies_everything() {
+        assert!(imp(
+            "r: [A=_] -> [B='1']\nr: [A=_] -> [B='2']",
+            "r: [C=_] -> [D='anything']"
+        ));
+    }
+
+    #[test]
+    fn empty_sigma_implies_only_trivial() {
+        // Trivial: a CFD whose RHS is forced by its own LHS pattern…
+        // e.g. [A='1'] -> [A… not allowed (A on both sides). Use reflexive-ish:
+        assert!(!imp("", "r: [A] -> [B]"));
+    }
+
+    #[test]
+    fn finite_domain_enables_case_analysis() {
+        // With BOOL = {true,false}: [F=true] -> [B='x'] and [F=false] -> [B='x']
+        // together imply [C=_] -> [B='x'] … only under the finite domain.
+        let sigma = parse_cfds(
+            "r: [F=true] -> [B='x']\n\
+             r: [F=false] -> [B='x']",
+        )
+        .unwrap();
+        let phi = parse_cfd("r: [C=_] -> [B='x']").unwrap();
+        let inf = DomainSpec::all_infinite();
+        assert!(!implies(&sigma, &phi, &inf).unwrap());
+        let dom = DomainSpec::all_infinite()
+            .with_finite("F", vec![Value::Bool(true), Value::Bool(false)]);
+        assert!(implies(&sigma, &phi, &dom).unwrap());
+    }
+}

@@ -1,0 +1,354 @@
+//! Textual notation for CFDs, mirroring the paper:
+//!
+//! ```text
+//! customer: [CNT='UK', ZIP=_] -> [STR=_]
+//! customer: [CC='44'] -> [CNT='UK']
+//! customer: [CNT, ZIP] -> [CITY]          -- bare attrs = wildcards (an FD)
+//! ```
+//!
+//! Multiple RHS attributes are allowed in the input and are split into the
+//! normal form (one CFD per RHS attribute): `[A] -> [B, C]` becomes
+//! `[A] -> [B]` and `[A] -> [C]`. Lines starting with `--` or `#` are
+//! comments; blank lines are skipped.
+
+use minidb::Value;
+
+use crate::dependency::Cfd;
+use crate::error::{CfdError, CfdResult};
+use crate::pattern::Pattern;
+
+/// Parse a single CFD (one line of the notation).
+pub fn parse_cfd(src: &str) -> CfdResult<Cfd> {
+    let cfds = parse_cfds(src)?;
+    match cfds.len() {
+        1 => Ok(cfds.into_iter().next().expect("len checked")),
+        0 => Err(CfdError::Parse("empty input".into())),
+        n => Err(CfdError::Parse(format!(
+            "input denotes {n} CFDs in normal form; use parse_cfds"
+        ))),
+    }
+}
+
+/// Parse a newline-separated list of CFDs, splitting multi-RHS rules into
+/// normal form.
+pub fn parse_cfds(src: &str) -> CfdResult<Vec<Cfd>> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") || line.starts_with('#') {
+            continue;
+        }
+        out.extend(parse_line(line)?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> CfdResult<Vec<Cfd>> {
+    let mut p = Cursor::new(line);
+    // optional "relation:"
+    let relation = if let Some(colon) = find_top_level_colon(line) {
+        let rel = line[..colon].trim().to_string();
+        p = Cursor::new(line[colon + 1..].trim());
+        if rel.is_empty() {
+            return Err(CfdError::Parse("empty relation name".into()));
+        }
+        rel
+    } else {
+        "r".to_string()
+    };
+    let lhs = p.bracket_group()?;
+    p.expect_arrow()?;
+    let rhs = p.bracket_group()?;
+    p.expect_end()?;
+    if rhs.is_empty() {
+        return Err(CfdError::Parse("empty RHS".into()));
+    }
+    let mut cfds = Vec::with_capacity(rhs.len());
+    for (attr, pat) in rhs {
+        cfds.push(Cfd::new(relation.clone(), lhs.clone(), attr, pat)?);
+    }
+    Ok(cfds)
+}
+
+/// Find the `:` separating the relation name, ignoring any inside brackets
+/// or quotes (attribute values could contain one).
+fn find_top_level_colon(line: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            ':' if !in_str && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let r = self.rest();
+        let trimmed = r.trim_start();
+        self.pos += r.len() - trimmed.len();
+    }
+
+    fn expect_arrow(&mut self) -> CfdResult<()> {
+        self.skip_ws();
+        for arrow in ["->", "=>", "→"] {
+            if self.rest().starts_with(arrow) {
+                self.pos += arrow.len();
+                return Ok(());
+            }
+        }
+        Err(CfdError::Parse(format!(
+            "expected '->' at: {}",
+            truncate(self.rest())
+        )))
+    }
+
+    fn expect_end(&mut self) -> CfdResult<()> {
+        self.skip_ws();
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            Err(CfdError::Parse(format!(
+                "trailing input: {}",
+                truncate(self.rest())
+            )))
+        }
+    }
+
+    /// `[ item, item, ... ]` where item = ATTR [= pattern]
+    fn bracket_group(&mut self) -> CfdResult<Vec<(String, Pattern)>> {
+        self.skip_ws();
+        if !self.rest().starts_with('[') {
+            return Err(CfdError::Parse(format!(
+                "expected '[' at: {}",
+                truncate(self.rest())
+            )));
+        }
+        self.pos += 1;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(']') {
+                self.pos += 1;
+                break;
+            }
+            if !items.is_empty() {
+                if !self.rest().starts_with(',') {
+                    return Err(CfdError::Parse(format!(
+                        "expected ',' or ']' at: {}",
+                        truncate(self.rest())
+                    )));
+                }
+                self.pos += 1;
+                self.skip_ws();
+            }
+            let attr = self.attr_name()?;
+            self.skip_ws();
+            let pat = if self.rest().starts_with('=') {
+                self.pos += 1;
+                self.pattern()?
+            } else {
+                Pattern::Wild
+            };
+            items.push((attr, pat));
+        }
+        Ok(items)
+    }
+
+    fn attr_name(&mut self) -> CfdResult<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(CfdError::Parse(format!(
+                "expected attribute name at: {}",
+                truncate(rest)
+            )));
+        }
+        let name = &rest[..end];
+        self.pos += end;
+        Ok(name.to_string())
+    }
+
+    fn pattern(&mut self) -> CfdResult<Pattern> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with('_') {
+            // `_` must stand alone (not an identifier prefix like `_x`).
+            let after = &rest[1..];
+            if after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                return Err(CfdError::Parse(format!(
+                    "bad wildcard at: {}",
+                    truncate(rest)
+                )));
+            }
+            self.pos += 1;
+            return Ok(Pattern::Wild);
+        }
+        if rest.starts_with('\'') {
+            // quoted string with '' escape
+            let mut s = String::new();
+            let bytes = rest.as_bytes();
+            let mut i = 1usize;
+            loop {
+                match bytes.get(i) {
+                    None => return Err(CfdError::Parse("unterminated string".into())),
+                    Some(&b'\'') => {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        let ch = rest[i..].chars().next().expect("in-bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            self.pos += i;
+            return Ok(Pattern::Const(Value::str(s)));
+        }
+        // bare token: number, true/false, or a bare word (string)
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| matches!(c, ',' | ']' | ' ' | '\t'))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(CfdError::Parse(format!(
+                "expected pattern at: {}",
+                truncate(rest)
+            )));
+        }
+        let tok = &rest[..end];
+        self.pos += end;
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(Pattern::Const(Value::Int(i)));
+        }
+        if let Ok(f) = tok.parse::<f64>() {
+            return Ok(Pattern::Const(Value::Float(f)));
+        }
+        match tok.to_ascii_lowercase().as_str() {
+            "true" => Ok(Pattern::Const(Value::Bool(true))),
+            "false" => Ok(Pattern::Const(Value::Bool(false))),
+            _ => Ok(Pattern::Const(Value::str(tok))),
+        }
+    }
+}
+
+fn truncate(s: &str) -> String {
+    let mut t: String = s.chars().take(24).collect();
+    if t.len() < s.len() {
+        t.push('…');
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_cfds() {
+        let phi1 = parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]").unwrap();
+        assert!(phi1.is_plain_fd());
+        let phi2 = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]").unwrap();
+        assert_eq!(phi2.lhs, vec!["CNT", "ZIP"]);
+        assert_eq!(phi2.lhs_pat[0], Pattern::s("UK"));
+        assert!(phi2.rhs_pat.is_wild());
+        let phi4 = parse_cfd("customer: [CC='44'] -> [CNT='UK']").unwrap();
+        assert!(phi4.is_constant());
+    }
+
+    #[test]
+    fn bare_attributes_default_to_wildcard() {
+        let fd = parse_cfd("customer: [CNT, ZIP] -> [CITY]").unwrap();
+        assert!(fd.is_plain_fd());
+    }
+
+    #[test]
+    fn multi_rhs_splits_into_normal_form() {
+        let cfds = parse_cfds("r: [A='1'] -> [B='x', C]").unwrap();
+        assert_eq!(cfds.len(), 2);
+        assert_eq!(cfds[0].rhs, "B");
+        assert_eq!(cfds[1].rhs, "C");
+        assert!(cfds[1].rhs_pat.is_wild());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let cfds = parse_cfds(
+            "-- the paper's constraints\n\n# another comment\ncustomer: [CC='44'] -> [CNT='UK']\n",
+        )
+        .unwrap();
+        assert_eq!(cfds.len(), 1);
+    }
+
+    #[test]
+    fn default_relation_when_unqualified() {
+        let c = parse_cfd("[A='x'] -> [B]").unwrap();
+        assert_eq!(c.relation, "r");
+    }
+
+    #[test]
+    fn numeric_and_bool_literals() {
+        let c = parse_cfd("[CC=44] -> [OK=true]").unwrap();
+        assert_eq!(c.lhs_pat[0], Pattern::of(44i64));
+        assert_eq!(c.rhs_pat, Pattern::of(true));
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes() {
+        let c = parse_cfd("[STR='O''Hara St'] -> [ZIP]").unwrap();
+        assert_eq!(c.lhs_pat[0], Pattern::s("O'Hara St"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in [
+            "customer: [CNT='UK', ZIP=_] -> [STR=_]",
+            "customer: [CC='44'] -> [CNT='UK']",
+            "r: [A=_] -> [B='x']",
+        ] {
+            let c = parse_cfd(s).unwrap();
+            let c2 = parse_cfd(&c.to_string()).unwrap();
+            assert_eq!(c, c2);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_cfd("customer: CNT -> CITY").is_err());
+        assert!(parse_cfd("customer: [CNT] -> ").is_err());
+        assert!(parse_cfd("customer: [CNT='unterminated] -> [CITY]").is_err());
+        assert!(parse_cfd("[] -> []").is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! The Data Monitor (Fig. 1): watches updates and keeps quality from
+//! degrading. Per the paper it "(1) invokes incremental detection … if the
+//! database has not been cleansed; or (2) invokes incremental repair …
+//! otherwise".
+
+use cfd::{Cfd, CfdError, CfdResult};
+use detect::{IncrementalDetector, ViolationReport};
+use minidb::{Database, DbError, RowId, Value};
+use repair::{incremental_repair, RepairConfig};
+
+fn db_err(e: DbError) -> CfdError {
+    CfdError::Malformed(e.to_string())
+}
+
+/// Monitoring mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorMode {
+    /// Database not cleansed yet: track violations incrementally.
+    DetectOnly,
+    /// Database was cleansed: repair incoming deltas on arrival.
+    RepairOnArrival,
+}
+
+/// An update against the monitored relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Insert a new tuple.
+    Insert(Vec<Value>),
+    /// Delete a tuple.
+    Delete(RowId),
+    /// Overwrite one cell.
+    SetCell {
+        /// Target row.
+        row: RowId,
+        /// Target column.
+        col: usize,
+        /// New value.
+        value: Value,
+    },
+}
+
+/// Outcome of applying one update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateOutcome {
+    /// Row the update affected (the new id for inserts).
+    pub row: Option<RowId>,
+    /// Total violations after the update (and any repair).
+    pub violations: u64,
+    /// Cells changed by incremental repair (empty in detect-only mode).
+    pub repairs: usize,
+}
+
+/// The data monitor: owns the database and incremental state.
+pub struct DataMonitor {
+    db: Database,
+    relation: String,
+    cfds: Vec<Cfd>,
+    detector: IncrementalDetector,
+    mode: MonitorMode,
+    repair_cfg: RepairConfig,
+}
+
+impl DataMonitor {
+    /// Start monitoring `relation` in `db` under `cfds`.
+    pub fn new(
+        db: Database,
+        relation: &str,
+        cfds: Vec<Cfd>,
+        mode: MonitorMode,
+    ) -> CfdResult<DataMonitor> {
+        let detector = IncrementalDetector::build(db.table(relation).map_err(db_err)?, &cfds)?;
+        Ok(DataMonitor {
+            db,
+            relation: relation.to_string(),
+            cfds,
+            detector,
+            mode,
+            repair_cfg: RepairConfig::default(),
+        })
+    }
+
+    /// Current total number of violations.
+    pub fn violations(&self) -> u64 {
+        self.detector.total_violations()
+    }
+
+    /// Current `vio(t)` of a row.
+    pub fn vio_of(&self, row: RowId) -> u64 {
+        self.detector.vio_of(row)
+    }
+
+    /// Materialize the current violation report.
+    pub fn report(&self) -> ViolationReport {
+        self.detector.report()
+    }
+
+    /// The monitored database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Switch mode (e.g. after an explicit cleansing pass).
+    pub fn set_mode(&mut self, mode: MonitorMode) {
+        self.mode = mode;
+    }
+
+    /// Apply one update; returns the effect on data quality.
+    pub fn apply(&mut self, update: Update) -> CfdResult<UpdateOutcome> {
+        let affected = match update {
+            Update::Insert(values) => {
+                let id = self
+                    .db
+                    .insert_row(&self.relation, values)
+                    .map_err(db_err)?;
+                let row: Vec<Value> = self.row_values(id)?;
+                self.detector.insert(id, &row);
+                Some(id)
+            }
+            Update::Delete(id) => {
+                let old = self.db.delete_row(&self.relation, id).map_err(db_err)?;
+                self.detector.delete(id, &old);
+                None
+            }
+            Update::SetCell { row, col, value } => {
+                let before = self.row_values(row)?;
+                self.db
+                    .update_cell(&self.relation, row, col, value)
+                    .map_err(db_err)?;
+                let after = self.row_values(row)?;
+                self.detector.update(row, &before, &after);
+                Some(row)
+            }
+        };
+
+        let mut repairs = 0usize;
+        if self.mode == MonitorMode::RepairOnArrival {
+            if let Some(id) = affected {
+                if self.detector.vio_of(id) > 0 {
+                    let result = incremental_repair(
+                        &mut self.db,
+                        &self.relation,
+                        &self.cfds,
+                        &[id],
+                        &self.repair_cfg,
+                    )?;
+                    repairs = result.changes.len();
+                    // Replay the repair into the detector: reconstruct each
+                    // touched row's pre-repair state (earliest `old` per
+                    // cell wins) and apply a single update per row.
+                    let mut touched: Vec<RowId> =
+                        result.changes.iter().map(|c| c.row).collect();
+                    touched.sort();
+                    touched.dedup();
+                    for row in touched {
+                        let after = self.row_values(row)?;
+                        let mut before = after.clone();
+                        for c in result.changes.iter().rev().filter(|c| c.row == row) {
+                            before[c.col] = c.old.clone();
+                        }
+                        self.detector.update(row, &before, &after);
+                    }
+                }
+            }
+        }
+        Ok(UpdateOutcome {
+            row: affected,
+            violations: self.detector.total_violations(),
+            repairs,
+        })
+    }
+
+    fn row_values(&self, id: RowId) -> CfdResult<Vec<Value>> {
+        Ok(self
+            .db
+            .table(&self.relation)
+            .map_err(db_err)?
+            .get(id)
+            .map_err(db_err)?
+            .to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate_customers, CustomerConfig};
+    use detect::detect_native;
+
+    fn clean_db(rows: usize) -> (Database, Vec<Cfd>) {
+        let t = generate_customers(&CustomerConfig {
+            rows,
+            ..CustomerConfig::default()
+        });
+        let mut db = Database::new();
+        db.register_table(t);
+        (db, datagen::canonical_cfds())
+    }
+
+    fn dirty_insert(db: &Database) -> Vec<Value> {
+        let donor: Vec<Value> = db
+            .table("customer")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .1
+            .to_vec();
+        let mut row = donor;
+        row[2] = Value::str("WRONGCITY");
+        row
+    }
+
+    #[test]
+    fn detect_only_mode_tracks_violations() {
+        let (db, cfds) = clean_db(100);
+        let mut m = DataMonitor::new(db, "customer", cfds, MonitorMode::DetectOnly).unwrap();
+        assert_eq!(m.violations(), 0);
+        let row = dirty_insert(m.database());
+        let out = m.apply(Update::Insert(row)).unwrap();
+        assert!(out.violations > 0);
+        assert_eq!(out.repairs, 0);
+        // Deleting the offending row restores cleanliness.
+        let id = out.row.unwrap();
+        let out = m.apply(Update::Delete(id)).unwrap();
+        assert_eq!(out.violations, 0);
+    }
+
+    #[test]
+    fn repair_mode_fixes_dirty_arrivals() {
+        let (db, cfds) = clean_db(100);
+        let mut m =
+            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::RepairOnArrival)
+                .unwrap();
+        let row = dirty_insert(m.database());
+        let out = m.apply(Update::Insert(row)).unwrap();
+        assert_eq!(out.violations, 0, "arrival must be repaired");
+        assert!(out.repairs > 0);
+        // Cross-check against batch detection.
+        let batch = detect_native(m.database().table("customer").unwrap(), &cfds).unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn cell_updates_flow_through_the_monitor() {
+        let (db, cfds) = clean_db(80);
+        let ids = db.table("customer").unwrap().row_ids();
+        let mut m = DataMonitor::new(db, "customer", cfds, MonitorMode::DetectOnly).unwrap();
+        // Corrupt CNT of an existing row.
+        let out = m
+            .apply(Update::SetCell {
+                row: ids[0],
+                col: 1,
+                value: Value::str("XX"),
+            })
+            .unwrap();
+        assert!(out.violations > 0);
+        assert!(m.vio_of(ids[0]) > 0);
+    }
+
+    #[test]
+    fn monitor_report_matches_batch() {
+        let (db, cfds) = clean_db(60);
+        let mut m =
+            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::DetectOnly).unwrap();
+        for _ in 0..3 {
+            let row = dirty_insert(m.database());
+            m.apply(Update::Insert(row)).unwrap();
+        }
+        let inc = m.report().normalized();
+        let batch = detect_native(m.database().table("customer").unwrap(), &cfds)
+            .unwrap()
+            .normalized();
+        assert_eq!(inc, batch);
+    }
+}

@@ -1,0 +1,310 @@
+//! The data quality server: one facade wiring the six components of Fig. 1
+//! over a [`minidb::Database`].
+
+use audit::{quality_map, quality_report, QualityMap, QualityReport};
+use cfd::{CfdError, CfdResult, Consistency};
+use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
+use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
+use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
+use minidb::{Database, DbError, RowId, Schema, Table};
+use repair::{batch_repair, RepairConfig, RepairResult};
+
+use crate::engine::ConstraintEngine;
+
+fn db_err(e: DbError) -> CfdError {
+    CfdError::Malformed(e.to_string())
+}
+
+/// Which detection engine the server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// SQL-generated queries executed on the embedded engine (the paper's
+    /// code path).
+    Sql,
+    /// Direct hash-based detection.
+    Native,
+    /// Native detection parallelized across CFDs.
+    Parallel {
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Detection engine.
+    pub detector: DetectorKind,
+    /// Repair configuration.
+    pub repair: RepairConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            detector: DetectorKind::Sql,
+            repair: RepairConfig::default(),
+        }
+    }
+}
+
+/// The assembled Semandaq system for one relation.
+pub struct QualityServer {
+    /// The underlying database (public for power users; the server's
+    /// methods keep detector state coherent).
+    db: Database,
+    relation: String,
+    engine: ConstraintEngine,
+    config: ServerConfig,
+    last_report: Option<ViolationReport>,
+}
+
+impl QualityServer {
+    /// Create a server over an existing database and target relation.
+    pub fn new(db: Database, relation: &str) -> CfdResult<QualityServer> {
+        db.table(relation).map_err(db_err)?;
+        Ok(QualityServer {
+            db,
+            relation: relation.to_string(),
+            engine: ConstraintEngine::new(),
+            config: ServerConfig::default(),
+            last_report: None,
+        })
+    }
+
+    /// Create a server by importing CSV text ("connecting" a data source).
+    pub fn from_csv(name: &str, schema: Schema, csv_text: &str) -> CfdResult<QualityServer> {
+        let table = minidb::csv::table_from_csv(name, schema, csv_text).map_err(db_err)?;
+        let mut db = Database::new();
+        db.register_table(table);
+        QualityServer::new(db, name)
+    }
+
+    /// Adjust the configuration.
+    pub fn with_config(mut self, config: ServerConfig) -> QualityServer {
+        self.config = config;
+        self
+    }
+
+    /// The constraint engine.
+    pub fn engine(&self) -> &ConstraintEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the constraint engine.
+    pub fn engine_mut(&mut self) -> &mut ConstraintEngine {
+        &mut self.engine
+    }
+
+    /// The database (read access).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The audited relation.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The audited table.
+    pub fn table(&self) -> &Table {
+        self.db.table(&self.relation).expect("relation exists")
+    }
+
+    /// Register CFDs (textual notation); rejected if inconsistent.
+    pub fn register_cfds(&mut self, text: &str) -> CfdResult<Consistency> {
+        self.last_report = None;
+        self.engine.register_text(text)
+    }
+
+    /// Discover constraints from the current data (treated as reference
+    /// data) and register the consistent result: constant rules first,
+    /// then variable rules.
+    pub fn discover_constraints(
+        &mut self,
+        miner: &MinerConfig,
+        ctane: &CtaneConfig,
+    ) -> CfdResult<usize> {
+        let table = self.table();
+        let mut rules: Vec<cfd::Cfd> = mine_constant_cfds(table, miner)
+            .into_iter()
+            .map(|d| d.cfd)
+            .collect();
+        rules.extend(mine_variable_cfds(table, ctane).into_iter().map(|d| d.cfd));
+        let n = rules.len();
+        self.engine.register(rules)?;
+        self.last_report = None;
+        Ok(n)
+    }
+
+    /// Run the error detector; caches and returns the report.
+    pub fn detect(&mut self) -> CfdResult<ViolationReport> {
+        let cfds = self.engine.cfds().to_vec();
+        let report = match self.config.detector {
+            DetectorKind::Sql => detect_sql(&mut self.db, &self.relation, &cfds)?,
+            DetectorKind::Native => detect_native(self.table(), &cfds)?,
+            DetectorKind::Parallel { threads } => {
+                detect_parallel(self.table(), &cfds, threads)?
+            }
+        };
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The cached detection report, if any.
+    pub fn last_report(&self) -> Option<&ViolationReport> {
+        self.last_report.as_ref()
+    }
+
+    fn require_report(&mut self) -> CfdResult<ViolationReport> {
+        match &self.last_report {
+            Some(r) => Ok(r.clone()),
+            None => self.detect(),
+        }
+    }
+
+    /// Data auditor: the Fig. 4 quality report.
+    pub fn audit(&mut self) -> CfdResult<QualityReport> {
+        let report = self.require_report()?;
+        quality_report(self.table(), self.engine.cfds(), &report)
+    }
+
+    /// Data auditor: the Fig. 3 quality map.
+    pub fn map(&mut self) -> CfdResult<QualityMap> {
+        let report = self.require_report()?;
+        Ok(quality_map(self.table(), &report))
+    }
+
+    /// Data explorer: open the Fig. 2 navigation over the cached report.
+    /// (Runs detection first if needed.)
+    pub fn navigate(&mut self) -> CfdResult<(ViolationReport, Vec<cfd::Cfd>)> {
+        let report = self.require_report()?;
+        Ok((report, self.engine.cfds().to_vec()))
+    }
+
+    /// Convenience for examples/tests: build a navigation session over
+    /// caller-held report and constraints (borrow rules make the server
+    /// unable to hand out a self-borrowing session).
+    pub fn navigation<'a>(
+        table: &'a Table,
+        cfds: &'a [cfd::Cfd],
+        report: &'a ViolationReport,
+    ) -> CfdResult<NavigationSession<'a>> {
+        NavigationSession::new(table, cfds, report)
+    }
+
+    /// Data explorer: reverse inspection of one tuple.
+    pub fn inspect(&mut self, row: RowId) -> CfdResult<Vec<CfdRelevance>> {
+        let report = self.require_report()?;
+        inspect_tuple(self.table(), self.engine.cfds(), &report, row)
+    }
+
+    /// Data cleanser: run batch repair; invalidates the cached report.
+    pub fn repair(&mut self) -> CfdResult<RepairResult> {
+        let cfds = self.engine.cfds().to_vec();
+        let cfg = self.config.repair.clone();
+        let result = batch_repair(&mut self.db, &self.relation, &cfds, &cfg)?;
+        self.last_report = None;
+        Ok(result)
+    }
+
+    /// Open a cleansing review session (Fig. 5) over a repair result.
+    pub fn review<'a>(
+        &'a mut self,
+        changes: &[repair::CellChange],
+    ) -> CfdResult<ReviewSession<'a>> {
+        let cfds = self.engine.cfds().to_vec();
+        self.last_report = None; // review edits the data
+        ReviewSession::new(&mut self.db, &self.relation, &cfds, changes)
+    }
+
+    /// Store the engine's pattern tableaux relationally in the server's
+    /// own database (see [`ConstraintEngine::store_tableaux`]).
+    pub fn store_tableaux(&mut self) -> CfdResult<Vec<String>> {
+        let engine = self.engine.clone();
+        engine.store_tableaux(&mut self.db, &self.relation)
+    }
+
+    /// Hand the server's parts to a [`crate::monitor::DataMonitor`].
+    pub fn into_parts(self) -> (Database, String, Vec<cfd::Cfd>) {
+        (self.db, self.relation, self.engine.cfds().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::dirty_customers;
+
+    fn server(rows: usize, noise: f64, seed: u64) -> QualityServer {
+        let d = dirty_customers(rows, noise, seed);
+        let mut s = QualityServer::new(d.db, "customer").unwrap();
+        s.register_cfds(datagen::customer::CANONICAL_CFDS).unwrap();
+        s
+    }
+
+    #[test]
+    fn end_to_end_detect_audit_repair() {
+        let mut s = server(200, 0.05, 71);
+        let report = s.detect().unwrap();
+        assert!(!report.is_empty());
+        let audit = s.audit().unwrap();
+        assert!(audit.dirty_fraction() > 0.0);
+        let repair = s.repair().unwrap();
+        assert!(repair.residual.is_empty());
+        let after = s.detect().unwrap();
+        assert!(after.is_empty());
+        let audit2 = s.audit().unwrap();
+        assert_eq!(audit2.dirty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sql_and_native_detectors_agree_via_config() {
+        let mut s1 = server(150, 0.06, 72).with_config(ServerConfig {
+            detector: DetectorKind::Sql,
+            ..ServerConfig::default()
+        });
+        let mut s2 = server(150, 0.06, 72).with_config(ServerConfig {
+            detector: DetectorKind::Native,
+            ..ServerConfig::default()
+        });
+        let a = s1.detect().unwrap().normalized();
+        let b = s2.detect().unwrap().normalized();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discovery_from_clean_reference_data() {
+        let d = dirty_customers(400, 0.0, 73);
+        let mut s = QualityServer::new(d.db, "customer").unwrap();
+        let n = s
+            .discover_constraints(
+                &MinerConfig {
+                    min_support: 30,
+                    max_lhs: 1,
+                    relation: "customer".into(),
+                },
+                &CtaneConfig {
+                    max_lhs: 1,
+                    max_constants: 0,
+                    min_support: 50,
+                    relation: "customer".into(),
+                },
+            )
+            .unwrap();
+        assert!(n > 0);
+        assert!(!s.engine().is_empty());
+        // Clean reference data satisfies its own discovered rules.
+        let r = s.detect().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn inspect_explains_a_dirty_tuple() {
+        let mut s = server(150, 0.08, 74);
+        let report = s.detect().unwrap();
+        let dirty_row = *report.vio.keys().next().expect("some dirty tuple");
+        let rel = s.inspect(dirty_row).unwrap();
+        assert!(rel.iter().any(|r| r.violated));
+    }
+}

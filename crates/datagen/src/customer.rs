@@ -1,0 +1,241 @@
+//! Generator for the paper's running example: the `customer` relation
+//! `customer(NAME, CNT, CITY, ZIP, STR, CC, AC)` (§3 of the demo paper),
+//! produced *consistent* with the canonical CFD set so that every violation
+//! found later is one we injected.
+
+use minidb::{Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cfd::parse::parse_cfds;
+use cfd::Cfd;
+
+/// The seven attributes of the paper's customer relation.
+pub const CUSTOMER_ATTRS: [&str; 7] = ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"];
+
+/// Countries with their country codes, cities and zip/area-code spaces.
+struct Country {
+    name: &'static str,
+    cc: &'static str,
+    cities: &'static [&'static str],
+    zip_prefix: &'static str,
+}
+
+const COUNTRIES: [Country; 3] = [
+    Country {
+        name: "UK",
+        cc: "44",
+        cities: &["EDI", "LDN", "GLA", "MAN", "LDS"],
+        zip_prefix: "EH",
+    },
+    Country {
+        name: "US",
+        cc: "01",
+        cities: &["NYC", "CHI", "PHI", "SFO", "BOS"],
+        zip_prefix: "0",
+    },
+    Country {
+        name: "NL",
+        cc: "31",
+        cities: &["AMS", "RTM", "UTR", "EIN", "GRO"],
+        zip_prefix: "1",
+    },
+];
+
+const STREETS: [&str; 12] = [
+    "High St",
+    "Mayfield Rd",
+    "Crichton St",
+    "Main St",
+    "Oak Ave",
+    "Station Rd",
+    "Church Ln",
+    "Park View",
+    "Mill Road",
+    "Queen St",
+    "King St",
+    "Bridge St",
+];
+
+const FIRST_NAMES: [&str; 16] = [
+    "mike", "rick", "joe", "mary", "anna", "liam", "emma", "noah", "ava", "finn", "zoe", "max",
+    "ida", "sam", "lea", "ben",
+];
+
+/// The paper's CFDs (φ1–φ4) plus the symmetric country-code rules for the
+/// other generated countries, in the textual notation.
+pub const CANONICAL_CFDS: &str = "\
+-- f1 / φ1: country + zip determine city
+customer: [CNT, ZIP] -> [CITY]
+-- φ2: in the UK, zip determines street
+customer: [CNT='UK', ZIP=_] -> [STR=_]
+-- f3 / φ3: country code determines country
+customer: [CC] -> [CNT]
+-- φ4 and friends: concrete code → country bindings
+customer: [CC='44'] -> [CNT='UK']
+customer: [CC='01'] -> [CNT='US']
+customer: [CC='31'] -> [CNT='NL']
+";
+
+/// The canonical CFD set, parsed (8 CFDs in normal form).
+pub fn canonical_cfds() -> Vec<Cfd> {
+    parse_cfds(CANONICAL_CFDS).expect("canonical CFDs parse")
+}
+
+/// The customer schema (all TEXT, matching the paper's example).
+pub fn customer_schema() -> Schema {
+    Schema::of_strings(&CUSTOMER_ATTRS)
+}
+
+/// Configuration for the customer generator.
+#[derive(Debug, Clone)]
+pub struct CustomerConfig {
+    /// Number of tuples.
+    pub rows: usize,
+    /// Distinct zip codes generated per city (controls group sizes for
+    /// multi-tuple violation detection: rows/zips ≈ tuples per group).
+    pub zips_per_city: usize,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for CustomerConfig {
+    fn default() -> CustomerConfig {
+        CustomerConfig {
+            rows: 1000,
+            zips_per_city: 10,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A generated clean customer table. All canonical CFDs hold by
+/// construction: zip → (city, street) via fixed maps, cc ↔ cnt fixed.
+pub fn generate_customers(cfg: &CustomerConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = Table::new("customer", customer_schema());
+    for i in 0..cfg.rows {
+        let country = &COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        let city_idx = rng.gen_range(0..country.cities.len());
+        let city = country.cities[city_idx];
+        let zip_idx = rng.gen_range(0..cfg.zips_per_city);
+        // Zips embed the city so that (CNT, ZIP) → CITY holds by construction.
+        let zip = format!("{}{} {}{}", country.zip_prefix, city_idx + 1, zip_idx, city);
+        // Street is a function of the zip (for every country — stronger than
+        // needed, but consistent with φ2 which only requires it for UK).
+        let street = STREETS[(city_idx * 31 + zip_idx * 7) % STREETS.len()];
+        let name = format!(
+            "{}{}",
+            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+            i
+        );
+        // Area code: a function of the city.
+        let ac = format!("{}{}", country.cc, 10 + city_idx);
+        t.insert(vec![
+            Value::str(name),
+            Value::str(country.name),
+            Value::str(city),
+            Value::str(zip),
+            Value::str(street),
+            Value::str(country.cc),
+            Value::str(ac),
+        ])
+        .expect("generated row fits schema");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = CustomerConfig {
+            rows: 50,
+            ..CustomerConfig::default()
+        };
+        let a = generate_customers(&cfg);
+        let b = generate_customers(&cfg);
+        let rows_a: Vec<_> = a.iter().map(|(_, r)| r.to_vec()).collect();
+        let rows_b: Vec<_> = b.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn clean_data_satisfies_fd_cnt_zip_city() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 500,
+            ..CustomerConfig::default()
+        });
+        let mut map: HashMap<(String, String), String> = HashMap::new();
+        for (_, r) in t.iter() {
+            let key = (r[1].to_string(), r[3].to_string());
+            let city = r[2].to_string();
+            if let Some(prev) = map.insert(key, city.clone()) {
+                assert_eq!(prev, city, "FD [CNT,ZIP] -> CITY violated by generator");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_data_satisfies_cc_cnt_bindings() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 300,
+            ..CustomerConfig::default()
+        });
+        for (_, r) in t.iter() {
+            let (cnt, cc) = (r[1].to_string(), r[5].to_string());
+            match cc.as_str() {
+                "44" => assert_eq!(cnt, "UK"),
+                "01" => assert_eq!(cnt, "US"),
+                "31" => assert_eq!(cnt, "NL"),
+                other => panic!("unexpected CC {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_data_satisfies_zip_street_for_uk() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 400,
+            ..CustomerConfig::default()
+        });
+        let mut map: HashMap<String, String> = HashMap::new();
+        for (_, r) in t.iter() {
+            if r[1].to_string() == "UK" {
+                let zip = r[3].to_string();
+                let street = r[4].to_string();
+                if let Some(prev) = map.insert(zip, street.clone()) {
+                    assert_eq!(prev, street);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_cfds_parse_and_bind() {
+        let cfds = canonical_cfds();
+        assert_eq!(cfds.len(), 6);
+        let schema = customer_schema();
+        for c in &cfds {
+            c.bind(&schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn zips_per_city_controls_group_size() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 1000,
+            zips_per_city: 2,
+            seed: 7,
+        });
+        let mut groups: HashMap<String, usize> = HashMap::new();
+        for (_, r) in t.iter() {
+            *groups.entry(r[3].to_string()).or_default() += 1;
+        }
+        let avg = 1000.0 / groups.len() as f64;
+        assert!(avg > 10.0, "expected chunky groups, got avg {avg}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # detect — the Semandaq Error Detector
+//!
+//! Three interchangeable detection engines over the same CFD semantics:
+//!
+//! * [`sql_detector::detect_sql`] — the paper's code path: pattern tableaux
+//!   encoded relationally, merged QC/QV SQL queries generated and executed
+//!   on the [`minidb`] substrate;
+//! * [`native::detect_native`] — a direct hash-based reference detector
+//!   (cross-validates SQL detection; the baseline in experiment E1);
+//! * [`incremental::IncrementalDetector`] — group-indexed state maintained
+//!   under inserts/deletes/updates ([3] §7; experiment E3).
+//!
+//! Plus [`parallel::detect_parallel`], which fans per-CFD native detection
+//! across threads — mirroring Semandaq's claim that its quality servers
+//! "run independently in a distributed way".
+
+#![warn(missing_docs)]
+
+pub mod incremental;
+pub mod native;
+pub mod parallel;
+pub mod sql_detector;
+pub mod sqlgen;
+pub mod violation;
+
+pub use incremental::IncrementalDetector;
+pub use native::detect_native;
+pub use parallel::detect_parallel;
+pub use sql_detector::{detect_sql, detect_sql_per_pattern};
+pub use violation::{Violation, ViolationKind, ViolationReport};

@@ -1,0 +1,219 @@
+//! The SQL-based error detector: registers tableau encodings, runs the
+//! generated queries, and assembles a [`ViolationReport`] — the code path
+//! the Semandaq demo describes as "efficient SQL-based detection".
+
+use std::collections::HashMap;
+
+use cfd::dependency::group_into_tableaux;
+use cfd::encode::encode_tableau;
+use cfd::{Cfd, CfdError, CfdResult};
+use minidb::{Database, DbError, RowId, Value};
+
+use crate::sqlgen::{merged_detection_sql, per_pattern_sql, PerPatternKind};
+use crate::violation::ViolationReport;
+
+fn db_err(e: DbError) -> CfdError {
+    CfdError::Malformed(format!("SQL detection failed: {e}"))
+}
+
+/// Run merged SQL-based detection of `cfds` against `db.relation`.
+///
+/// Temp tables (`__sdq_tab_i`, `__sdq_vio_i`) are registered and dropped;
+/// the data table itself is untouched.
+pub fn detect_sql(db: &mut Database, relation: &str, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+    let schema = db.table(relation).map_err(db_err)?.schema().clone();
+    let tableaux = group_into_tableaux(cfds);
+    let mut report = ViolationReport::default();
+    for (i, tab) in tableaux.iter().enumerate() {
+        if !tab.relation.eq_ignore_ascii_case(relation) {
+            return Err(CfdError::RelationMismatch {
+                expected: tab.relation.clone(),
+                found: relation.to_string(),
+            });
+        }
+        let tab_name = format!("__sdq_tab_{i}");
+        db.register_table(encode_tableau(&tab_name, tab, &schema)?);
+        let sql = merged_detection_sql(tab, &tab_name);
+
+        if let Some(qc) = &sql.qc {
+            let rows = db.query(qc).map_err(db_err)?;
+            let rid_col = rows.column_index("rid").expect("rid projected");
+            let pat_col = rows.column_index("pat").expect("pat projected");
+            for r in &rows.rows {
+                let rid = RowId(r[rid_col].as_int().expect("rowid is int") as u64);
+                let pat = r[pat_col].as_int().expect("pat is int") as usize;
+                report.push_single(pat, rid);
+            }
+        }
+
+        if let (Some(qv), Some(attr_tpl)) = (&sql.qv, &sql.attribution) {
+            let groups = db.query(qv).map_err(db_err)?;
+            if !groups.is_empty() {
+                let vio_name = format!("__sdq_vio_{i}");
+                db.materialize(&vio_name, &groups).map_err(db_err)?;
+                let attr_sql = attr_tpl.replace("{v}", &vio_name);
+                let rows = db.query(&attr_sql).map_err(db_err)?;
+                db.drop_table(&vio_name).map_err(db_err)?;
+                // Group rows by (pat, key values).
+                let pat_col = rows.column_index("pat").expect("pat projected");
+                let rid_col = rows.column_index("rid").expect("rid projected");
+                let rhs_col = rows.column_index("rhs").expect("rhs projected");
+                let key_cols: Vec<usize> = tab
+                    .fd
+                    .lhs
+                    .iter()
+                    .map(|c| rows.column_index(c).expect("key column projected"))
+                    .collect();
+                let mut grouped: HashMap<(usize, Vec<Value>), Vec<(RowId, Value)>> =
+                    HashMap::new();
+                for r in &rows.rows {
+                    let pat = r[pat_col].as_int().expect("pat is int") as usize;
+                    let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
+                    let rid = RowId(r[rid_col].as_int().expect("rowid is int") as u64);
+                    grouped
+                        .entry((pat, key))
+                        .or_default()
+                        .push((rid, r[rhs_col].clone()));
+                }
+                let mut entries: Vec<_> = grouped.into_iter().collect();
+                entries.sort_by_key(|((pat, _), rows)| {
+                    (*pat, rows.iter().map(|(r, _)| r.0).min().unwrap_or(0))
+                });
+                for ((pat, key), members) in entries {
+                    report.push_multi(pat, key, members);
+                }
+            }
+        }
+        db.drop_table(&tab_name).map_err(db_err)?;
+    }
+    Ok(report)
+}
+
+/// Per-pattern (non-merged) SQL detection — the A1 ablation baseline. One
+/// query per pattern row; groups are attributed with a second inlined scan.
+pub fn detect_sql_per_pattern(
+    db: &mut Database,
+    relation: &str,
+    cfds: &[Cfd],
+) -> CfdResult<ViolationReport> {
+    let tableaux = group_into_tableaux(cfds);
+    let mut report = ViolationReport::default();
+    for tab in &tableaux {
+        if !tab.relation.eq_ignore_ascii_case(relation) {
+            return Err(CfdError::RelationMismatch {
+                expected: tab.relation.clone(),
+                found: relation.to_string(),
+            });
+        }
+        for (cfd_idx, kind, sql) in per_pattern_sql(tab) {
+            match kind {
+                PerPatternKind::Single => {
+                    let rows = db.query(&sql).map_err(db_err)?;
+                    let rid_col = rows.column_index("rid").expect("rid projected");
+                    for r in &rows.rows {
+                        let rid = RowId(r[rid_col].as_int().expect("rowid is int") as u64);
+                        report.push_single(cfd_idx, rid);
+                    }
+                }
+                PerPatternKind::Group => {
+                    let groups = db.query(&sql).map_err(db_err)?;
+                    if groups.is_empty() {
+                        continue;
+                    }
+                    // Attribute members natively (scan once, bucket by key).
+                    let b = cfds[cfd_idx]
+                        .bind(db.table(relation).map_err(db_err)?.schema())?;
+                    let all_groups =
+                        crate::native::variable_groups(db.table(relation).map_err(db_err)?, &b);
+                    for gr in &groups.rows {
+                        let key: Vec<Value> = gr.clone();
+                        if let Some(members) = all_groups.get(&key) {
+                            report.push_multi(cfd_idx, key, members.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::detect_native;
+    use cfd::parse::parse_cfds;
+    use datagen::dirty_customers;
+
+    fn paper_cfds() -> Vec<Cfd> {
+        parse_cfds(
+            "customer: [CNT, ZIP] -> [CITY]\n\
+             customer: [CNT='UK', ZIP=_] -> [STR=_]\n\
+             customer: [CC] -> [CNT]\n\
+             customer: [CC='44'] -> [CNT='UK']",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sql_equals_native_on_dirty_customers() {
+        let mut d = dirty_customers(300, 0.05, 7);
+        let native = detect_native(d.db.table("customer").unwrap(), &d.cfds)
+            .unwrap()
+            .normalized();
+        let sql = detect_sql(&mut d.db, "customer", &d.cfds)
+            .unwrap()
+            .normalized();
+        assert_eq!(native.violations.len(), sql.violations.len());
+        assert_eq!(native, sql);
+    }
+
+    #[test]
+    fn per_pattern_equals_merged() {
+        let mut d = dirty_customers(200, 0.08, 13);
+        let merged = detect_sql(&mut d.db, "customer", &d.cfds)
+            .unwrap()
+            .normalized();
+        let per_pat = detect_sql_per_pattern(&mut d.db, "customer", &d.cfds)
+            .unwrap()
+            .normalized();
+        assert_eq!(merged, per_pat);
+    }
+
+    #[test]
+    fn temp_tables_are_cleaned_up() {
+        let mut d = dirty_customers(50, 0.05, 3);
+        let before = d.db.table_names();
+        detect_sql(&mut d.db, "customer", &d.cfds).unwrap();
+        assert_eq!(d.db.table_names(), before);
+    }
+
+    #[test]
+    fn clean_data_yields_empty_report() {
+        let mut d = dirty_customers(150, 0.0, 5);
+        let r = detect_sql(&mut d.db, "customer", &d.cfds).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn detection_with_papers_cfds_flags_injected_noise() {
+        let mut d = dirty_customers(400, 0.05, 21);
+        let r = detect_sql(&mut d.db, "customer", &paper_cfds()).unwrap();
+        assert!(!r.is_empty(), "noise at 5% must trigger violations");
+        // Every reported row id must be live in the table.
+        let t = d.db.table("customer").unwrap();
+        for v in &r.violations {
+            for row in v.rows() {
+                assert!(t.contains(row));
+            }
+        }
+    }
+
+    #[test]
+    fn relation_mismatch_is_reported() {
+        let mut d = dirty_customers(10, 0.0, 1);
+        let cfds = parse_cfds("othertable: [A] -> [B]").unwrap();
+        let r = detect_sql(&mut d.db, "customer", &cfds);
+        assert!(matches!(r, Err(CfdError::RelationMismatch { .. })));
+    }
+}

@@ -1,0 +1,226 @@
+//! Violation records and the per-tuple `vio(t)` tally.
+//!
+//! The demo paper (§2, Error Detector) defines `vio(t)` as: 0 initially,
+//! +1 for each CFD for which `t` is a single-tuple violation, and, for each
+//! CFD, + the cardinality of the set of tuples that *jointly with `t`*
+//! violate that CFD. We read "jointly violating with t" as the tuples in
+//! `t`'s LHS-group holding a **different** RHS value (its conflict
+//! partners): in a group {a, a, b}, each `a`-tuple gains 1 and the
+//! `b`-tuple gains 2.
+//!
+//! NULL handling mirrors the SQL detection queries: tuples with a NULL RHS
+//! are never violators, and a group violates only if it holds ≥ 2 distinct
+//! non-NULL RHS values.
+
+use std::collections::HashMap;
+
+use minidb::{RowId, Value};
+
+/// The kind of a violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// A tuple conflicting with a constant-RHS CFD all by itself.
+    SingleTuple {
+        /// The violating tuple.
+        row: RowId,
+    },
+    /// A group of tuples jointly violating a variable CFD.
+    MultiTuple {
+        /// LHS key shared by the group.
+        key: Vec<Value>,
+        /// Members with non-NULL RHS values, as `(row, rhs value)`.
+        rows: Vec<(RowId, Value)>,
+    },
+}
+
+/// One detected violation, attributed to a CFD (by index into the checked
+/// constraint slice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index of the violated CFD in the input constraint set.
+    pub cfd_idx: usize,
+    /// What was violated and by whom.
+    pub kind: ViolationKind,
+}
+
+impl Violation {
+    /// Rows involved in this violation.
+    pub fn rows(&self) -> Vec<RowId> {
+        match &self.kind {
+            ViolationKind::SingleTuple { row } => vec![*row],
+            ViolationKind::MultiTuple { rows, .. } => rows.iter().map(|(r, _)| *r).collect(),
+        }
+    }
+}
+
+/// Full detection output: the violations plus derived statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViolationReport {
+    /// All violations, ordered by CFD index then discovery order.
+    pub violations: Vec<Violation>,
+    /// `vio(t)` per row (rows with zero violations are absent).
+    pub vio: HashMap<RowId, u64>,
+    /// Number of violations per CFD index.
+    pub per_cfd: HashMap<usize, usize>,
+}
+
+impl ViolationReport {
+    /// Add a single-tuple violation.
+    pub fn push_single(&mut self, cfd_idx: usize, row: RowId) {
+        *self.vio.entry(row).or_default() += 1;
+        *self.per_cfd.entry(cfd_idx).or_default() += 1;
+        self.violations.push(Violation {
+            cfd_idx,
+            kind: ViolationKind::SingleTuple { row },
+        });
+    }
+
+    /// Add a multi-tuple violation group; computes each member's conflict
+    /// partners. `rows` must hold non-NULL RHS values with ≥ 2 distinct.
+    pub fn push_multi(&mut self, cfd_idx: usize, key: Vec<Value>, rows: Vec<(RowId, Value)>) {
+        debug_assert!(rows.len() >= 2, "multi-tuple violation needs >= 2 rows");
+        let mut counts: HashMap<&Value, u64> = HashMap::new();
+        for (_, v) in &rows {
+            *counts.entry(v).or_default() += 1;
+        }
+        debug_assert!(counts.len() >= 2, "group must disagree on RHS");
+        let total = rows.len() as u64;
+        for (r, v) in &rows {
+            let partners = total - counts[v];
+            *self.vio.entry(*r).or_default() += partners;
+        }
+        *self.per_cfd.entry(cfd_idx).or_default() += 1;
+        self.violations.push(Violation {
+            cfd_idx,
+            kind: ViolationKind::MultiTuple { key, rows },
+        });
+    }
+
+    /// `vio(t)` for a row (0 when clean).
+    pub fn vio_of(&self, row: RowId) -> u64 {
+        self.vio.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Total number of violations (records, not tuples).
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True if nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All rows involved in at least one violation.
+    pub fn dirty_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.vio.keys().copied().collect();
+        rows.sort();
+        rows
+    }
+
+    /// Merge another report into this one (used by the parallel detector).
+    pub fn merge(&mut self, other: ViolationReport) {
+        for v in other.violations {
+            match v.kind {
+                ViolationKind::SingleTuple { row } => self.push_single(v.cfd_idx, row),
+                ViolationKind::MultiTuple { key, rows } => {
+                    self.push_multi(v.cfd_idx, key, rows)
+                }
+            }
+        }
+    }
+
+    /// Canonical ordering for equality tests: sorts violations by
+    /// (cfd, kind, first row, key).
+    pub fn normalized(mut self) -> ViolationReport {
+        for v in &mut self.violations {
+            if let ViolationKind::MultiTuple { rows, .. } = &mut v.kind {
+                rows.sort_by_key(|(r, _)| *r);
+            }
+        }
+        self.violations.sort_by(|a, b| {
+            let ka = (a.cfd_idx, violation_sort_key(a));
+            let kb = (b.cfd_idx, violation_sort_key(b));
+            ka.cmp(&kb)
+        });
+        self
+    }
+}
+
+fn violation_sort_key(v: &Violation) -> (u8, u64, String) {
+    match &v.kind {
+        ViolationKind::SingleTuple { row } => (0, row.0, String::new()),
+        ViolationKind::MultiTuple { key, rows } => (
+            1,
+            rows.first().map(|(r, _)| r.0).unwrap_or(0),
+            key.iter()
+                .map(|v| v.render())
+                .collect::<Vec<_>>()
+                .join("\u{1}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_violation_increments_by_one() {
+        let mut r = ViolationReport::default();
+        r.push_single(0, RowId(3));
+        r.push_single(1, RowId(3));
+        assert_eq!(r.vio_of(RowId(3)), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn multi_violation_counts_conflict_partners() {
+        let mut r = ViolationReport::default();
+        // Group {a, a, b}: a-tuples get +1, b-tuple gets +2.
+        r.push_multi(
+            0,
+            vec![Value::str("UK")],
+            vec![
+                (RowId(1), Value::str("a")),
+                (RowId(2), Value::str("a")),
+                (RowId(3), Value::str("b")),
+            ],
+        );
+        assert_eq!(r.vio_of(RowId(1)), 1);
+        assert_eq!(r.vio_of(RowId(2)), 1);
+        assert_eq!(r.vio_of(RowId(3)), 2);
+    }
+
+    #[test]
+    fn merge_accumulates_tallies() {
+        let mut a = ViolationReport::default();
+        a.push_single(0, RowId(1));
+        let mut b = ViolationReport::default();
+        b.push_single(2, RowId(1));
+        a.merge(b);
+        assert_eq!(a.vio_of(RowId(1)), 2);
+        assert_eq!(a.per_cfd[&0], 1);
+        assert_eq!(a.per_cfd[&2], 1);
+    }
+
+    #[test]
+    fn normalized_is_order_insensitive() {
+        let mut a = ViolationReport::default();
+        a.push_single(0, RowId(1));
+        a.push_single(0, RowId(2));
+        let mut b = ViolationReport::default();
+        b.push_single(0, RowId(2));
+        b.push_single(0, RowId(1));
+        assert_eq!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn dirty_rows_sorted_unique() {
+        let mut r = ViolationReport::default();
+        r.push_single(0, RowId(9));
+        r.push_single(1, RowId(2));
+        r.push_single(2, RowId(9));
+        assert_eq!(r.dirty_rows(), vec![RowId(2), RowId(9)]);
+    }
+}

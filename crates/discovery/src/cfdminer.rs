@@ -1,0 +1,312 @@
+//! Constant CFD discovery (CFDMiner-style): rules `(X = x̄) → (A = a)`
+//! holding with confidence 1 and support ≥ `min_support`, mined levelwise
+//! over frequent (attribute = value) itemsets, reporting only
+//! left-reduced rules (no proper sub-itemset yields the same conclusion).
+
+use std::collections::HashMap;
+
+use cfd::{Cfd, Pattern};
+use minidb::{Table, Value};
+
+/// Mining configuration.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Minimum number of matching tuples for a rule.
+    pub min_support: usize,
+    /// Maximum LHS itemset size.
+    pub max_lhs: usize,
+    /// Relation name stamped on discovered CFDs.
+    pub relation: String,
+}
+
+impl Default for MinerConfig {
+    fn default() -> MinerConfig {
+        MinerConfig {
+            min_support: 10,
+            max_lhs: 2,
+            relation: "r".to_string(),
+        }
+    }
+}
+
+/// A discovered constant CFD with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredConstCfd {
+    /// The rule in normal form.
+    pub cfd: Cfd,
+    /// Number of supporting tuples.
+    pub support: usize,
+}
+
+type Item = (usize, Value); // (column, value)
+
+/// Mine constant CFDs from `table`.
+pub fn mine_constant_cfds(table: &Table, cfg: &MinerConfig) -> Vec<DiscoveredConstCfd> {
+    let arity = table.schema().arity();
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<Value>> = table.iter().map(|(_, r)| r.to_vec()).collect();
+    if rows.is_empty() {
+        return Vec::new();
+    }
+
+    // Frequent single items.
+    let mut item_rows: HashMap<Item, Vec<u32>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            item_rows
+                .entry((c, v.clone()))
+                .or_default()
+                .push(i as u32);
+        }
+    }
+    item_rows.retain(|_, tids| tids.len() >= cfg.min_support);
+
+    // Levelwise: itemsets as sorted Vec<Item> with their tid lists.
+    let mut level: Vec<(Vec<Item>, Vec<u32>)> = item_rows
+        .iter()
+        .map(|(it, tids)| (vec![it.clone()], tids.clone()))
+        .collect();
+    level.sort_by(|a, b| itemset_key(&a.0).cmp(&itemset_key(&b.0)));
+
+    let mut found: Vec<DiscoveredConstCfd> = Vec::new();
+    // Conclusions derivable from an itemset (whether or not emitted —
+    // suppressed non-minimal rules are still recorded so minimality
+    // propagates transitively up the lattice): (itemset key, rhs column).
+    let mut derived: std::collections::HashSet<(Vec<(usize, String)>, usize)> =
+        Default::default();
+
+    for level_no in 1..=cfg.max_lhs {
+        // Emit rules for this level.
+        for (items, tids) in &level {
+            for a in 0..arity {
+                if items.iter().any(|(c, _)| *c == a) {
+                    continue;
+                }
+                let first = &rows[tids[0] as usize][a];
+                if first.is_null() {
+                    continue;
+                }
+                let holds = tids[1..]
+                    .iter()
+                    .all(|&t| rows[t as usize][a].strong_eq(first));
+                if !holds {
+                    continue;
+                }
+                let minimal = !subsets_derive(&derived, items, a);
+                derived.insert((itemset_key(items), a));
+                if !minimal {
+                    continue;
+                }
+                let lhs: Vec<(String, Pattern)> = items
+                    .iter()
+                    .map(|(c, v)| (names[*c].clone(), Pattern::Const(v.clone())))
+                    .collect();
+                let cfd = Cfd::new(
+                    cfg.relation.clone(),
+                    lhs,
+                    names[a].clone(),
+                    Pattern::Const(first.clone()),
+                )
+                .expect("mined rule is structurally valid");
+                found.push(DiscoveredConstCfd {
+                    cfd,
+                    support: tids.len(),
+                });
+            }
+        }
+        if level_no == cfg.max_lhs {
+            break;
+        }
+        // Candidate generation: join itemsets sharing all but the last item.
+        let mut next: Vec<(Vec<Item>, Vec<u32>)> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<(usize, String)>> = Default::default();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let (a_items, a_tids) = &level[i];
+                let (b_items, b_tids) = &level[j];
+                if a_items[..a_items.len() - 1] != b_items[..b_items.len() - 1] {
+                    continue;
+                }
+                let last = b_items.last().expect("non-empty itemset").clone();
+                if a_items.iter().any(|(c, _)| *c == last.0) {
+                    continue; // one value per attribute
+                }
+                let mut merged = a_items.clone();
+                merged.push(last);
+                merged.sort_by(|x, y| item_key(x).cmp(&item_key(y)));
+                let key = itemset_key(&merged);
+                if !seen.insert(key) {
+                    continue;
+                }
+                let tids = intersect(a_tids, b_tids);
+                if tids.len() >= cfg.min_support {
+                    next.push((merged, tids));
+                }
+            }
+        }
+        next.sort_by(|a, b| itemset_key(&a.0).cmp(&itemset_key(&b.0)));
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+    found
+}
+
+fn subsets_derive(
+    derived: &std::collections::HashSet<(Vec<(usize, String)>, usize)>,
+    items: &[Item],
+    rhs: usize,
+) -> bool {
+    if items.len() <= 1 {
+        return false;
+    }
+    (0..items.len()).any(|skip| {
+        let sub: Vec<(usize, String)> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, it)| item_key(it))
+            .collect();
+        derived.contains(&(sub, rhs))
+    })
+}
+
+fn item_key(it: &Item) -> (usize, String) {
+    (it.0, it.1.render())
+}
+
+fn itemset_key(items: &[Item]) -> Vec<(usize, String)> {
+    items.iter().map(item_key).collect()
+}
+
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate_customers, generate_planted, CustomerConfig, GenericConfig};
+
+    #[test]
+    fn finds_cc_cnt_bindings_on_customers() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 500,
+            ..CustomerConfig::default()
+        });
+        let found = mine_constant_cfds(
+            &t,
+            &MinerConfig {
+                min_support: 20,
+                max_lhs: 1,
+                relation: "customer".into(),
+            },
+        );
+        // φ4 and friends: [CC='44'] -> [CNT='UK'] etc.
+        let has = |cc: &str, cnt: &str| {
+            found.iter().any(|d| {
+                d.cfd.lhs == vec!["CC".to_string()]
+                    && d.cfd.lhs_pat[0] == Pattern::s(cc)
+                    && d.cfd.rhs == "CNT"
+                    && d.cfd.rhs_pat == Pattern::s(cnt)
+            })
+        };
+        assert!(has("44", "UK"), "{found:?}");
+        assert!(has("01", "US"));
+        assert!(has("31", "NL"));
+    }
+
+    #[test]
+    fn recovers_planted_constant_cfd() {
+        let p = generate_planted(&GenericConfig {
+            rows: 1500,
+            attrs: 5,
+            domain: 10,
+            seed: 8,
+        });
+        let found = mine_constant_cfds(
+            &p.table,
+            &MinerConfig {
+                min_support: 5,
+                max_lhs: 1,
+                relation: "planted".into(),
+            },
+        );
+        let target = &p.constant_cfds[0];
+        assert!(
+            found.iter().any(|d| d.cfd.lhs == target.lhs
+                && d.cfd.lhs_pat == target.lhs_pat
+                && d.cfd.rhs == target.rhs
+                && d.cfd.rhs_pat == target.rhs_pat),
+            "planted constant CFD not found: {found:?}"
+        );
+    }
+
+    #[test]
+    fn support_threshold_filters_rare_rules() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 100,
+            ..CustomerConfig::default()
+        });
+        let strict = mine_constant_cfds(
+            &t,
+            &MinerConfig {
+                min_support: 1000,
+                max_lhs: 1,
+                relation: "customer".into(),
+            },
+        );
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn discovered_rules_hold_on_the_data() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 300,
+            ..CustomerConfig::default()
+        });
+        let found = mine_constant_cfds(
+            &t,
+            &MinerConfig {
+                min_support: 15,
+                max_lhs: 2,
+                relation: "customer".into(),
+            },
+        );
+        assert!(!found.is_empty());
+        for d in &found {
+            let b = d.cfd.bind(t.schema()).unwrap();
+            let mut support = 0usize;
+            for (_, row) in t.iter() {
+                if b.lhs_matches(row) {
+                    support += 1;
+                    assert!(b.rhs_matches(row), "rule {} broken", d.cfd);
+                }
+            }
+            assert_eq!(support, d.support, "support bookkeeping for {}", d.cfd);
+        }
+    }
+}

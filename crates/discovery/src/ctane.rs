@@ -1,0 +1,377 @@
+//! Variable CFD discovery (CTane-style): rules `(X → A, tp)` with wildcard
+//! RHS, where the LHS pattern mixes constants and wildcards, holding
+//! exactly on the data with support ≥ `min_support`.
+//!
+//! The search space is the product of attribute-set and pattern lattices;
+//! we explore LHS sets up to `max_lhs` and patterns with at most
+//! `max_constants` constant cells (the shape of the paper's φ2), pruning
+//! rules subsumed by an already-found, more general rule.
+
+use std::collections::HashMap;
+
+use cfd::cover::subsumes;
+use cfd::{Cfd, Pattern};
+use minidb::{Table, Value};
+
+/// Discovery configuration.
+#[derive(Debug, Clone)]
+pub struct CtaneConfig {
+    /// Maximum LHS attribute-set size.
+    pub max_lhs: usize,
+    /// Maximum number of constant cells in the LHS pattern.
+    pub max_constants: usize,
+    /// Minimum number of pattern-matching tuples.
+    pub min_support: usize,
+    /// Relation name stamped on discovered CFDs.
+    pub relation: String,
+}
+
+impl Default for CtaneConfig {
+    fn default() -> CtaneConfig {
+        CtaneConfig {
+            max_lhs: 2,
+            max_constants: 1,
+            min_support: 20,
+            relation: "r".to_string(),
+        }
+    }
+}
+
+/// A discovered variable CFD with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredVarCfd {
+    /// The rule (wildcard RHS).
+    pub cfd: Cfd,
+    /// Number of tuples matching the LHS pattern.
+    pub support: usize,
+}
+
+/// Mine variable CFDs from `table`.
+pub fn mine_variable_cfds(table: &Table, cfg: &CtaneConfig) -> Vec<DiscoveredVarCfd> {
+    let arity = table.schema().arity();
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<Value>> = table.iter().map(|(_, r)| r.to_vec()).collect();
+    if rows.len() < 2 {
+        return Vec::new();
+    }
+
+    let mut found: Vec<DiscoveredVarCfd> = Vec::new();
+
+    // Enumerate LHS attribute sets (size 1..=max_lhs).
+    let sets = attr_sets(arity, cfg.max_lhs);
+    for x in &sets {
+        for a in 0..arity {
+            if x.contains(&a) {
+                continue;
+            }
+            // Pattern candidates: choose ≤ max_constants positions in X to
+            // pin; constant values are drawn from frequent values of that
+            // column among rows (support pruning applies anyway).
+            for pinned in pin_choices(x.len(), cfg.max_constants) {
+                if pinned.is_empty() {
+                    // pure FD shape — evaluate directly
+                    if let Some(d) =
+                        check_rule(&rows, x, &[], a, cfg, &names)
+                    {
+                        push_minimal(&mut found, d);
+                    }
+                } else {
+                    // collect candidate constants per pinned position
+                    let value_lists: Vec<Vec<Value>> = pinned
+                        .iter()
+                        .map(|&pos| frequent_values(&rows, x[pos], cfg.min_support))
+                        .collect();
+                    for combo in cartesian(&value_lists) {
+                        let consts: Vec<(usize, Value)> = pinned
+                            .iter()
+                            .zip(&combo)
+                            .map(|(&pos, v)| (pos, (*v).clone()))
+                            .collect();
+                        if let Some(d) = check_rule(&rows, x, &consts, a, cfg, &names) {
+                            push_minimal(&mut found, d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found.sort_by(|a, b| a.cfd.to_string().cmp(&b.cfd.to_string()));
+    found
+}
+
+/// Keep only rules not subsumed by an existing more-general rule; also
+/// remove existing rules the new one generalizes.
+fn push_minimal(found: &mut Vec<DiscoveredVarCfd>, d: DiscoveredVarCfd) {
+    if found.iter().any(|f| subsumes(&f.cfd, &d.cfd)) {
+        return;
+    }
+    found.retain(|f| !subsumes(&d.cfd, &f.cfd));
+    found.push(d);
+}
+
+fn check_rule(
+    rows: &[Vec<Value>],
+    x: &[usize],
+    consts: &[(usize, Value)],
+    a: usize,
+    cfg: &CtaneConfig,
+    names: &[String],
+) -> Option<DiscoveredVarCfd> {
+    let mut groups: HashMap<Vec<&Value>, &Value> = HashMap::new();
+    let mut support = 0usize;
+    for row in rows {
+        // pattern match
+        if consts
+            .iter()
+            .any(|(pos, v)| !row[x[*pos]].strong_eq(v) || row[x[*pos]].is_null())
+        {
+            continue;
+        }
+        let rhs = &row[a];
+        if rhs.is_null() {
+            continue;
+        }
+        support += 1;
+        let key: Vec<&Value> = x.iter().map(|&c| &row[c]).collect();
+        match groups.get(&key) {
+            None => {
+                groups.insert(key, rhs);
+            }
+            Some(existing) => {
+                if !existing.strong_eq(rhs) {
+                    return None; // rule broken
+                }
+            }
+        }
+    }
+    if support < cfg.min_support {
+        return None;
+    }
+    let lhs: Vec<(String, Pattern)> = x
+        .iter()
+        .enumerate()
+        .map(|(pos, &c)| {
+            let pat = consts
+                .iter()
+                .find(|(p, _)| *p == pos)
+                .map(|(_, v)| Pattern::Const(v.clone()))
+                .unwrap_or(Pattern::Wild);
+            (names[c].clone(), pat)
+        })
+        .collect();
+    let cfd = Cfd::new(cfg.relation.clone(), lhs, names[a].clone(), Pattern::Wild)
+        .expect("mined rule is structurally valid");
+    Some(DiscoveredVarCfd { cfd, support })
+}
+
+fn attr_sets(arity: usize, max: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut frontier: Vec<Vec<usize>> = (0..arity).map(|c| vec![c]).collect();
+    for _ in 0..max {
+        out.extend(frontier.iter().cloned());
+        let mut next = Vec::new();
+        for s in &frontier {
+            let last = *s.last().expect("non-empty set");
+            for c in (last + 1)..arity {
+                let mut bigger = s.clone();
+                bigger.push(c);
+                next.push(bigger);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+fn pin_choices(len: usize, max_constants: usize) -> Vec<Vec<usize>> {
+    // all subsets of positions 0..len with size ≤ max_constants
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for k in 1..=max_constants.min(len) {
+        out.extend(combinations(len, k));
+    }
+    out
+}
+
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // advance
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] + (k - i) < n {
+                idx[i] += 1;
+                for j in (i + 1)..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn frequent_values(rows: &[Vec<Value>], col: usize, min_support: usize) -> Vec<Value> {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for r in rows {
+        if !r[col].is_null() {
+            *counts.entry(&r[col]).or_default() += 1;
+        }
+    }
+    let mut vals: Vec<Value> = counts
+        .into_iter()
+        .filter(|(_, n)| *n >= min_support)
+        .map(|(v, _)| v.clone())
+        .collect();
+    vals.sort_by(|a, b| a.total_cmp(b));
+    vals
+}
+
+fn cartesian<'a>(lists: &'a [Vec<Value>]) -> Vec<Vec<&'a Value>> {
+    let mut out: Vec<Vec<&Value>> = vec![Vec::new()];
+    for list in lists {
+        let mut next = Vec::with_capacity(out.len() * list.len());
+        for prefix in &out {
+            for v in list {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate_customers, CustomerConfig};
+
+    #[test]
+    fn finds_variable_rules_on_customers() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 600,
+            ..CustomerConfig::default()
+        });
+        let found = mine_variable_cfds(
+            &t,
+            &CtaneConfig {
+                max_lhs: 2,
+                max_constants: 1,
+                min_support: 50,
+                relation: "customer".into(),
+            },
+        );
+        // ZIP → CITY (pure FD shape) must be found.
+        assert!(
+            found
+                .iter()
+                .any(|d| d.cfd.rhs == "CITY" && d.cfd.lhs == vec!["ZIP".to_string()]),
+            "{:?}",
+            found.iter().map(|d| d.cfd.to_string()).collect::<Vec<_>>()
+        );
+        // CC → CNT as well.
+        assert!(found
+            .iter()
+            .any(|d| d.cfd.rhs == "CNT" && d.cfd.lhs == vec!["CC".to_string()]));
+    }
+
+    #[test]
+    fn discovers_conditional_rule_that_fails_globally() {
+        // STR is determined by ZIP only for CNT='UK' in this handcrafted
+        // table; globally the FD fails.
+        use minidb::{Schema, Table};
+        let mut t = Table::new("customer", Schema::of_strings(&["CNT", "ZIP", "STR"]));
+        for i in 0..30 {
+            // UK rows: zip z{i%3} always street s{i%3}
+            t.insert(vec![
+                Value::str("UK"),
+                Value::str(format!("z{}", i % 3)),
+                Value::str(format!("s{}", i % 3)),
+            ])
+            .unwrap();
+        }
+        for i in 0..30 {
+            // US rows: same zips, streets vary
+            t.insert(vec![
+                Value::str("US"),
+                Value::str(format!("z{}", i % 3)),
+                Value::str(format!("t{i}")),
+            ])
+            .unwrap();
+        }
+        let found = mine_variable_cfds(
+            &t,
+            &CtaneConfig {
+                max_lhs: 2,
+                max_constants: 1,
+                min_support: 10,
+                relation: "customer".into(),
+            },
+        );
+        let strs: Vec<String> = found.iter().map(|d| d.cfd.to_string()).collect();
+        // The φ2 shape: [CNT='UK', ZIP=_] -> [STR=_].
+        assert!(
+            strs.iter()
+                .any(|s| s.contains("CNT='UK'") && s.contains("ZIP=_") && s.contains("[STR=_]")),
+            "{strs:?}"
+        );
+        // And no unconditional [ZIP] -> [STR].
+        assert!(!strs.iter().any(|s| s == "customer: [ZIP=_] -> [STR=_]"));
+    }
+
+    #[test]
+    fn subsumed_specializations_are_pruned() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 500,
+            ..CustomerConfig::default()
+        });
+        let found = mine_variable_cfds(
+            &t,
+            &CtaneConfig {
+                max_lhs: 1,
+                max_constants: 1,
+                min_support: 30,
+                relation: "customer".into(),
+            },
+        );
+        // CC → CNT holds globally, so [CC='44'] -> [CNT=_] must be pruned.
+        let strs: Vec<String> = found.iter().map(|d| d.cfd.to_string()).collect();
+        assert!(strs.iter().any(|s| s == "customer: [CC=_] -> [CNT=_]"));
+        assert!(!strs.iter().any(|s| s.contains("CC='44'") && s.contains("[CNT=_]")));
+    }
+
+    #[test]
+    fn support_is_counted_per_pattern() {
+        let t = generate_customers(&CustomerConfig {
+            rows: 300,
+            ..CustomerConfig::default()
+        });
+        let found = mine_variable_cfds(
+            &t,
+            &CtaneConfig {
+                max_lhs: 1,
+                max_constants: 0,
+                min_support: 10,
+                relation: "customer".into(),
+            },
+        );
+        for d in &found {
+            assert!(d.support >= 10);
+            assert!(d.support <= 300);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Stripped partitions — the workhorse of TANE-style dependency discovery.
+//!
+//! The partition Π_X of a relation groups row positions by their values on
+//! attribute set X; an FD `X → A` holds iff refining Π_X by A does not
+//! split any class. *Stripped* partitions drop singleton classes (they can
+//! never witness a violation), keeping memory proportional to duplication.
+
+use std::collections::HashMap;
+
+use minidb::{Table, Value};
+
+/// A stripped partition: classes of row positions with ≥ 2 members, plus
+/// the total number of rows (needed for error measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Equivalence classes (each sorted, len ≥ 2), in first-seen order.
+    pub classes: Vec<Vec<u32>>,
+    /// Total rows in the relation.
+    pub n_rows: usize,
+}
+
+impl Partition {
+    /// Number of stripped classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when every class is a singleton (X is a key).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Σ |class| over stripped classes.
+    pub fn member_count(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// TANE's error `e(X) = (member_count - len) / n_rows`: 0 iff X is a
+    /// (super)key over the duplicated rows.
+    pub fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.member_count() - self.len()) as f64 / self.n_rows as f64
+    }
+}
+
+/// Build the single-attribute partition of column `col`.
+pub fn partition_by_column(table: &Table, col: usize) -> Partition {
+    let mut groups: HashMap<Value, Vec<u32>> = HashMap::new();
+    for (pos, (_, row)) in table.iter().enumerate() {
+        groups.entry(row[col].clone()).or_default().push(pos as u32);
+    }
+    strip(groups.into_values(), table.len())
+}
+
+/// Refine `base` by `other` (partition product): classes of `base` are
+/// split by the class membership in `other`. This is the standard
+/// stripped-partition product used level-by-level in TANE.
+pub fn refine(base: &Partition, other: &Partition) -> Partition {
+    // Map row → other-class id (stripped rows get a unique negative id by
+    // virtue of being absent).
+    let mut other_class: HashMap<u32, u32> = HashMap::new();
+    for (cid, class) in other.classes.iter().enumerate() {
+        for &r in class {
+            other_class.insert(r, cid as u32);
+        }
+    }
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for class in &base.classes {
+        let mut sub: HashMap<Option<u32>, Vec<u32>> = HashMap::new();
+        for (i, &r) in class.iter().enumerate() {
+            // Rows absent from `other` are singletons there; give each its
+            // own bucket (None collides, so tag by index).
+            match other_class.get(&r) {
+                Some(&cid) => sub.entry(Some(cid)).or_default().push(r),
+                None => {
+                    sub.entry(None).or_default(); // ensure key exists
+                    sub.insert(Some(u32::MAX - i as u32), vec![r]);
+                }
+            }
+        }
+        for (_, rows) in sub {
+            if rows.len() >= 2 {
+                out.push(rows);
+            }
+        }
+    }
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort();
+    Partition {
+        classes: out,
+        n_rows: base.n_rows,
+    }
+}
+
+fn strip(classes: impl Iterator<Item = Vec<u32>>, n_rows: usize) -> Partition {
+    let mut kept: Vec<Vec<u32>> = classes.filter(|c| c.len() >= 2).collect();
+    for c in &mut kept {
+        c.sort_unstable();
+    }
+    kept.sort();
+    Partition {
+        classes: kept,
+        n_rows,
+    }
+}
+
+/// Does the FD "X → col" hold, where `pi_x` is Π_X? Holds iff refining by
+/// the column splits nothing — checked directly against column values
+/// (cheaper than building the product).
+pub fn fd_holds(table: &Table, pi_x: &Partition, col: usize) -> bool {
+    let values: Vec<&Value> = table.iter().map(|(_, r)| &r[col]).collect();
+    for class in &pi_x.classes {
+        let first = values[class[0] as usize];
+        if class[1..].iter().any(|&r| !values[r as usize].strong_eq(first)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The g3 error of the FD "X → col": the minimum fraction of rows to
+/// delete for the FD to hold. 0 for exact FDs.
+pub fn g3_error(table: &Table, pi_x: &Partition, col: usize) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    let values: Vec<&Value> = table.iter().map(|(_, r)| &r[col]).collect();
+    let mut violating = 0usize;
+    for class in &pi_x.classes {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for &r in class {
+            *counts.entry(values[r as usize]).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        violating += class.len() - max;
+    }
+    violating as f64 / table.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Schema;
+
+    fn t(rows: &[[&str; 3]]) -> Table {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B", "C"]));
+        for r in rows {
+            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn single_column_partition_strips_singletons() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "2", "q"],
+            ["y", "3", "r"],
+        ]);
+        let p = partition_by_column(&table, 0);
+        assert_eq!(p.classes, vec![vec![0, 1]]); // 'y' singleton stripped
+        assert_eq!(p.n_rows, 3);
+    }
+
+    #[test]
+    fn refinement_splits_classes() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["x", "2", "r"],
+            ["y", "1", "s"],
+        ]);
+        let pa = partition_by_column(&table, 0);
+        let pb = partition_by_column(&table, 1);
+        let pab = refine(&pa, &pb);
+        // {0,1,2} (A=x) split by B: {0,1} (B=1) survives, {2} stripped.
+        assert_eq!(pab.classes, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn fd_check_via_partitions() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "1", "p"],
+            ["y", "2", "q"],
+            ["y", "2", "q"],
+        ]);
+        let pa = partition_by_column(&table, 0);
+        assert!(fd_holds(&table, &pa, 1), "A -> B holds");
+        assert!(fd_holds(&table, &pa, 2), "A -> C holds");
+        let table2 = t(&[["x", "1", "p"], ["x", "2", "p"]]);
+        let pa2 = partition_by_column(&table2, 0);
+        assert!(!fd_holds(&table2, &pa2, 1), "A -> B broken");
+    }
+
+    #[test]
+    fn g3_counts_minimum_deletions() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "1", "p"],
+            ["x", "2", "p"],
+            ["y", "9", "q"],
+        ]);
+        let pa = partition_by_column(&table, 0);
+        // Class {0,1,2}: B values {1:2, 2:1} → delete 1 row of 4.
+        assert!((g3_error(&table, &pa, 1) - 0.25).abs() < 1e-9);
+        assert_eq!(g3_error(&table, &pa, 2), 0.0);
+    }
+
+    #[test]
+    fn error_measure_tracks_duplication() {
+        let table = t(&[["x", "1", "p"], ["x", "2", "q"], ["z", "3", "r"]]);
+        let pa = partition_by_column(&table, 0);
+        // one class of 2 → (2 - 1)/3
+        assert!((pa.error() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Post-discovery validation: the Constraint Engine checks discovered rule
+//! sets for consistency before adopting them (paper §2: users are told
+//! whether the specified CFDs "make sense").
+
+use cfd::satisfiability::check_consistency;
+use cfd::{Cfd, CfdResult, Consistency, DomainSpec};
+
+/// Result of validating a discovered rule set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationOutcome {
+    /// Whether the set is jointly satisfiable.
+    pub consistent: bool,
+    /// Number of rules checked.
+    pub rules: usize,
+}
+
+/// Check a discovered rule set for joint consistency.
+pub fn validate_rules(cfds: &[Cfd], domains: &DomainSpec) -> CfdResult<ValidationOutcome> {
+    let verdict = check_consistency(cfds, domains)?;
+    Ok(ValidationOutcome {
+        consistent: matches!(verdict, Consistency::Consistent(_)),
+        rules: cfds.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfdminer::{mine_constant_cfds, MinerConfig};
+    use datagen::{generate_customers, CustomerConfig};
+
+    #[test]
+    fn rules_mined_from_real_data_are_consistent() {
+        // Anything mined with confidence 1 from an actual instance is
+        // satisfiable — that instance is a witness.
+        let t = generate_customers(&CustomerConfig {
+            rows: 300,
+            ..CustomerConfig::default()
+        });
+        let found = mine_constant_cfds(
+            &t,
+            &MinerConfig {
+                min_support: 15,
+                max_lhs: 1,
+                relation: "customer".into(),
+            },
+        );
+        let rules: Vec<_> = found.into_iter().map(|d| d.cfd).collect();
+        assert!(!rules.is_empty());
+        let v = validate_rules(&rules, &DomainSpec::all_infinite()).unwrap();
+        assert!(v.consistent);
+        assert_eq!(v.rules, rules.len());
+    }
+
+    #[test]
+    fn conflicting_manual_rules_are_flagged() {
+        let rules = cfd::parse::parse_cfds(
+            "r: [A=_] -> [B='1']\n\
+             r: [A=_] -> [B='2']",
+        )
+        .unwrap();
+        let v = validate_rules(&rules, &DomainSpec::all_infinite()).unwrap();
+        assert!(!v.consistent);
+    }
+}

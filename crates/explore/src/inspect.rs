@@ -1,0 +1,180 @@
+//! Reverse exploration (paper §3): "the user selects a tuple in the data
+//! and is provided with all CFDs and pattern tuples relevant to that tuple"
+//! — the reasons why a tuple counts as a violation, plus the conflicting
+//! witnesses a user needs to fix it manually.
+
+use cfd::{BoundCfd, Cfd, CfdResult};
+use detect::violation::{ViolationKind, ViolationReport};
+use minidb::{RowId, Table, Value};
+
+use crate::render::render_table;
+
+/// How one CFD relates to one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfdRelevance {
+    /// Index of the CFD.
+    pub cfd_idx: usize,
+    /// Display form.
+    pub cfd: String,
+    /// Whether the tuple matches the CFD's LHS pattern.
+    pub applies: bool,
+    /// Whether the tuple is involved in a violation of this CFD.
+    pub violated: bool,
+    /// Conflicting tuples (other members of a violating group whose RHS
+    /// differs; the tuple itself for single-tuple violations).
+    pub conflicts: Vec<RowId>,
+}
+
+/// Inspect a tuple: its relevant CFDs, violations and conflict witnesses.
+pub fn inspect_tuple(
+    table: &Table,
+    cfds: &[Cfd],
+    report: &ViolationReport,
+    row: RowId,
+) -> CfdResult<Vec<CfdRelevance>> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(table.schema()))
+        .collect::<CfdResult<_>>()?;
+    let row_vals: Vec<Value> = table
+        .get(row)
+        .map_err(|e| cfd::CfdError::Malformed(e.to_string()))?
+        .to_vec();
+
+    let mut out = Vec::with_capacity(cfds.len());
+    for (i, b) in bound.iter().enumerate() {
+        let applies = b.lhs_matches(&row_vals);
+        let mut violated = false;
+        let mut conflicts: Vec<RowId> = Vec::new();
+        for v in report.violations.iter().filter(|v| v.cfd_idx == i) {
+            match &v.kind {
+                ViolationKind::SingleTuple { row: r } if *r == row => {
+                    violated = true;
+                    conflicts.push(row);
+                }
+                ViolationKind::MultiTuple { rows, .. } => {
+                    if let Some((_, my_val)) = rows.iter().find(|(r, _)| *r == row) {
+                        violated = true;
+                        conflicts.extend(
+                            rows.iter()
+                                .filter(|(r, val)| *r != row && !val.strong_eq(my_val))
+                                .map(|(r, _)| *r),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        conflicts.sort();
+        conflicts.dedup();
+        out.push(CfdRelevance {
+            cfd_idx: i,
+            cfd: cfds[i].to_string(),
+            applies,
+            violated,
+            conflicts,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the inspection as an ASCII table.
+pub fn render_inspection(relevances: &[CfdRelevance]) -> String {
+    let rows: Vec<Vec<String>> = relevances
+        .iter()
+        .map(|r| {
+            vec![
+                r.cfd_idx.to_string(),
+                r.cfd.clone(),
+                if r.applies { "yes" } else { "no" }.into(),
+                if r.violated { "YES" } else { "-" }.into(),
+                if r.conflicts.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.conflicts
+                        .iter()
+                        .map(|c| c.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                },
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "#".into(),
+            "CFD".into(),
+            "applies".into(),
+            "violated".into(),
+            "conflicting rows".into(),
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd::parse::parse_cfds;
+    use detect::detect_native;
+    use minidb::Schema;
+
+    fn setup() -> (Table, Vec<Cfd>, ViolationReport) {
+        let schema = Schema::of_strings(&["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]);
+        let mut t = Table::new("customer", schema);
+        for r in [
+            ["a", "UK", "EDI", "EH4", "High St", "44", "131"],
+            ["b", "UK", "LDN", "EH4", "High St", "44", "131"],
+            ["c", "US", "NYC", "012", "Oak Ave", "44", "212"],
+        ] {
+            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+        }
+        let cfds = parse_cfds(
+            "customer: [CNT, ZIP] -> [CITY]\n\
+             customer: [CC='44'] -> [CNT='UK']",
+        )
+        .unwrap();
+        let report = detect_native(&t, &cfds).unwrap();
+        (t, cfds, report)
+    }
+
+    #[test]
+    fn inspection_explains_why_a_tuple_is_dirty() {
+        let (t, cfds, report) = setup();
+        // Row 0: multi-tuple violation of φ1, conflicting with row 1.
+        let rel = inspect_tuple(&t, &cfds, &report, RowId(0)).unwrap();
+        assert!(rel[0].violated);
+        assert_eq!(rel[0].conflicts, vec![RowId(1)]);
+        assert!(!rel[1].violated);
+        assert!(rel[1].applies, "CC='44' applies to row 0");
+
+        // Row 2: single-tuple violation of φ2 (CC=44 but CNT=US).
+        let rel = inspect_tuple(&t, &cfds, &report, RowId(2)).unwrap();
+        assert!(rel[1].violated);
+        assert!(!rel[0].violated);
+    }
+
+    #[test]
+    fn applies_flag_separates_scope_from_violation() {
+        let (t, cfds, report) = setup();
+        let rel = inspect_tuple(&t, &cfds, &report, RowId(1)).unwrap();
+        // φ2 applies to row 1 (CC=44) and is satisfied (CNT=UK).
+        assert!(rel[1].applies);
+        assert!(!rel[1].violated);
+    }
+
+    #[test]
+    fn render_produces_a_table() {
+        let (t, cfds, report) = setup();
+        let rel = inspect_tuple(&t, &cfds, &report, RowId(0)).unwrap();
+        let s = render_inspection(&rel);
+        assert!(s.contains("conflicting rows"));
+        assert!(s.contains("YES"));
+    }
+
+    #[test]
+    fn missing_row_errors() {
+        let (t, cfds, report) = setup();
+        assert!(inspect_tuple(&t, &cfds, &report, RowId(99)).is_err());
+    }
+}

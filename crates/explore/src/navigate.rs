@@ -1,0 +1,368 @@
+//! The four-step drill-down of Fig. 2: embedded FD → pattern tuple → LHS
+//! match → RHS values → tuples. Every level annotates entries with the
+//! number of violating tuples, "to guide the navigation process".
+
+use std::collections::HashMap;
+
+use cfd::dependency::group_into_tableaux;
+use cfd::{BoundCfd, Cfd, CfdResult, Tableau};
+use detect::violation::ViolationReport;
+use minidb::{RowId, Table, Value};
+
+use crate::render::render_table;
+
+/// One level-1 entry: an embedded FD with its violation total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdEntry {
+    /// Index into the session's tableaux.
+    pub idx: usize,
+    /// Display form, e.g. `[CNT, ZIP] -> [CITY]`.
+    pub fd: String,
+    /// Total violations across the tableau's pattern rows.
+    pub violations: usize,
+}
+
+/// One level-2 entry: a pattern tuple of the selected FD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternEntry {
+    /// Index of the CFD in the session's constraint set.
+    pub cfd_idx: usize,
+    /// Display form, e.g. `['UK', _ || _]`.
+    pub pattern: String,
+    /// Violations attributed to this pattern row.
+    pub violations: usize,
+}
+
+/// One level-3 entry: a distinct LHS value combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LhsEntry {
+    /// The LHS key values.
+    pub key: Vec<Value>,
+    /// Tuples carrying this key (and matching the pattern).
+    pub tuples: usize,
+    /// Number of tuples in this key-group involved in a violation of the
+    /// selected CFD.
+    pub violating: usize,
+}
+
+/// One level-4 entry: a distinct RHS value under the selected LHS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhsEntry {
+    /// The RHS value.
+    pub value: Value,
+    /// Tuples holding it.
+    pub tuples: usize,
+}
+
+/// A read-only navigation session over one detection result.
+pub struct NavigationSession<'a> {
+    table: &'a Table,
+    report: &'a ViolationReport,
+    tableaux: Vec<Tableau>,
+    bound: Vec<BoundCfd>,
+}
+
+impl<'a> NavigationSession<'a> {
+    /// Open a session.
+    pub fn new(
+        table: &'a Table,
+        cfds: &'a [Cfd],
+        report: &'a ViolationReport,
+    ) -> CfdResult<NavigationSession<'a>> {
+        let bound = cfds
+            .iter()
+            .map(|c| c.bind(table.schema()))
+            .collect::<CfdResult<Vec<_>>>()?;
+        Ok(NavigationSession {
+            table,
+            report,
+            tableaux: group_into_tableaux(cfds),
+            bound,
+        })
+    }
+
+    /// Level 1 (Fig. 2, first table): the embedded FDs.
+    pub fn fds(&self) -> Vec<FdEntry> {
+        self.tableaux
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| {
+                let violations = t
+                    .rows
+                    .iter()
+                    .map(|(_, _, cfd_idx)| self.report.per_cfd.get(cfd_idx).copied().unwrap_or(0))
+                    .sum();
+                FdEntry {
+                    idx,
+                    fd: format!(
+                        "[{}] -> [{}]",
+                        t.fd.lhs.join(", ").to_uppercase(),
+                        t.fd.rhs.to_uppercase()
+                    ),
+                    violations,
+                }
+            })
+            .collect()
+    }
+
+    /// Level 2 (second table): the pattern tuples of FD `fd_idx`.
+    pub fn patterns(&self, fd_idx: usize) -> Vec<PatternEntry> {
+        let Some(t) = self.tableaux.get(fd_idx) else {
+            return Vec::new();
+        };
+        t.rows
+            .iter()
+            .map(|(lhs, rhs, cfd_idx)| {
+                let lhs_s: Vec<String> = lhs.iter().map(|p| p.to_string()).collect();
+                PatternEntry {
+                    cfd_idx: *cfd_idx,
+                    pattern: format!("({} || {})", lhs_s.join(", "), rhs),
+                    violations: self.report.per_cfd.get(cfd_idx).copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Level 3 (third table): distinct LHS combinations matching the
+    /// pattern of CFD `cfd_idx`, with violation counts.
+    pub fn lhs_matches(&self, cfd_idx: usize) -> Vec<LhsEntry> {
+        let Some(b) = self.bound.get(cfd_idx) else {
+            return Vec::new();
+        };
+        let mut groups: HashMap<Vec<Value>, (usize, usize)> = HashMap::new();
+        for (id, row) in self.table.iter() {
+            if !b.lhs_matches(row) {
+                continue;
+            }
+            let entry = groups.entry(b.lhs_key(row)).or_default();
+            entry.0 += 1;
+            if self.row_violates_cfd(id, cfd_idx) {
+                entry.1 += 1;
+            }
+        }
+        let mut out: Vec<LhsEntry> = groups
+            .into_iter()
+            .map(|(key, (tuples, violating))| LhsEntry {
+                key,
+                tuples,
+                violating,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.violating
+                .cmp(&a.violating)
+                .then_with(|| key_str(&a.key).cmp(&key_str(&b.key)))
+        });
+        out
+    }
+
+    /// Level 4 (fourth table): distinct RHS values of tuples matching CFD
+    /// `cfd_idx` with LHS key `key`.
+    pub fn rhs_values(&self, cfd_idx: usize, key: &[Value]) -> Vec<RhsEntry> {
+        let Some(b) = self.bound.get(cfd_idx) else {
+            return Vec::new();
+        };
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for (_, row) in self.table.iter() {
+            if !b.lhs_matches(row) || b.lhs_key(row) != key {
+                continue;
+            }
+            *counts.entry(row[b.rhs_col].clone()).or_default() += 1;
+        }
+        let mut out: Vec<RhsEntry> = counts
+            .into_iter()
+            .map(|(value, tuples)| RhsEntry { value, tuples })
+            .collect();
+        out.sort_by(|a, b| {
+            b.tuples
+                .cmp(&a.tuples)
+                .then_with(|| a.value.render().cmp(&b.value.render()))
+        });
+        out
+    }
+
+    /// Level 5 (the click the paper says is "not shown"): the tuples behind
+    /// one RHS value.
+    pub fn tuples(&self, cfd_idx: usize, key: &[Value], rhs: &Value) -> Vec<(RowId, Vec<Value>)> {
+        let Some(b) = self.bound.get(cfd_idx) else {
+            return Vec::new();
+        };
+        self.table
+            .iter()
+            .filter(|(_, row)| {
+                b.lhs_matches(row) && b.lhs_key(row) == key && row[b.rhs_col].strong_eq(rhs)
+            })
+            .map(|(id, row)| (id, row.to_vec()))
+            .collect()
+    }
+
+    fn row_violates_cfd(&self, id: RowId, cfd_idx: usize) -> bool {
+        self.report
+            .violations
+            .iter()
+            .any(|v| v.cfd_idx == cfd_idx && v.rows().contains(&id))
+    }
+
+    // ------------------------------------------------------- rendering
+
+    /// Render level 1 as an ASCII table.
+    pub fn render_fds(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .fds()
+            .iter()
+            .map(|e| vec![e.idx.to_string(), e.fd.clone(), e.violations.to_string()])
+            .collect();
+        render_table(&["#".into(), "embedded FD".into(), "violations".into()], &rows)
+    }
+
+    /// Render level 2.
+    pub fn render_patterns(&self, fd_idx: usize) -> String {
+        let rows: Vec<Vec<String>> = self
+            .patterns(fd_idx)
+            .iter()
+            .map(|e| {
+                vec![
+                    e.cfd_idx.to_string(),
+                    e.pattern.clone(),
+                    e.violations.to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            &["cfd".into(), "pattern tuple".into(), "violations".into()],
+            &rows,
+        )
+    }
+
+    /// Render level 3 (top `limit` rows).
+    pub fn render_lhs(&self, cfd_idx: usize, limit: usize) -> String {
+        let Some(b) = self.bound.get(cfd_idx) else {
+            return String::new();
+        };
+        let mut headers: Vec<String> = b.cfd.lhs.to_vec();
+        headers.push("tuples".into());
+        headers.push("violating".into());
+        let rows: Vec<Vec<String>> = self
+            .lhs_matches(cfd_idx)
+            .iter()
+            .take(limit)
+            .map(|e| {
+                let mut r: Vec<String> = e.key.iter().map(Value::render).collect();
+                r.push(e.tuples.to_string());
+                r.push(e.violating.to_string());
+                r
+            })
+            .collect();
+        render_table(&headers, &rows)
+    }
+
+    /// Render level 4.
+    pub fn render_rhs(&self, cfd_idx: usize, key: &[Value]) -> String {
+        let Some(b) = self.bound.get(cfd_idx) else {
+            return String::new();
+        };
+        let rows: Vec<Vec<String>> = self
+            .rhs_values(cfd_idx, key)
+            .iter()
+            .map(|e| vec![e.value.render(), e.tuples.to_string()])
+            .collect();
+        render_table(&[b.cfd.rhs.clone(), "tuples".into()], &rows)
+    }
+}
+
+fn key_str(key: &[Value]) -> String {
+    key.iter()
+        .map(Value::render)
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd::parse::parse_cfds;
+    use detect::detect_native;
+    use minidb::Schema;
+
+    fn setup() -> (Table, Vec<Cfd>) {
+        let schema = Schema::of_strings(&["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]);
+        let mut t = Table::new("customer", schema);
+        let rows = [
+            ["a", "UK", "EDI", "EH2 4SD", "High St", "44", "131"],
+            ["b", "UK", "EDI", "EH2 4SD", "Mayfield Rd", "44", "131"],
+            ["c", "UK", "EDI", "EH2 4SD", "Crichton St", "44", "131"],
+            ["d", "UK", "LDN", "NW1 6XE", "Baker St", "44", "207"],
+            ["e", "US", "NYC", "01202", "Oak Ave", "01", "212"],
+        ];
+        for r in rows {
+            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+        }
+        let cfds = parse_cfds(
+            "customer: [CNT, ZIP] -> [STR]\n\
+             customer: [CNT='UK', ZIP=_] -> [STR=_]",
+        )
+        .unwrap();
+        (t, cfds)
+    }
+
+    #[test]
+    fn fig2_drilldown_reproduces_the_papers_walk() {
+        let (t, cfds) = setup();
+        let report = detect_native(&t, &cfds).unwrap();
+        let nav = NavigationSession::new(&t, &cfds, &report).unwrap();
+
+        // Table 1: one embedded FD [CNT, ZIP] -> [STR] with violations.
+        let fds = nav.fds();
+        assert_eq!(fds.len(), 1);
+        assert!(fds[0].violations > 0);
+
+        // Table 2: two pattern tuples; the UK one carries violations.
+        let pats = nav.patterns(0);
+        assert_eq!(pats.len(), 2);
+        let uk = pats.iter().find(|p| p.pattern.contains("'UK'")).unwrap();
+        assert!(uk.violations > 0);
+
+        // Table 3: LHS matches of the UK pattern; (UK, EH2 4SD) leads with
+        // 3 violating tuples.
+        let lhs = nav.lhs_matches(uk.cfd_idx);
+        assert_eq!(lhs[0].key, vec![Value::str("UK"), Value::str("EH2 4SD")]);
+        assert_eq!(lhs[0].tuples, 3);
+        assert_eq!(lhs[0].violating, 3);
+
+        // Table 4: exactly three distinct RHS street values (as in Fig. 2).
+        let rhs = nav.rhs_values(uk.cfd_idx, &lhs[0].key);
+        assert_eq!(rhs.len(), 3);
+
+        // Final click: tuples behind one RHS value.
+        let tuples = nav.tuples(uk.cfd_idx, &lhs[0].key, &rhs[0].value);
+        assert_eq!(tuples.len(), 1);
+    }
+
+    #[test]
+    fn clean_groups_report_zero_violations() {
+        let (t, cfds) = setup();
+        let report = detect_native(&t, &cfds).unwrap();
+        let nav = NavigationSession::new(&t, &cfds, &report).unwrap();
+        let pats = nav.patterns(0);
+        let all = pats.iter().find(|p| !p.pattern.contains("'UK'")).unwrap();
+        let lhs = nav.lhs_matches(all.cfd_idx);
+        // The US row's group and the NW1 group are clean.
+        let us = lhs
+            .iter()
+            .find(|e| e.key[0].strong_eq(&Value::str("US")))
+            .unwrap();
+        assert_eq!(us.violating, 0);
+    }
+
+    #[test]
+    fn rendering_produces_tables() {
+        let (t, cfds) = setup();
+        let report = detect_native(&t, &cfds).unwrap();
+        let nav = NavigationSession::new(&t, &cfds, &report).unwrap();
+        assert!(nav.render_fds().contains("embedded FD"));
+        assert!(nav.render_patterns(0).contains("pattern tuple"));
+        let pats = nav.patterns(0);
+        let s = nav.render_lhs(pats[0].cfd_idx, 10);
+        assert!(s.contains("violating"), "{s}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Errors produced by the storage layer, SQL front-end, planner and executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name.
+    UnknownTable(String),
+    /// No column with this name in the referenced scope.
+    UnknownColumn(String),
+    /// Column reference matches more than one input column.
+    AmbiguousColumn(String),
+    /// Lexical error in the SQL text (message, byte offset).
+    Lex(String, usize),
+    /// Syntax error in the SQL text.
+    Parse(String),
+    /// Semantic error found while planning (arity mismatch, misuse of aggregates, ...).
+    Plan(String),
+    /// Runtime evaluation error (type mismatch, division by zero, ...).
+    Eval(String),
+    /// Schema violation on write (arity, type, or NOT NULL).
+    Constraint(String),
+    /// Malformed CSV input.
+    Csv(String),
+    /// Row id does not designate a live row.
+    BadRowId(u64),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            DbError::Lex(m, off) => write!(f, "lex error at byte {off}: {m}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Csv(m) => write!(f, "csv error: {m}"),
+            DbError::BadRowId(id) => write!(f, "no live row with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenient result alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,1017 @@
+//! Plan execution: expression evaluation and materializing operators.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{DbError, DbResult};
+use crate::plan::{AggSpec, PhysExpr, PhysPlan, SortKey};
+use crate::sql::ast::{AggFn, BinOp, ScalarFn, UnOp};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Result of a query: output column names and materialized rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an output column by name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Cell by row number and column name.
+    pub fn get(&self, row: usize, column: &str) -> Option<&Value> {
+        let c = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(c))
+    }
+
+    /// Rows sorted with `Value::total_cmp` lexicographically — handy for
+    /// order-insensitive test assertions.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+/// Table access used by the executor.
+pub trait TableSource {
+    /// Look up a table by name.
+    fn table(&self, name: &str) -> DbResult<&Table>;
+}
+
+/// Execute a physical plan against `src`, producing rows.
+pub fn execute_plan(src: &dyn TableSource, plan: &PhysPlan) -> DbResult<Vec<Vec<Value>>> {
+    match plan {
+        PhysPlan::Scan { table } => {
+            let t = src.table(table)?;
+            let mut out = Vec::with_capacity(t.len());
+            for (id, row) in t.iter() {
+                let mut r = Vec::with_capacity(row.len() + 1);
+                r.extend_from_slice(row);
+                r.push(Value::Int(id.0 as i64));
+                out.push(r);
+            }
+            Ok(out)
+        }
+        PhysPlan::Values { rows } => Ok(rows.clone()),
+        PhysPlan::Filter { input, predicate } => {
+            let rows = execute_plan(src, input)?;
+            let mut out = Vec::with_capacity(rows.len() / 2 + 1);
+            for row in rows {
+                if eval(predicate, &row)?.as_bool() == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            on,
+            left_outer,
+        } => {
+            let lrows = execute_plan(src, left)?;
+            let rrows = execute_plan(src, right)?;
+            let rwidth = rrows.first().map_or(0, Vec::len);
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                let mut matched = false;
+                for rrow in &rrows {
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend_from_slice(lrow);
+                    combined.extend_from_slice(rrow);
+                    let keep = match on {
+                        Some(p) => eval(p, &combined)?.as_bool() == Some(true),
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        out.push(combined);
+                    }
+                }
+                if *left_outer && !matched {
+                    let mut combined = Vec::with_capacity(lrow.len() + rwidth);
+                    combined.extend_from_slice(lrow);
+                    combined.resize(lrow.len() + rwidth, Value::Null);
+                    out.push(combined);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            null_safe,
+            residual,
+            left_outer,
+        } => {
+            let lrows = execute_plan(src, left)?;
+            let rrows = execute_plan(src, right)?;
+            let rwidth = rrows.first().map_or(0, Vec::len);
+            // Build on the right side.
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrows.len());
+            'right: for (i, rrow) in rrows.iter().enumerate() {
+                let mut key = Vec::with_capacity(right_keys.len());
+                for (k, ns) in right_keys.iter().zip(null_safe) {
+                    let v = eval(k, rrow)?;
+                    if v.is_null() && !ns {
+                        continue 'right; // NULL never matches under `=`
+                    }
+                    key.push(v);
+                }
+                table.entry(key).or_default().push(i);
+            }
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                let mut key = Vec::with_capacity(left_keys.len());
+                let mut null_probe = false;
+                for (k, ns) in left_keys.iter().zip(null_safe) {
+                    let v = eval(k, lrow)?;
+                    if v.is_null() && !ns {
+                        null_probe = true;
+                        break;
+                    }
+                    key.push(v);
+                }
+                let mut matched = false;
+                if !null_probe {
+                    if let Some(idxs) = table.get(&key) {
+                        for &i in idxs {
+                            let rrow = &rrows[i];
+                            let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                            combined.extend_from_slice(lrow);
+                            combined.extend_from_slice(rrow);
+                            let keep = match residual {
+                                Some(p) => eval(p, &combined)?.as_bool() == Some(true),
+                                None => true,
+                            };
+                            if keep {
+                                matched = true;
+                                out.push(combined);
+                            }
+                        }
+                    }
+                }
+                if *left_outer && !matched {
+                    let mut combined = Vec::with_capacity(lrow.len() + rwidth);
+                    combined.extend_from_slice(lrow);
+                    combined.resize(lrow.len() + rwidth, Value::Null);
+                    out.push(combined);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Aggregate { input, group, aggs } => {
+            let rows = execute_plan(src, input)?;
+            run_aggregate(&rows, group, aggs)
+        }
+        PhysPlan::Sort { input, keys } => {
+            let rows = execute_plan(src, input)?;
+            sort_rows(rows, keys)
+        }
+        PhysPlan::Project { input, exprs } => {
+            let rows = execute_plan(src, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut r = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    r.push(eval(e, row)?);
+                }
+                out.push(r);
+            }
+            Ok(out)
+        }
+        PhysPlan::Distinct { input } => {
+            let rows = execute_plan(src, input)?;
+            let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = execute_plan(src, input)?;
+            let it = rows.into_iter().skip(*offset);
+            Ok(match limit {
+                Some(n) => it.take(*n).collect(),
+                None => it.collect(),
+            })
+        }
+    }
+}
+
+fn sort_rows(mut rows: Vec<Vec<Value>>, keys: &[SortKey]) -> DbResult<Vec<Vec<Value>>> {
+    // Precompute key tuples to avoid re-evaluating in the comparator.
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let mut k = Vec::with_capacity(keys.len());
+        for key in keys {
+            k.push(eval(&key.expr, &row)?);
+        }
+        keyed.push((k, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let mut o = ka[i].total_cmp(&kb[i]);
+            if !key.asc {
+                o = o.reverse();
+            }
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, row)| row).collect())
+}
+
+// ------------------------------------------------------------- aggregates
+
+#[derive(Debug)]
+enum Acc {
+    Count(i64),
+    CountDistinct(HashSet<Value>),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    SumDistinct(HashSet<Value>),
+    Avg { sum: f64, n: i64 },
+    AvgDistinct(HashSet<Value>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(spec: &AggSpec) -> Acc {
+        match (spec.func, spec.distinct) {
+            (AggFn::Count, false) => Acc::Count(0),
+            (AggFn::Count, true) => Acc::CountDistinct(HashSet::new()),
+            (AggFn::Sum, false) => Acc::Sum {
+                int: 0,
+                float: 0.0,
+                any_float: false,
+                seen: false,
+            },
+            (AggFn::Sum, true) => Acc::SumDistinct(HashSet::new()),
+            (AggFn::Avg, false) => Acc::Avg { sum: 0.0, n: 0 },
+            (AggFn::Avg, true) => Acc::AvgDistinct(HashSet::new()),
+            (AggFn::Min, _) => Acc::Min(None),
+            (AggFn::Max, _) => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> DbResult<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts rows (v is None); COUNT(e) counts non-null.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    Some(_) => {}
+                }
+            }
+            Acc::CountDistinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        set.insert(val);
+                    }
+                }
+            }
+            Acc::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *int = int.checked_add(i).ok_or_else(|| {
+                                DbError::Eval("integer overflow in SUM".into())
+                            })?;
+                            *seen = true;
+                        }
+                        Value::Float(x) => {
+                            *float += x;
+                            *any_float = true;
+                            *seen = true;
+                        }
+                        other => {
+                            return Err(DbError::Eval(format!("SUM of non-number {other}")))
+                        }
+                    }
+                }
+            }
+            Acc::SumDistinct(set) | Acc::AvgDistinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        if val.as_f64().is_none() {
+                            return Err(DbError::Eval(format!("SUM/AVG of non-number {val}")));
+                        }
+                        set.insert(val);
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val
+                            .as_f64()
+                            .ok_or_else(|| DbError::Eval(format!("AVG of non-number {val}")))?;
+                        *sum += x;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => val.total_cmp(c) == std::cmp::Ordering::Less,
+                        };
+                        if replace {
+                            *cur = Some(val);
+                        }
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => val.total_cmp(c) == std::cmp::Ordering::Greater,
+                        };
+                        if replace {
+                            *cur = Some(val);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::CountDistinct(set) => Value::Int(set.len() as i64),
+            Acc::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Float(float + int as f64)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            Acc::SumDistinct(set) => {
+                if set.is_empty() {
+                    Value::Null
+                } else if set.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Value::Int(set.iter().map(|v| v.as_int().unwrap()).sum())
+                } else {
+                    Value::Float(set.iter().map(|v| v.as_f64().unwrap()).sum())
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::AvgDistinct(set) => {
+                if set.is_empty() {
+                    Value::Null
+                } else {
+                    let n = set.len() as f64;
+                    Value::Float(set.iter().map(|v| v.as_f64().unwrap()).sum::<f64>() / n)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn run_aggregate(
+    rows: &[Vec<Value>],
+    group: &[PhysExpr],
+    aggs: &[AggSpec],
+) -> DbResult<Vec<Vec<Value>>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(group.len());
+        for g in group {
+            key.push(eval(g, row)?);
+        }
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(Acc::new).collect())
+            }
+        };
+        for (acc, spec) in accs.iter_mut().zip(aggs) {
+            let v = match &spec.arg {
+                Some(e) => Some(eval(e, row)?),
+                None => None,
+            };
+            acc.update(v)?;
+        }
+    }
+    // Global aggregate over an empty input still yields one row.
+    if group.is_empty() && groups.is_empty() {
+        let accs: Vec<Acc> = aggs.iter().map(Acc::new).collect();
+        let row: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group key present");
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ expressions
+
+/// Evaluate an expression against a row. NULL propagates per SQL 3VL.
+pub fn eval(expr: &PhysExpr, row: &[Value]) -> DbResult<Value> {
+    match expr {
+        PhysExpr::Literal(v) => Ok(v.clone()),
+        PhysExpr::Col(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| DbError::Eval(format!("column index {i} out of range"))),
+        PhysExpr::Unary { op, expr } => {
+            let v = eval(expr, row)?;
+            match op {
+                UnOp::Not => Ok(match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None if v.is_null() => Value::Null,
+                    None => return Err(DbError::Eval(format!("NOT of non-boolean {v}"))),
+                }),
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(DbError::Eval(format!("negation of non-number {other}"))),
+                },
+            }
+        }
+        PhysExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+        PhysExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, row)?;
+                match v.sql_eq(&w) {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        PhysExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            let p = eval(pattern, row)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let (Some(s), Some(pat)) = (v.as_str(), p.as_str()) else {
+                return Err(DbError::Eval("LIKE requires strings".into()));
+            };
+            Ok(Value::Bool(like_match(s, pat) != *negated))
+        }
+        PhysExpr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            let l = eval(lo, row)?;
+            let h = eval(hi, row)?;
+            let ge = cmp_ge(&v, &l);
+            let le = cmp_le(&v, &h);
+            let both = and3(ge, le);
+            Ok(match both {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        PhysExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let op_val = match operand {
+                Some(o) => Some(eval(o, row)?),
+                None => None,
+            };
+            for (when, then) in branches {
+                let hit = match &op_val {
+                    Some(v) => {
+                        let w = eval(when, row)?;
+                        v.sql_eq(&w) == Some(true)
+                    }
+                    None => eval(when, row)?.as_bool() == Some(true),
+                };
+                if hit {
+                    return eval(then, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        PhysExpr::Func { func, args } => eval_func(*func, args, row),
+    }
+}
+
+fn cmp_ge(a: &Value, b: &Value) -> Option<bool> {
+    a.sql_cmp(b).map(|o| o != std::cmp::Ordering::Less)
+}
+
+fn cmp_le(a: &Value, b: &Value) -> Option<bool> {
+    a.sql_cmp(b).map(|o| o != std::cmp::Ordering::Greater)
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn to3(v: &Value) -> DbResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(DbError::Eval(format!("expected boolean, got {other}"))),
+    }
+}
+
+fn from3(b: Option<bool>) -> Value {
+    match b {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn eval_binary(op: BinOp, left: &PhysExpr, right: &PhysExpr, row: &[Value]) -> DbResult<Value> {
+    // Short-circuit logical operators first.
+    match op {
+        BinOp::And => {
+            let l = to3(&eval(left, row)?)?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = to3(&eval(right, row)?)?;
+            return Ok(from3(and3(l, r)));
+        }
+        BinOp::Or => {
+            let l = to3(&eval(left, row)?)?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = to3(&eval(right, row)?)?;
+            return Ok(from3(or3(l, r)));
+        }
+        _ => {}
+    }
+    let l = eval(left, row)?;
+    let r = eval(right, row)?;
+    match op {
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        BinOp::Eq => Ok(from3(l.sql_eq(&r))),
+        BinOp::NotEq => Ok(from3(l.sql_eq(&r).map(|b| !b))),
+        BinOp::NullSafeEq => Ok(Value::Bool(l.strong_eq(&r))),
+        BinOp::Lt => Ok(from3(
+            l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less),
+        )),
+        BinOp::LtEq => Ok(from3(cmp_le(&l, &r))),
+        BinOp::Gt => Ok(from3(
+            l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater),
+        )),
+        BinOp::GtEq => Ok(from3(cmp_ge(&l, &r))),
+        BinOp::Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::str(format!("{l}{r}")))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            arith(op, &l, &r)
+        }
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let res = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(DbError::Eval("modulo by zero".into()));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!("arith ops only"),
+            };
+            res.map(Value::Int)
+                .ok_or_else(|| DbError::Eval("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(DbError::Eval(format!(
+                    "arithmetic on non-numbers: {l} and {r}"
+                )));
+            };
+            let res = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => a % b,
+                _ => unreachable!("arith ops only"),
+            };
+            Ok(Value::Float(res))
+        }
+    }
+}
+
+fn eval_func(func: ScalarFn, args: &[PhysExpr], row: &[Value]) -> DbResult<Value> {
+    match func {
+        ScalarFn::Coalesce => {
+            for a in args {
+                let v = eval(a, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFn::Upper | ScalarFn::Lower => {
+            let v = eval(arg1(args)?, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::str(if func == ScalarFn::Upper {
+                    s.to_uppercase()
+                } else {
+                    s.to_lowercase()
+                })),
+                other => Err(DbError::Eval(format!("{func:?} of non-string {other}"))),
+            }
+        }
+        ScalarFn::Length => {
+            let v = eval(arg1(args)?, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(DbError::Eval(format!("LENGTH of non-string {other}"))),
+            }
+        }
+        ScalarFn::Abs => {
+            let v = eval(arg1(args)?, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(DbError::Eval(format!("ABS of non-number {other}"))),
+            }
+        }
+    }
+}
+
+fn arg1(args: &[PhysExpr]) -> DbResult<&PhysExpr> {
+    if args.len() == 1 {
+        Ok(&args[0])
+    } else {
+        Err(DbError::Eval(format!(
+            "function expects 1 argument, got {}",
+            args.len()
+        )))
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any char); case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                if p.is_empty() {
+                    return true;
+                }
+                (0..=s.len()).any(|i| rec(&s[i..], p))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> PhysExpr {
+        PhysExpr::Literal(v.into())
+    }
+
+    fn b(op: BinOp, l: PhysExpr, r: PhysExpr) -> PhysExpr {
+        PhysExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn three_valued_logic_and_or() {
+        let null = lit(Value::Null);
+        let t = lit(true);
+        let f = lit(false);
+        // FALSE AND NULL = FALSE
+        assert_eq!(
+            eval(&b(BinOp::And, f.clone(), null.clone()), &[]).unwrap(),
+            Value::Bool(false)
+        );
+        // TRUE AND NULL = NULL
+        assert_eq!(
+            eval(&b(BinOp::And, t.clone(), null.clone()), &[]).unwrap(),
+            Value::Null
+        );
+        // TRUE OR NULL = TRUE
+        assert_eq!(
+            eval(&b(BinOp::Or, t, null.clone()), &[]).unwrap(),
+            Value::Bool(true)
+        );
+        // FALSE OR NULL = NULL
+        assert_eq!(eval(&b(BinOp::Or, f, null), &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_safe_eq_vs_eq() {
+        let null = lit(Value::Null);
+        assert_eq!(
+            eval(&b(BinOp::Eq, null.clone(), null.clone()), &[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&b(BinOp::NullSafeEq, null.clone(), null), &[]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(eval(&b(BinOp::Div, lit(1i64), lit(0i64)), &[]).is_err());
+        assert_eq!(
+            eval(&b(BinOp::Div, lit(7i64), lit(2i64)), &[]).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%o"));
+        assert!(like_match("hello", "_ello"));
+        assert!(!like_match("hello", "h_o"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("a%c", "a%c")); // literal via itself
+        assert!(like_match("EH2 4SD", "EH%"));
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        // 1 IN (2, NULL) => NULL; 1 IN (1, NULL) => TRUE
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(1i64)),
+            list: vec![lit(2i64), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &[]).unwrap(), Value::Null);
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(1i64)),
+            list: vec![lit(1i64), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_searched_and_operand_forms() {
+        // CASE WHEN false THEN 1 ELSE 2 END
+        let e = PhysExpr::Case {
+            operand: None,
+            branches: vec![(lit(false), lit(1i64))],
+            else_expr: Some(Box::new(lit(2i64))),
+        };
+        assert_eq!(eval(&e, &[]).unwrap(), Value::Int(2));
+        // CASE 'x' WHEN 'x' THEN 1 END
+        let e = PhysExpr::Case {
+            operand: Some(Box::new(lit("x"))),
+            branches: vec![(lit("x"), lit(1i64))],
+            else_expr: None,
+        };
+        assert_eq!(eval(&e, &[]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        let e = PhysExpr::Func {
+            func: ScalarFn::Coalesce,
+            args: vec![lit(Value::Null), lit("x"), lit("y")],
+        };
+        assert_eq!(eval(&e, &[]).unwrap(), Value::str("x"));
+    }
+
+    #[test]
+    fn aggregate_count_and_count_distinct() {
+        let rows = vec![
+            vec![Value::str("a")],
+            vec![Value::str("a")],
+            vec![Value::str("b")],
+            vec![Value::Null],
+        ];
+        let aggs = vec![
+            AggSpec {
+                func: AggFn::Count,
+                arg: None,
+                distinct: false,
+            },
+            AggSpec {
+                func: AggFn::Count,
+                arg: Some(PhysExpr::Col(0)),
+                distinct: false,
+            },
+            AggSpec {
+                func: AggFn::Count,
+                arg: Some(PhysExpr::Col(0)),
+                distinct: true,
+            },
+        ];
+        let out = run_aggregate(&rows, &[], &aggs).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(4), Value::Int(3), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn aggregate_empty_input_global_row() {
+        let aggs = vec![
+            AggSpec {
+                func: AggFn::Count,
+                arg: None,
+                distinct: false,
+            },
+            AggSpec {
+                func: AggFn::Sum,
+                arg: Some(PhysExpr::Col(0)),
+                distinct: false,
+            },
+            AggSpec {
+                func: AggFn::Min,
+                arg: Some(PhysExpr::Col(0)),
+                distinct: false,
+            },
+        ];
+        let out = run_aggregate(&[], &[], &aggs).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
+    }
+
+    #[test]
+    fn aggregate_group_keys_include_null_group() {
+        let rows = vec![
+            vec![Value::str("x"), Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Null, Value::Int(3)],
+        ];
+        let group = vec![PhysExpr::Col(0)];
+        let aggs = vec![AggSpec {
+            func: AggFn::Count,
+            arg: None,
+            distinct: false,
+        }];
+        let out = run_aggregate(&rows, &group, &aggs).unwrap();
+        assert_eq!(out.len(), 2);
+        // NULL group aggregated together
+        let null_group = out.iter().find(|r| r[0].is_null()).unwrap();
+        assert_eq!(null_group[1], Value::Int(2));
+    }
+
+    #[test]
+    fn sum_int_stays_int_mixed_becomes_float() {
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let aggs = vec![AggSpec {
+            func: AggFn::Sum,
+            arg: Some(PhysExpr::Col(0)),
+            distinct: false,
+        }];
+        let out = run_aggregate(&rows, &[], &aggs).unwrap();
+        assert_eq!(out[0][0], Value::Int(3));
+        let rows = vec![vec![Value::Int(1)], vec![Value::Float(0.5)]];
+        let out = run_aggregate(&rows, &[], &aggs).unwrap();
+        assert_eq!(out[0][0], Value::Float(1.5));
+    }
+}

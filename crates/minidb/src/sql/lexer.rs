@@ -1,0 +1,353 @@
+//! Hand-rolled SQL lexer.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognised case-insensitively and carried as
+/// upper-cased `Keyword`s; identifiers keep their original spelling.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// SQL keyword (upper-cased).
+    Keyword(String),
+    /// Identifier (bare or `"quoted"`).
+    Ident(String),
+    /// String literal (quotes stripped, `''` unescaped).
+    StrLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET",
+    "AS", "AND", "OR", "NOT", "NULL", "IS", "IN", "LIKE", "BETWEEN", "DISTINCT", "ALL", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "INDEX",
+    "PRIMARY", "KEY", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE", "INT", "INTEGER",
+    "BIGINT", "TEXT", "VARCHAR", "CHAR", "STRING", "DOUBLE", "FLOAT", "REAL", "BOOL", "BOOLEAN",
+    "IF", "EXISTS", "UNIQUE", "COALESCE", "UPPER", "LOWER", "LENGTH", "ABS",
+];
+
+/// Tokenize `src` into a vector ending with an `Eof` token.
+pub fn tokenize(src: &str) -> DbResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 4 + 4);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '(' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::LParen)
+            }
+            ')' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::RParen)
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Comma)
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Dot)
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Semicolon)
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Star)
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Plus)
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Minus)
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Slash)
+            }
+            '%' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Percent)
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Symbol(Symbol::Eq)
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Symbol(Symbol::NotEq)
+                } else {
+                    return Err(DbError::Lex("unexpected '!'".into(), i));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    i += 2;
+                    TokenKind::Symbol(Symbol::LtEq)
+                }
+                Some(&b'>') => {
+                    i += 2;
+                    TokenKind::Symbol(Symbol::NotEq)
+                }
+                _ => {
+                    i += 1;
+                    TokenKind::Symbol(Symbol::Lt)
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Symbol(Symbol::GtEq)
+                } else {
+                    i += 1;
+                    TokenKind::Symbol(Symbol::Gt)
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    TokenKind::Symbol(Symbol::Concat)
+                } else {
+                    return Err(DbError::Lex("unexpected '|'".into(), i));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Lex("unterminated string".into(), start)),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance over one UTF-8 scalar.
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                TokenKind::StrLit(s)
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(DbError::Lex("unterminated identifier".into(), start))
+                        }
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < bytes.len() && bytes[j] == b'.' && {
+                    // Distinguish `1.5` from `1.` followed by something odd.
+                    j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit()
+                } {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[i..j];
+                i = j;
+                if is_float {
+                    TokenKind::FloatLit(
+                        text.parse()
+                            .map_err(|_| DbError::Lex(format!("bad float {text}"), start))?,
+                    )
+                } else {
+                    TokenKind::IntLit(
+                        text.parse()
+                            .map_err(|_| DbError::Lex(format!("bad int {text}"), start))?,
+                    )
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = bytes[j] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..j];
+                i = j;
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_string())
+                }
+            }
+            other => {
+                return Err(DbError::Lex(format!("unexpected character {other:?}"), i));
+            }
+        };
+        out.push(Token {
+            kind,
+            offset: start,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_idents_and_symbols() {
+        let ks = kinds("SELECT a.b, c FROM t WHERE x <> 1.5");
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("a".into()));
+        assert_eq!(ks[2], TokenKind::Symbol(Symbol::Dot));
+        assert!(matches!(&ks[10], TokenKind::Symbol(Symbol::NotEq)));
+        assert_eq!(ks[11], TokenKind::FloatLit(1.5));
+    }
+
+    #[test]
+    fn string_escape_doubles_quotes() {
+        let ks = kinds("'O''Hara'");
+        assert_eq!(ks[0], TokenKind::StrLit("O'Hara".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case_and_keywords() {
+        let ks = kinds("\"SELECT\"");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let ks = kinds("1 -- hello\n 2");
+        assert_eq!(ks[0], TokenKind::IntLit(1));
+        assert_eq!(ks[1], TokenKind::IntLit(2));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let ks = kinds("select Select SELECT");
+        for k in &ks[..3] {
+            assert_eq!(*k, TokenKind::Keyword("SELECT".into()));
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_floats() {
+        let ks = kinds("1e3 2.5E-2");
+        assert_eq!(ks[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(ks[1], TokenKind::FloatLit(0.025));
+    }
+}

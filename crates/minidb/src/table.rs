@@ -1,0 +1,221 @@
+//! Row storage with stable row ids.
+//!
+//! Rows live in an append-only arena; deletes leave tombstones so a `RowId`
+//! handed out once stays valid for the lifetime of the table (it either
+//! designates the same logical row or nothing). Stable ids are what lets the
+//! error detector attribute violations to tuples and the repair engine edit
+//! cells in place — mirroring how Semandaq keys violations by physical row.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Stable identifier of a row within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// The arena slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A heap table: schema + tombstoned row arena.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Option<Vec<Value>>>,
+    live: usize,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff there are no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of arena slots (live + tombstones); row ids are `< capacity`.
+    pub fn arena_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Insert a row (validated against the schema); returns its stable id.
+    pub fn insert(&mut self, row: Vec<Value>) -> DbResult<RowId> {
+        let row = self.schema.check_row(row)?;
+        let id = RowId(self.rows.len() as u64);
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: RowId) -> DbResult<&[Value]> {
+        self.rows
+            .get(id.index())
+            .and_then(|r| r.as_deref())
+            .ok_or(DbError::BadRowId(id.0))
+    }
+
+    /// Fetch a single cell of a live row.
+    pub fn cell(&self, id: RowId, col: usize) -> DbResult<&Value> {
+        let row = self.get(id)?;
+        row.get(col)
+            .ok_or_else(|| DbError::UnknownColumn(format!("column index {col}")))
+    }
+
+    /// Delete a live row; returns the removed values.
+    pub fn delete(&mut self, id: RowId) -> DbResult<Vec<Value>> {
+        let slot = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(DbError::BadRowId(id.0))?;
+        let row = slot.take().ok_or(DbError::BadRowId(id.0))?;
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Overwrite one cell of a live row; returns the previous value.
+    pub fn update_cell(&mut self, id: RowId, col: usize, value: Value) -> DbResult<Value> {
+        let dtype = self.schema.column(col).dtype;
+        let nullable = self.schema.column(col).nullable;
+        if value.is_null() && !nullable {
+            return Err(DbError::Constraint(format!(
+                "NULL in NOT NULL column {}",
+                self.schema.column(col).name
+            )));
+        }
+        let value = value.coerce(dtype)?;
+        let slot = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(DbError::BadRowId(id.0))?;
+        let row = slot.as_mut().ok_or(DbError::BadRowId(id.0))?;
+        Ok(std::mem::replace(&mut row[col], value))
+    }
+
+    /// Replace a whole live row; returns the previous values.
+    pub fn update_row(&mut self, id: RowId, row: Vec<Value>) -> DbResult<Vec<Value>> {
+        let row = self.schema.check_row(row)?;
+        let slot = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(DbError::BadRowId(id.0))?;
+        let old = slot.as_mut().ok_or(DbError::BadRowId(id.0))?;
+        Ok(std::mem::replace(old, row))
+    }
+
+    /// Iterate live rows as `(id, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|row| (RowId(i as u64), row)))
+    }
+
+    /// All live row ids, in arena order.
+    pub fn row_ids(&self) -> Vec<RowId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// True iff `id` designates a live row.
+    pub fn contains(&self, id: RowId) -> bool {
+        self.rows.get(id.index()).map_or(false, Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ])
+        .unwrap();
+        Table::new("t", schema)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = t();
+        let id = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::str("a"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn row_ids_stay_stable_across_deletes() {
+        let mut t = t();
+        let a = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::str("b")]).unwrap();
+        let c = t.insert(vec![Value::Int(3), Value::str("c")]).unwrap();
+        t.delete(b).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.get(b).is_err());
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+        assert_eq!(t.get(c).unwrap()[0], Value::Int(3));
+        // New inserts never reuse a tombstoned id.
+        let d = t.insert(vec![Value::Int(4), Value::str("d")]).unwrap();
+        assert_ne!(d, b);
+    }
+
+    #[test]
+    fn double_delete_fails() {
+        let mut t = t();
+        let a = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        t.delete(a).unwrap();
+        assert!(t.delete(a).is_err());
+    }
+
+    #[test]
+    fn update_cell_enforces_type() {
+        let mut t = t();
+        let a = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        assert!(t.update_cell(a, 0, Value::str("oops")).is_err());
+        let old = t.update_cell(a, 1, Value::str("z")).unwrap();
+        assert_eq!(old, Value::str("a"));
+        assert_eq!(t.get(a).unwrap()[1], Value::str("z"));
+    }
+
+    #[test]
+    fn iter_skips_tombstones_in_order() {
+        let mut t = t();
+        let ids: Vec<_> = (0..5)
+            .map(|i| t.insert(vec![Value::Int(i), Value::str("x")]).unwrap())
+            .collect();
+        t.delete(ids[1]).unwrap();
+        t.delete(ids[3]).unwrap();
+        let got: Vec<i64> = t.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+}

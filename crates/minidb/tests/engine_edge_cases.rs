@@ -1,0 +1,146 @@
+//! Edge-case integration tests for the SQL engine: NULL ordering, LEFT
+//! JOIN with null-safe keys, LIKE specials, expression errors surfacing,
+//! and catalog churn.
+
+use minidb::{Database, DbError, ExecOutcome, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a TEXT, n INT, f DOUBLE)").unwrap();
+    db.execute(
+        "INSERT INTO t VALUES ('x', 1, 1.5), ('y', NULL, 2.5), (NULL, 3, NULL), ('x', 4, 0.5)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn order_by_places_nulls_first_asc_last_desc() {
+    let db = db();
+    let r = db.query("SELECT n FROM t ORDER BY n").unwrap();
+    assert!(r.rows[0][0].is_null());
+    assert_eq!(r.rows[3][0], Value::Int(4));
+    let r = db.query("SELECT n FROM t ORDER BY n DESC").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(4));
+    assert!(r.rows[3][0].is_null());
+}
+
+#[test]
+fn left_join_with_null_safe_key_matches_nulls() {
+    let mut db = db();
+    db.execute("CREATE TABLE u (a TEXT, tag TEXT)").unwrap();
+    db.execute("INSERT INTO u VALUES ('x', 'ex'), (NULL, 'nul')")
+        .unwrap();
+    // Plain equality: NULL never joins.
+    let r = db
+        .query("SELECT t.a, u.tag FROM t LEFT JOIN u ON t.a = u.a ORDER BY 2 DESC")
+        .unwrap();
+    let null_row = r.rows.iter().find(|row| row[0].is_null()).unwrap();
+    assert!(null_row[1].is_null(), "= must not match NULL");
+    // Null-safe equality: NULLs pair up.
+    let r = db
+        .query("SELECT t.a, u.tag FROM t JOIN u ON t.a IS NOT DISTINCT FROM u.a")
+        .unwrap();
+    assert!(r
+        .rows
+        .iter()
+        .any(|row| row[0].is_null() && row[1] == Value::str("nul")));
+}
+
+#[test]
+fn like_handles_literal_special_chars_and_unicode() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE s (v TEXT)").unwrap();
+    db.execute("INSERT INTO s VALUES ('50% off'), ('a_b'), ('東京都'), ('plain')")
+        .unwrap();
+    // % and _ are wildcards (no escape support — documented subset).
+    let r = db.query("SELECT v FROM s WHERE v LIKE '50%'").unwrap();
+    assert_eq!(r.len(), 1);
+    let r = db.query("SELECT v FROM s WHERE v LIKE 'a_b'").unwrap();
+    assert_eq!(r.len(), 1);
+    let r = db.query("SELECT v FROM s WHERE v LIKE '東%'").unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn division_by_zero_surfaces_as_eval_error() {
+    let db = db();
+    let e = db.query("SELECT n / 0 FROM t WHERE n IS NOT NULL");
+    assert!(matches!(e, Err(DbError::Eval(_))), "{e:?}");
+    // NULL / 0 short-circuits to NULL before the division runs.
+    let r = db.query("SELECT n / 0 FROM t WHERE n IS NULL").unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn aggregate_over_floats_and_ints_mixes_correctly() {
+    let db = db();
+    let r = db
+        .query("SELECT SUM(n) AS sn, SUM(f) AS sf, AVG(n) AS an FROM t")
+        .unwrap();
+    assert_eq!(r.get(0, "sn").unwrap(), &Value::Int(8));
+    assert_eq!(r.get(0, "sf").unwrap(), &Value::Float(4.5));
+    // AVG ignores NULLs: (1 + 3 + 4) / 3
+    let av = r.get(0, "an").unwrap().as_f64().unwrap();
+    assert!((av - 8.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn drop_and_recreate_table_resets_rowids() {
+    let mut db = db();
+    db.execute("DROP TABLE t").unwrap();
+    assert!(matches!(
+        db.query("SELECT * FROM t"),
+        Err(DbError::UnknownTable(_))
+    ));
+    db.execute("CREATE TABLE t (a TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('fresh')").unwrap();
+    let r = db.query("SELECT __rowid FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn update_with_self_referencing_expression() {
+    let mut db = db();
+    let n = db
+        .execute("UPDATE t SET n = n + 10 WHERE n IS NOT NULL")
+        .unwrap();
+    assert_eq!(n, ExecOutcome::Affected(3));
+    let r = db
+        .query("SELECT MIN(n) AS lo, MAX(n) AS hi FROM t")
+        .unwrap();
+    assert_eq!(r.get(0, "lo").unwrap(), &Value::Int(11));
+    assert_eq!(r.get(0, "hi").unwrap(), &Value::Int(14));
+}
+
+#[test]
+fn distinct_treats_null_groups_as_equal() {
+    let db = db();
+    let r = db.query("SELECT DISTINCT a FROM t").unwrap();
+    // 'x', 'y', NULL — NULL appears exactly once.
+    assert_eq!(r.len(), 3);
+    assert_eq!(r.rows.iter().filter(|row| row[0].is_null()).count(), 1);
+}
+
+#[test]
+fn having_filters_on_unprojected_aggregate() {
+    let db = db();
+    // HAVING references COUNT(*) which is not in the projection.
+    let r = db
+        .query("SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::str("x"));
+}
+
+#[test]
+fn explain_renders_plan_tree() {
+    let db = db();
+    let plan = db
+        .plan("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY 2 DESC LIMIT 1")
+        .unwrap();
+    let s = plan.plan.explain();
+    for op in ["Limit", "Project", "Sort", "Aggregate", "Scan t"] {
+        assert!(s.contains(op), "missing {op} in:\n{s}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Ranked alternative fixes for a cell (the pop-up of Fig. 5): candidate
+//! values from the column's active domain, ordered by the cost model, each
+//! annotated with whether it keeps the tuple free of constant-CFD
+//! violations.
+
+use cfd::{BoundCfd, Cfd, CfdResult};
+use minidb::{Database, DbError, RowId, Value};
+
+use crate::cost::{normalized_distance, WeightModel};
+
+fn db_err(e: DbError) -> cfd::CfdError {
+    cfd::CfdError::Malformed(format!("alternatives failed: {e}"))
+}
+
+/// One candidate fix for a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// Proposed value.
+    pub value: Value,
+    /// Cost of changing the *original* value to this one.
+    pub cost: f64,
+    /// Whether the tuple would satisfy every constant CFD afterwards.
+    pub consistent: bool,
+}
+
+/// Rank up to `k` alternative values for cell `(row, col)`, cheapest first.
+/// The current value is excluded; `original` (the pre-repair value, if the
+/// cell was changed) is the distance baseline.
+pub fn alternatives_for(
+    db: &Database,
+    relation: &str,
+    cfds: &[Cfd],
+    row: RowId,
+    col: usize,
+    original: &Value,
+    weights: &WeightModel,
+    k: usize,
+) -> CfdResult<Vec<Alternative>> {
+    let table = db.table(relation).map_err(db_err)?;
+    let schema = table.schema().clone();
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(&schema))
+        .collect::<CfdResult<_>>()?;
+    let current: Vec<Value> = table.get(row).map_err(db_err)?.to_vec();
+
+    // Candidate pool: active domain of the column plus the original value.
+    let mut pool: Vec<Value> = Vec::new();
+    for (_, r) in table.iter() {
+        let v = &r[col];
+        if v.is_null() || v.strong_eq(&current[col]) {
+            continue;
+        }
+        if !pool.iter().any(|p| p.strong_eq(v)) {
+            pool.push(v.clone());
+        }
+    }
+    if !original.is_null()
+        && !original.strong_eq(&current[col])
+        && !pool.iter().any(|p| p.strong_eq(original))
+    {
+        pool.push(original.clone());
+    }
+
+    let mut alts: Vec<Alternative> = pool
+        .into_iter()
+        .map(|v| {
+            let mut sim = current.clone();
+            sim[col] = v.clone();
+            let consistent = !bound.iter().any(|b| b.single_tuple_violation(&sim));
+            let cost = weights.weight(row, col) * normalized_distance(original, &v);
+            Alternative {
+                value: v,
+                cost,
+                consistent,
+            }
+        })
+        .collect();
+    // Consistent candidates first, then by cost, then lexicographically.
+    alts.sort_by(|a, b| {
+        b.consistent
+            .cmp(&a.consistent)
+            .then(a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+            .then_with(|| a.value.render().cmp(&b.value.render()))
+    });
+    alts.truncate(k);
+    Ok(alts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd::parse::parse_cfds;
+
+    fn setup() -> (Database, Vec<Cfd>) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE customer (NAME TEXT, CNT TEXT, CITY TEXT, ZIP TEXT, STR TEXT, CC TEXT, AC TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO customer VALUES \
+             ('a','UK','EDI','EH4','Mayfield Rd','44','131'), \
+             ('b','UK','LDN','NW1','Baker St','44','207'), \
+             ('c','US','NYC','012','Oak Ave','01','212')",
+        )
+        .unwrap();
+        let cfds = parse_cfds("customer: [CC='44'] -> [CNT='UK']").unwrap();
+        (db, cfds)
+    }
+
+    #[test]
+    fn alternatives_are_ranked_by_cost_from_original() {
+        let (db, cfds) = setup();
+        // Cell (row 0, CITY=2): original 'EDG' (a typo of EDI).
+        let alts = alternatives_for(
+            &db,
+            "customer",
+            &cfds,
+            RowId(0),
+            2,
+            &Value::str("EDG"),
+            &WeightModel::uniform(),
+            5,
+        )
+        .unwrap();
+        assert!(!alts.is_empty());
+        // The most similar city to 'EDG' among {LDN, NYC} + original…
+        // 'EDG' itself is in the pool (the original), cost 0.
+        assert_eq!(alts[0].value, Value::str("EDG"));
+        assert_eq!(alts[0].cost, 0.0);
+    }
+
+    #[test]
+    fn inconsistent_candidates_sink_to_the_bottom() {
+        let (db, cfds) = setup();
+        // Cell (row 2, CNT=1) with CC='01': changing CNT is free w.r.t. the
+        // only rule (it fires on CC='44'), so everything is consistent; but
+        // for row 0 (CC='44') any CNT ≠ UK is inconsistent.
+        let alts = alternatives_for(
+            &db,
+            "customer",
+            &cfds,
+            RowId(0),
+            1,
+            &Value::str("UK"),
+            &WeightModel::uniform(),
+            5,
+        )
+        .unwrap();
+        for a in &alts {
+            if a.value.strong_eq(&Value::str("US")) {
+                assert!(!a.consistent, "US conflicts with [CC='44'] -> [CNT='UK']");
+            }
+        }
+        // All inconsistent ones come after consistent ones.
+        let first_incons = alts.iter().position(|a| !a.consistent);
+        if let Some(i) = first_incons {
+            assert!(alts[i..].iter().all(|a| !a.consistent));
+        }
+    }
+
+    #[test]
+    fn respects_k_limit() {
+        let (db, cfds) = setup();
+        let alts = alternatives_for(
+            &db,
+            "customer",
+            &cfds,
+            RowId(0),
+            4,
+            &Value::str("High St"),
+            &WeightModel::uniform(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(alts.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! A tiny interactive SQL shell over the `minidb` substrate — handy for
+//! poking at the customer data and the relational tableau encodings that
+//! the detection queries run against.
+//!
+//! ```sh
+//! echo "SELECT cnt, COUNT(*) AS n FROM customer GROUP BY cnt ORDER BY n DESC;" \
+//!   | cargo run --example sql_shell
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use semandaq::datagen::dirty_customers;
+use semandaq::explore::render_table;
+use semandaq::minidb::ExecOutcome;
+use semandaq::system::QualityServer;
+
+fn main() {
+    // Pre-load a dirty customer table plus the CFD tableaux so there is
+    // something interesting to query.
+    let w = dirty_customers(500, 0.05, 123);
+    let mut server = QualityServer::new(w.db, "customer").unwrap();
+    server
+        .register_cfds(semandaq::datagen::customer::CANONICAL_CFDS)
+        .unwrap();
+    // Materialize the pattern tableaux as queryable relations, then take
+    // the database out of the server for direct SQL access.
+    let tableaux = server.store_tableaux().unwrap();
+    println!("tableau tables: {tableaux:?}");
+    let (mut db, _, _) = server.into_parts();
+    db.execute("CREATE TABLE IF NOT EXISTS scratch (k TEXT, v TEXT)")
+        .unwrap();
+
+    println!("minidb shell — tables: {:?}", db.table_names());
+    println!("end statements with ';'. Ctrl-D to exit.");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("sql> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !line.trim_end().ends_with(';') {
+            print!("...> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        let sql = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        if sql.is_empty() {
+            print!("sql> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        match db.execute(&sql) {
+            Ok(ExecOutcome::Rows(result)) => {
+                let rows: Vec<Vec<String>> = result
+                    .rows
+                    .iter()
+                    .map(|r| r.iter().map(|v| v.render()).collect())
+                    .collect();
+                print!("{}", render_table(&result.columns, &rows));
+                println!("{} row(s)", result.rows.len());
+            }
+            Ok(ExecOutcome::Affected(n)) => println!("ok, {n} row(s) affected"),
+            Err(e) => println!("error: {e}"),
+        }
+        print!("sql> ");
+        io::stdout().flush().ok();
+    }
+    println!();
+}

@@ -1,0 +1,25 @@
+//! # Semandaq — umbrella crate
+//!
+//! Re-exports every component of the Semandaq reproduction so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`minidb`] — the relational substrate (SQL engine).
+//! * [`cfd`] — conditional functional dependencies and static analysis.
+//! * [`detect`] — SQL-based, native, and incremental violation detection.
+//! * [`repair`] — cost-based data repair (batch + incremental).
+//! * [`audit`] — quality metrics, reports, quality map and charts.
+//! * [`explore`] — drill-down navigation, tuple inspection, cleansing review.
+//! * [`discovery`] — FD/CFD discovery from reference data.
+//! * [`datagen`] — seeded workload generators.
+//! * [`system`] (re-export of `semandaq-core`) — the assembled system:
+//!   constraint engine, quality server, data monitor.
+
+pub use audit;
+pub use cfd;
+pub use datagen;
+pub use detect;
+pub use discovery;
+pub use explore;
+pub use minidb;
+pub use repair;
+pub use semandaq_core as system;

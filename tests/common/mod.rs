@@ -1,0 +1,87 @@
+//! Shared helpers for the cross-crate integration tests: random instances
+//! and CFD pools for property-based testing.
+
+// Each integration-test binary compiles this module independently and uses
+// a different subset of helpers; silence per-binary dead-code noise.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use semandaq::cfd::{parse::parse_cfds, Cfd};
+use semandaq::minidb::{Database, Schema, Table, Value};
+
+/// Columns of the random test relation.
+pub const COLS: [&str; 4] = ["A", "B", "C", "D"];
+
+/// A pool of CFDs over the test relation covering the interesting shapes:
+/// plain FDs, conditional variable CFDs, constant rules, empty-condition
+/// rules and multi-attribute LHS.
+pub fn cfd_pool() -> Vec<Cfd> {
+    parse_cfds(
+        "r: [A] -> [B]\n\
+         r: [A, B] -> [C]\n\
+         r: [B] -> [D]\n\
+         r: [A='a0'] -> [B=_]\n\
+         r: [A='a1', C=_] -> [D=_]\n\
+         r: [A='a0'] -> [C='c0']\n\
+         r: [B='b1'] -> [D='d1']\n\
+         r: [C='c2', D='d0'] -> [B='b0']\n\
+         r: [D=_] -> [A=_]",
+    )
+    .expect("pool parses")
+}
+
+/// Strategy: a random table over [`COLS`] with small value domains (to
+/// force group collisions) and occasional NULLs.
+pub fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        4 => (0usize..3).prop_map(|i| format!("a{i}")),
+        1 => Just("NULL".to_string()),
+    ];
+    let row = proptest::collection::vec(cell, 4);
+    proptest::collection::vec(row, 1..max_rows).prop_map(|rows| {
+        let mut t = Table::new("r", Schema::of_strings(&COLS));
+        for (rid, r) in rows.into_iter().enumerate() {
+            let vals: Vec<Value> = r
+                .into_iter()
+                .enumerate()
+                .map(|(c, s)| {
+                    if s == "NULL" {
+                        Value::Null
+                    } else {
+                        // Make values column-specific so constants in the
+                        // pool ('a0', 'b1', …) can actually match.
+                        let col_letter = ["a", "b", "c", "d"][c];
+                        let digit = &s[1..];
+                        Value::str(format!("{col_letter}{digit}"))
+                    }
+                })
+                .collect();
+            let _ = rid;
+            t.insert(vals).expect("row fits schema");
+        }
+        t
+    })
+}
+
+/// Strategy: a non-empty random subset of the CFD pool.
+pub fn arb_cfds() -> impl Strategy<Value = Vec<Cfd>> {
+    let pool = cfd_pool();
+    let n = pool.len();
+    proptest::collection::vec(0usize..n, 1..=n).prop_map(move |idxs| {
+        let mut out = Vec::new();
+        for i in idxs {
+            if !out.contains(&pool[i]) {
+                out.push(pool[i].clone());
+            }
+        }
+        out
+    })
+}
+
+/// Wrap a table in a database under its own name.
+#[allow(dead_code)] // each integration-test binary uses a different subset
+pub fn db_with(table: Table) -> Database {
+    let mut db = Database::new();
+    db.register_table(table);
+    db
+}

@@ -1,0 +1,77 @@
+//! Property tests for the repair cost model: the Damerau–Levenshtein
+//! distance must behave like a metric (the cost model's ranking guarantees
+//! in Fig. 5's alternatives depend on it) and the normalized form must
+//! stay in the unit interval.
+
+use proptest::prelude::*;
+use semandaq::minidb::Value;
+use semandaq::repair::{damerau_levenshtein, normalized_distance};
+
+fn short_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-c ]{0,8}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn identity_of_indiscernibles(a in short_string(), b in short_string()) {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn symmetry(a in short_string(), b in short_string()) {
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality(
+        a in short_string(),
+        b in short_string(),
+        c in short_string(),
+    ) {
+        // The OSA variant satisfies the triangle inequality over this
+        // restricted alphabet-and-length regime; exercise it broadly.
+        let ab = damerau_levenshtein(&a, &b);
+        let bc = damerau_levenshtein(&b, &c);
+        let ac = damerau_levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "d({a:?},{c:?})={ac} > {ab}+{bc}");
+    }
+
+    #[test]
+    fn bounded_by_longer_length(a in short_string(), b in short_string()) {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        // and at least the length difference
+        let diff = a.chars().count().abs_diff(b.chars().count());
+        prop_assert!(d >= diff);
+    }
+
+    #[test]
+    fn normalized_distance_is_unit_interval(a in short_string(), b in short_string()) {
+        let d = normalized_distance(&Value::str(&a), &Value::str(&b));
+        prop_assert!((0.0..=1.0).contains(&d), "{d}");
+        prop_assert_eq!(d == 0.0, a == b);
+    }
+
+    #[test]
+    fn adjacent_transposition_costs_one(s in proptest::string::string_regex("[a-z]{2,8}").expect("valid regex"), i in 0usize..7) {
+        let chars: Vec<char> = s.chars().collect();
+        prop_assume!(i + 1 < chars.len());
+        prop_assume!(chars[i] != chars[i + 1]);
+        let mut swapped = chars.clone();
+        swapped.swap(i, i + 1);
+        let t: String = swapped.into_iter().collect();
+        prop_assert_eq!(damerau_levenshtein(&s, &t), 1);
+    }
+}
+
+#[test]
+fn unicode_is_counted_by_chars_not_bytes() {
+    // 'ü' is 2 bytes; distance must be 1 substitution, not 2.
+    assert_eq!(damerau_levenshtein("müller", "muller"), 1);
+    assert_eq!(damerau_levenshtein("東京", "京東"), 1); // transposition
+    let d = normalized_distance(&Value::str("東京"), &Value::str("東京都"));
+    assert!((d - 1.0 / 3.0).abs() < 1e-9);
+}

@@ -1,0 +1,107 @@
+//! Property: the three detection engines (generated SQL on the embedded
+//! engine, native hash-based, parallel) compute identical violation sets on
+//! arbitrary instances — the SQL code path is exactly the CFD semantics.
+
+mod common;
+
+use common::{arb_cfds, arb_table, db_with};
+use proptest::prelude::*;
+use semandaq::detect::{detect_native, detect_parallel, detect_sql};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sql_equals_native_on_random_instances(
+        table in arb_table(40),
+        cfds in arb_cfds(),
+    ) {
+        let native = detect_native(&table, &cfds).unwrap().normalized();
+        let mut db = db_with(table);
+        let sql = detect_sql(&mut db, "r", &cfds).unwrap().normalized();
+        prop_assert_eq!(native, sql);
+    }
+
+    #[test]
+    fn parallel_equals_native_on_random_instances(
+        table in arb_table(40),
+        cfds in arb_cfds(),
+        threads in 1usize..6,
+    ) {
+        let native = detect_native(&table, &cfds).unwrap().normalized();
+        let par = detect_parallel(&table, &cfds, threads).unwrap().normalized();
+        prop_assert_eq!(native, par);
+    }
+
+    #[test]
+    fn per_pattern_sql_equals_merged_sql(
+        table in arb_table(30),
+        cfds in arb_cfds(),
+    ) {
+        let mut db = db_with(table);
+        let merged = detect_sql(&mut db, "r", &cfds).unwrap().normalized();
+        let per_pat = semandaq::detect::detect_sql_per_pattern(&mut db, "r", &cfds)
+            .unwrap()
+            .normalized();
+        prop_assert_eq!(merged, per_pat);
+    }
+
+    #[test]
+    fn vio_tallies_are_consistent_with_violations(
+        table in arb_table(40),
+        cfds in arb_cfds(),
+    ) {
+        let report = detect_native(&table, &cfds).unwrap();
+        // vio(t) > 0 iff t appears in some violation.
+        let mut involved: std::collections::HashSet<_> = Default::default();
+        for v in &report.violations {
+            for r in v.rows() {
+                involved.insert(r);
+            }
+        }
+        for (&row, &vio) in &report.vio {
+            prop_assert_eq!(vio > 0, involved.contains(&row));
+        }
+        for r in &involved {
+            prop_assert!(report.vio_of(*r) > 0);
+        }
+    }
+
+    #[test]
+    fn detection_is_monotone_under_tuple_removal(
+        table in arb_table(25),
+        cfds in arb_cfds(),
+    ) {
+        // Removing a tuple never *creates* violations for the remaining
+        // tuples: the remaining violation set is a subset w.r.t. rows.
+        let before = detect_native(&table, &cfds).unwrap();
+        let mut smaller = table.clone();
+        let Some(victim) = smaller.row_ids().into_iter().next() else {
+            return Ok(());
+        };
+        smaller.delete(victim).unwrap();
+        let after = detect_native(&smaller, &cfds).unwrap();
+        // Every violation in `after` must correspond to a violation in
+        // `before` once the victim is ignored (groups can only shrink).
+        for v in &after.violations {
+            let rows_after = v.rows();
+            let matched = before.violations.iter().any(|w| {
+                w.cfd_idx == v.cfd_idx
+                    && rows_after.iter().all(|r| w.rows().contains(r))
+            });
+            prop_assert!(matched, "violation appeared out of nowhere: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn customers_equivalence_at_scale() {
+    let d = semandaq::datagen::dirty_customers(2_000, 0.05, 11);
+    let t = d.db.table("customer").unwrap();
+    let native = detect_native(t, &d.cfds).unwrap().normalized();
+    let par = detect_parallel(t, &d.cfds, 8).unwrap().normalized();
+    assert_eq!(native, par);
+    let mut db = d.db.clone();
+    let sql = detect_sql(&mut db, "customer", &d.cfds).unwrap().normalized();
+    assert_eq!(native, sql);
+}

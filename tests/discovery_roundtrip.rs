@@ -1,0 +1,185 @@
+//! Discovery round-trips: rules mined from data hold on that data; planted
+//! dependencies are recovered; discovered rules can drive the cleaning of a
+//! dirty sibling instance.
+
+use semandaq::cfd::DomainSpec;
+use semandaq::datagen::{
+    dirty_customers, generate_customers, generate_planted, CustomerConfig, GenericConfig,
+};
+use semandaq::detect::detect_native;
+use semandaq::discovery::{
+    discover_fds, mine_constant_cfds, mine_variable_cfds, validate_rules, CtaneConfig,
+    MinerConfig, TaneConfig,
+};
+use semandaq::repair::{batch_repair, RepairConfig};
+
+#[test]
+fn mined_rules_hold_on_their_source() {
+    let t = generate_customers(&CustomerConfig {
+        rows: 800,
+        ..CustomerConfig::default()
+    });
+    let consts = mine_constant_cfds(
+        &t,
+        &MinerConfig {
+            min_support: 40,
+            max_lhs: 2,
+            relation: "customer".into(),
+        },
+    );
+    let vars = mine_variable_cfds(
+        &t,
+        &CtaneConfig {
+            max_lhs: 2,
+            max_constants: 1,
+            min_support: 60,
+            relation: "customer".into(),
+        },
+    );
+    let mut rules: Vec<semandaq::cfd::Cfd> = consts.into_iter().map(|d| d.cfd).collect();
+    rules.extend(vars.into_iter().map(|d| d.cfd));
+    assert!(!rules.is_empty());
+    let report = detect_native(&t, &rules).unwrap();
+    assert!(
+        report.is_empty(),
+        "mined rules must hold on their source: {} violations",
+        report.len()
+    );
+}
+
+#[test]
+fn planted_dependencies_recovered_across_sizes() {
+    for (rows, seed) in [(400usize, 1u64), (1500, 2), (4000, 3)] {
+        let p = generate_planted(&GenericConfig {
+            rows,
+            attrs: 6,
+            domain: 15,
+            seed,
+        });
+        let fds = discover_fds(&p.table, &TaneConfig::default());
+        for fd in &p.fds {
+            assert!(
+                fds.iter().any(|d| d.g3 == 0.0
+                    && d.fd.rhs.eq_ignore_ascii_case(&fd.rhs)
+                    && d.fd.lhs.len() <= fd.lhs.len()),
+                "rows={rows}: planted {fd} not recovered"
+            );
+        }
+        let consts = mine_constant_cfds(
+            &p.table,
+            &MinerConfig {
+                min_support: 3,
+                max_lhs: 1,
+                relation: "planted".into(),
+            },
+        );
+        let target = &p.constant_cfds[0];
+        assert!(
+            consts.iter().any(|d| d.cfd.rhs == target.rhs
+                && d.cfd.lhs == target.lhs
+                && d.cfd.rhs_pat == target.rhs_pat),
+            "rows={rows}: planted constant CFD not recovered"
+        );
+    }
+}
+
+#[test]
+fn discovered_rules_clean_a_dirty_sibling() {
+    // Mine from a clean sample, clean a dirty instance drawn from the same
+    // generator (different seed noise), verify convergence and that the
+    // repairs move values toward the clean ground truth.
+    let reference = generate_customers(&CustomerConfig {
+        rows: 1_500,
+        ..CustomerConfig::default()
+    });
+    let consts = mine_constant_cfds(
+        &reference,
+        &MinerConfig {
+            min_support: 80,
+            max_lhs: 1,
+            relation: "customer".into(),
+        },
+    );
+    let vars = mine_variable_cfds(
+        &reference,
+        &CtaneConfig {
+            max_lhs: 2,
+            max_constants: 1,
+            min_support: 120,
+            relation: "customer".into(),
+        },
+    );
+    let mut rules: Vec<semandaq::cfd::Cfd> = consts.into_iter().map(|d| d.cfd).collect();
+    rules.extend(vars.into_iter().map(|d| d.cfd));
+    assert!(validate_rules(&rules, &DomainSpec::all_infinite())
+        .unwrap()
+        .consistent);
+
+    let w = dirty_customers(600, 0.04, 777);
+    let mut db = w.db;
+    let before = detect_native(db.table("customer").unwrap(), &rules)
+        .unwrap()
+        .len();
+    assert!(before > 0, "dirty instance must violate discovered rules");
+    let result = batch_repair(&mut db, "customer", &rules, &RepairConfig::default()).unwrap();
+    assert!(
+        result.residual.is_empty(),
+        "repair under discovered rules must converge ({} residual)",
+        result.residual.len()
+    );
+}
+
+#[test]
+fn approximate_fds_require_threshold() {
+    // The dirty instance breaks exact FDs; with a g3 budget they reappear.
+    let w = dirty_customers(500, 0.03, 31);
+    let t = w.db.table("customer").unwrap();
+    let exact = discover_fds(t, &TaneConfig::default());
+    assert!(
+        !exact
+            .iter()
+            .any(|d| d.fd.rhs == "CNT" && d.fd.lhs == vec!["CC".to_string()]),
+        "noise breaks CC → CNT exactly"
+    );
+    let approx = discover_fds(
+        t,
+        &TaneConfig {
+            g3_threshold: 0.10,
+            ..TaneConfig::default()
+        },
+    );
+    let hit = approx
+        .iter()
+        .find(|d| d.fd.rhs == "CNT" && d.fd.lhs == vec!["CC".to_string()])
+        .expect("approximate CC → CNT under threshold");
+    assert!(hit.g3 > 0.0);
+}
+
+#[test]
+fn discovery_then_server_roundtrip() {
+    use semandaq::system::QualityServer;
+    let clean = generate_customers(&CustomerConfig {
+        rows: 700,
+        ..CustomerConfig::default()
+    });
+    let mut db = semandaq::minidb::Database::new();
+    db.register_table(clean);
+    let mut server = QualityServer::new(db, "customer").unwrap();
+    let n = server
+        .discover_constraints(
+            &MinerConfig {
+                min_support: 50,
+                max_lhs: 1,
+                relation: "customer".into(),
+            },
+            &CtaneConfig {
+                max_lhs: 1,
+                max_constants: 0,
+                min_support: 80,
+                relation: "customer".into(),
+            },
+        )
+        .unwrap();
+    assert!(n >= 4, "should discover several rules, got {n}");
+    assert!(server.detect().unwrap().is_empty());
+}

@@ -1,0 +1,117 @@
+//! Property: the incremental detector agrees with batch detection after
+//! arbitrary update streams — the Data Monitor never drifts.
+
+mod common;
+
+use common::{arb_cfds, arb_table};
+use proptest::prelude::*;
+use semandaq::detect::{detect_native, IncrementalDetector};
+use semandaq::minidb::{Table, Value};
+
+/// A scripted update against a table.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertCopyOf(usize),
+    DeleteNth(usize),
+    SetCell { nth: usize, col: usize, val: u8 },
+}
+
+fn arb_ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0usize..50).prop_map(Op::InsertCopyOf),
+        (0usize..50).prop_map(Op::DeleteNth),
+        ((0usize..50), (0usize..4), (0u8..3)).prop_map(|(nth, col, val)| Op::SetCell {
+            nth,
+            col,
+            val
+        }),
+    ];
+    proptest::collection::vec(op, 0..n)
+}
+
+fn apply(table: &mut Table, det: &mut IncrementalDetector, op: &Op) {
+    let ids = table.row_ids();
+    if ids.is_empty() {
+        return;
+    }
+    match op {
+        Op::InsertCopyOf(n) => {
+            let donor = ids[n % ids.len()];
+            let row: Vec<Value> = table.get(donor).unwrap().to_vec();
+            let id = table.insert(row.clone()).unwrap();
+            det.insert(id, &row);
+        }
+        Op::DeleteNth(n) => {
+            let victim = ids[n % ids.len()];
+            let old = table.delete(victim).unwrap();
+            det.delete(victim, &old);
+        }
+        Op::SetCell { nth, col, val } => {
+            let target = ids[nth % ids.len()];
+            let col_letter = ["a", "b", "c", "d"][*col];
+            let new_val = Value::str(format!("{col_letter}{val}"));
+            let before: Vec<Value> = table.get(target).unwrap().to_vec();
+            table.update_cell(target, *col, new_val).unwrap();
+            let after: Vec<Value> = table.get(target).unwrap().to_vec();
+            det.update(target, &before, &after);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_batch_after_any_stream(
+        table in arb_table(30),
+        cfds in arb_cfds(),
+        ops in arb_ops(25),
+    ) {
+        let mut table = table;
+        let mut det = IncrementalDetector::build(&table, &cfds).unwrap();
+        for op in &ops {
+            apply(&mut table, &mut det, op);
+        }
+        let batch = detect_native(&table, &cfds).unwrap().normalized();
+        let inc = det.report().normalized();
+        prop_assert_eq!(&batch, &inc);
+        prop_assert_eq!(batch.len() as u64, det.total_violations());
+        for (row, vio) in &batch.vio {
+            prop_assert_eq!(det.vio_of(*row), *vio);
+        }
+        // Rows the batch does not mention have vio 0.
+        for id in table.row_ids() {
+            if !batch.vio.contains_key(&id) {
+                prop_assert_eq!(det.vio_of(id), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn update_then_revert_is_identity(
+        table in arb_table(25),
+        cfds in arb_cfds(),
+        nth in 0usize..25,
+        col in 0usize..4,
+    ) {
+        let mut table = table;
+        let ids = table.row_ids();
+        prop_assume!(!ids.is_empty());
+        let target = ids[nth % ids.len()];
+        let mut det = IncrementalDetector::build(&table, &cfds).unwrap();
+        let total_before = det.total_violations();
+
+        let before: Vec<Value> = table.get(target).unwrap().to_vec();
+        let mut after = before.clone();
+        after[col] = Value::str("zz-unique");
+        table.update_cell(target, col, after[col].clone()).unwrap();
+        det.update(target, &before, &after);
+
+        table.update_cell(target, col, before[col].clone()).unwrap();
+        det.update(target, &after, &before);
+
+        prop_assert_eq!(det.total_violations(), total_before);
+        let batch = detect_native(&table, &cfds).unwrap().normalized();
+        prop_assert_eq!(batch, det.report().normalized());
+    }
+}

@@ -1,0 +1,228 @@
+//! Integration tests of the SQL substrate through realistic data-quality
+//! queries (the kinds the detection SQL generator emits) plus a
+//! property-based check of GROUP BY against a hand-rolled reference.
+
+mod common;
+
+use common::arb_table;
+use proptest::prelude::*;
+use semandaq::datagen::dirty_customers;
+use semandaq::minidb::{Database, Value};
+
+fn customers(rows: usize, seed: u64) -> Database {
+    dirty_customers(rows, 0.05, seed).db
+}
+
+#[test]
+fn fd_violation_query_self_join() {
+    let db = customers(300, 41);
+    // The textbook FD-violation pair query.
+    let pairs = db
+        .query(
+            "SELECT a.__rowid, b.__rowid FROM customer a, customer b \
+             WHERE a.cnt = b.cnt AND a.zip = b.zip AND a.city <> b.city",
+        )
+        .unwrap();
+    // And the group-by formulation; each violating group of size g with k
+    // distinct cities contributes pairs — just cross-check nonemptiness
+    // agreement and group membership.
+    let groups = db
+        .query(
+            "SELECT cnt, zip FROM customer \
+             GROUP BY cnt, zip HAVING COUNT(DISTINCT city) > 1",
+        )
+        .unwrap();
+    assert_eq!(pairs.is_empty(), groups.is_empty());
+    if !groups.is_empty() {
+        // Every pair's (cnt, zip) must be one of the groups.
+        let keys: std::collections::HashSet<(String, String)> = groups
+            .rows
+            .iter()
+            .map(|r| (r[0].render(), r[1].render()))
+            .collect();
+        let lookup = db
+            .query("SELECT __rowid, cnt, zip FROM customer")
+            .unwrap();
+        let by_rowid: std::collections::HashMap<i64, (String, String)> = lookup
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), (r[1].render(), r[2].render())))
+            .collect();
+        for p in &pairs.rows {
+            let key = &by_rowid[&p[0].as_int().unwrap()];
+            assert!(keys.contains(key));
+        }
+    }
+}
+
+#[test]
+fn aggregate_expressions_over_customers() {
+    let db = customers(500, 42);
+    let r = db
+        .query(
+            "SELECT cnt, COUNT(*) AS n, COUNT(DISTINCT city) AS cities \
+             FROM customer GROUP BY cnt ORDER BY n DESC LIMIT 3",
+        )
+        .unwrap();
+    assert!(r.len() <= 3);
+    let total: i64 = db
+        .query("SELECT COUNT(*) AS n FROM customer")
+        .unwrap()
+        .get(0, "n")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(total, 500);
+    // Sum of per-country counts for the full query equals the total.
+    let all = db
+        .query("SELECT cnt, COUNT(*) AS n FROM customer GROUP BY cnt")
+        .unwrap();
+    let sum: i64 = all
+        .rows
+        .iter()
+        .map(|r| r[1].as_int().unwrap())
+        .sum();
+    assert_eq!(sum, total);
+}
+
+#[test]
+fn case_like_between_in_queries() {
+    let db = customers(200, 43);
+    let r = db
+        .query(
+            "SELECT name, CASE WHEN cnt = 'UK' THEN 'domestic' ELSE 'foreign' END AS kind \
+             FROM customer WHERE name LIKE 'm%' ORDER BY name",
+        )
+        .unwrap();
+    for row in &r.rows {
+        assert!(row[0].render().starts_with('m'));
+        let kind = row[1].render();
+        assert!(kind == "domestic" || kind == "foreign");
+    }
+    let r = db
+        .query("SELECT COUNT(*) AS n FROM customer WHERE cnt IN ('UK', 'NL')")
+        .unwrap();
+    let n_in = r.get(0, "n").unwrap().as_int().unwrap();
+    let r = db
+        .query("SELECT COUNT(*) AS n FROM customer WHERE cnt NOT IN ('UK', 'NL')")
+        .unwrap();
+    let n_out = r.get(0, "n").unwrap().as_int().unwrap();
+    // NULL-free column: IN + NOT IN partition the table.
+    assert_eq!(n_in + n_out, 200);
+}
+
+#[test]
+fn update_delete_respect_predicates() {
+    let mut db = customers(150, 44);
+    let uk_before = db
+        .query("SELECT COUNT(*) AS n FROM customer WHERE cnt = 'UK'")
+        .unwrap()
+        .get(0, "n")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    db.execute("UPDATE customer SET city = UPPER(city) WHERE cnt = 'UK'")
+        .unwrap();
+    let uk_after = db
+        .query("SELECT COUNT(*) AS n FROM customer WHERE cnt = 'UK'")
+        .unwrap()
+        .get(0, "n")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(uk_before, uk_after, "update must not change membership");
+    let n = db.execute("DELETE FROM customer WHERE cnt = 'UK'").unwrap();
+    assert_eq!(
+        n,
+        semandaq::minidb::ExecOutcome::Affected(uk_after as usize)
+    );
+}
+
+#[test]
+fn csv_roundtrip_through_engine() {
+    let db = customers(80, 45);
+    let csv = semandaq::minidb::csv::table_to_csv(db.table("customer").unwrap());
+    let schema = semandaq::datagen::customer_schema();
+    let t2 = semandaq::minidb::csv::table_from_csv("customer2", schema, &csv).unwrap();
+    assert_eq!(t2.len(), 80);
+    let mut db2 = Database::new();
+    db2.register_table(t2);
+    let a = db
+        .query("SELECT cnt, COUNT(*) FROM customer GROUP BY cnt")
+        .unwrap()
+        .sorted_rows();
+    let b = db2
+        .query("SELECT cnt, COUNT(*) FROM customer2 GROUP BY cnt")
+        .unwrap()
+        .sorted_rows();
+    assert_eq!(a, b);
+}
+
+/// Reference GROUP BY COUNT(DISTINCT) used by the property test.
+fn reference_group_count_distinct(
+    table: &semandaq::minidb::Table,
+    key_cols: &[usize],
+    agg_col: usize,
+) -> std::collections::HashMap<Vec<Value>, i64> {
+    let mut out: std::collections::HashMap<Vec<Value>, std::collections::HashSet<Value>> =
+        Default::default();
+    for (_, row) in table.iter() {
+        let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+        let entry = out.entry(key).or_default();
+        if !row[agg_col].is_null() {
+            entry.insert(row[agg_col].clone());
+        }
+    }
+    out.into_iter()
+        .map(|(k, s)| (k, s.len() as i64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn group_by_count_distinct_matches_reference(table in arb_table(40)) {
+        let reference = reference_group_count_distinct(&table, &[0, 1], 2);
+        let mut db = Database::new();
+        db.register_table(table);
+        let r = db
+            .query("SELECT a, b, COUNT(DISTINCT c) AS n FROM r GROUP BY a, b")
+            .unwrap();
+        prop_assert_eq!(r.len(), reference.len());
+        for row in &r.rows {
+            let key = vec![row[0].clone(), row[1].clone()];
+            let expect = reference.get(&key).copied();
+            prop_assert_eq!(expect, row[2].as_int(), "group {:?}", key);
+        }
+    }
+
+    #[test]
+    fn distinct_equals_reference_dedup(table in arb_table(40)) {
+        let expected: std::collections::HashSet<Vec<Value>> = table
+            .iter()
+            .map(|(_, r)| vec![r[0].clone(), r[2].clone()])
+            .collect();
+        let mut db = Database::new();
+        db.register_table(table);
+        let r = db.query("SELECT DISTINCT a, c FROM r").unwrap();
+        prop_assert_eq!(r.len(), expected.len());
+        for row in &r.rows {
+            prop_assert!(expected.contains(row));
+        }
+    }
+
+    #[test]
+    fn where_partition_is_total_modulo_nulls(table in arb_table(40)) {
+        let mut db = Database::new();
+        let total = table.len() as i64;
+        db.register_table(table);
+        let count = |sql: &str| {
+            db.query(sql).unwrap().rows[0][0].as_int().unwrap()
+        };
+        let eq = count("SELECT COUNT(*) FROM r WHERE a = 'a0'");
+        let ne = count("SELECT COUNT(*) FROM r WHERE a <> 'a0'");
+        let null = count("SELECT COUNT(*) FROM r WHERE a IS NULL");
+        prop_assert_eq!(eq + ne + null, total);
+    }
+}
