@@ -115,11 +115,7 @@ mod tests {
 
     #[test]
     fn pie_chart_legend_sums_to_hundred() {
-        let s = pie_chart(
-            "pie",
-            &[("a".into(), 3.0), ("b".into(), 1.0)],
-            12,
-        );
+        let s = pie_chart("pie", &[("a".into(), 3.0), ("b".into(), 1.0)], 12);
         assert!(s.contains("75.0%"), "{s}");
         assert!(s.contains("25.0%"), "{s}");
     }

@@ -64,12 +64,7 @@ pub fn classify(
 
     let mut constrained: Vec<usize> = bound
         .iter()
-        .flat_map(|b| {
-            b.lhs_cols
-                .iter()
-                .copied()
-                .chain(std::iter::once(b.rhs_col))
-        })
+        .flat_map(|b| b.lhs_cols.iter().copied().chain(std::iter::once(b.rhs_col)))
         .collect();
     constrained.sort_unstable();
     constrained.dedup();
@@ -128,10 +123,7 @@ pub fn classify(
         let mut verified_row = false;
         let mut verified_cells: Vec<usize> = Vec::new();
         for b in &bound {
-            if b.cfd.rhs_pat.constant().is_some()
-                && b.lhs_matches(row)
-                && b.rhs_matches(row)
-            {
+            if b.cfd.rhs_pat.constant().is_some() && b.lhs_matches(row) && b.rhs_matches(row) {
                 verified_row = true;
                 verified_cells.push(b.rhs_col);
                 verified_cells.extend(b.lhs_cols.iter().copied());
@@ -187,7 +179,8 @@ mod tests {
         let schema = Schema::of_strings(&["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]);
         let mut t = Table::new("customer", schema);
         for r in rows {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         t
     }

@@ -1,0 +1,52 @@
+//! Columnar vs sql/native/parallel detection on the customer workload, plus
+//! the cost of the encode itself and the snapshot-reuse payoff.
+
+use colstore::{detect_columnar, detect_on_snapshot, Snapshot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detect::{detect_native, detect_parallel, detect_sql};
+use sdq_bench::workload;
+
+fn engines_vs_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colstore_engines_vs_rows");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000, 100_000] {
+        let w = workload(rows, 0.05, 11);
+        let t = w.db.table("customer").unwrap();
+        group.bench_with_input(BenchmarkId::new("native", rows), &rows, |b, _| {
+            b.iter(|| detect_native(t, &w.cfds).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", rows), &rows, |b, _| {
+            b.iter(|| detect_parallel(t, &w.cfds, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("columnar", rows), &rows, |b, _| {
+            b.iter(|| detect_columnar(t, &w.cfds).unwrap())
+        });
+        // SQL only at the smaller sizes: it is orders of magnitude slower.
+        if rows <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("sql", rows), &rows, |b, _| {
+                b.iter_batched(
+                    || w.db.clone(),
+                    |mut db| detect_sql(&mut db, "customer", &w.cfds).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn snapshot_encode_and_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colstore_snapshot");
+    group.sample_size(10);
+    let w = workload(100_000, 0.05, 11);
+    let t = w.db.table("customer").unwrap();
+    group.bench_function("encode_100k", |b| b.iter(|| Snapshot::of(t)));
+    let snap = Snapshot::of(t);
+    group.bench_function("detect_on_snapshot_100k", |b| {
+        b.iter(|| detect_on_snapshot(&snap, &w.cfds).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines_vs_rows, snapshot_encode_and_reuse);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate_customers, generate_planted, CustomerConfig, GenericConfig};
-use discovery::{discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig};
+use discovery::{
+    discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig,
+};
 
 fn e7_fd_discovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_fd_discovery");

@@ -7,10 +7,7 @@ use detect::{detect_native, IncrementalDetector};
 use minidb::Value;
 use sdq_bench::workload;
 
-fn delta_updates(
-    w: &datagen::DirtyCustomers,
-    delta: usize,
-) -> Vec<(minidb::RowId, usize, Value)> {
+fn delta_updates(w: &datagen::DirtyCustomers, delta: usize) -> Vec<(minidb::RowId, usize, Value)> {
     // Deterministic cell updates: corrupt CITY of the first `delta` rows.
     w.db.table("customer")
         .unwrap()

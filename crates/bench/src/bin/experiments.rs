@@ -1,17 +1,26 @@
-//! Regenerate the measured experiment tables E1–E7 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E8 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
 //! cargo run --release --bin experiments           # all experiments
 //! cargo run --release --bin experiments -- e1 e5  # a subset
 //! ```
+//!
+//! E8 additionally writes `BENCH_detection.json`, a machine-readable
+//! detection baseline (`rows`, `engine`, `ns_per_op`) for regression
+//! tracking.
 
 use std::time::Instant;
 
 use cfd::satisfiability::check_consistency;
 use cfd::DomainSpec;
-use detect::{detect_native, detect_sql, detect_sql_per_pattern, IncrementalDetector};
-use discovery::{discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig};
+use colstore::{detect_columnar, detect_on_snapshot, Snapshot};
+use detect::{
+    detect_native, detect_parallel, detect_sql, detect_sql_per_pattern, IncrementalDetector,
+};
+use discovery::{
+    discover_fds, mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig, TaneConfig,
+};
 use minidb::Value;
 use repair::{batch_repair, score_repair, RepairConfig};
 use sdq_bench::{contradictory_chain, rule_chain, scaled_pattern_cfds, workload};
@@ -20,13 +29,40 @@ fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Mean ns/op of `f` over `iters` runs (one untimed warm-up).
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Render the detection baseline as JSON by hand (no serializer in the
+/// tree): `[{"rows": n, "engine": "...", "ns_per_op": x}, ...]`.
+fn render_baseline_json(entries: &[(usize, &str, f64)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (rows, engine, ns)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rows\": {rows}, \"engine\": \"{engine}\", \"ns_per_op\": {ns:.0}}}"
+        ));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if wanted("e1") {
         println!("== E1: detection time vs relation size (5% noise) ==");
-        println!("{:>8} {:>12} {:>12} {:>10}", "rows", "sql (ms)", "native (ms)", "violations");
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            "rows", "sql (ms)", "native (ms)", "violations"
+        );
         for rows in [1_000usize, 5_000, 20_000, 50_000] {
             let w = workload(rows, 0.05, 11);
             let mut db = w.db.clone();
@@ -44,7 +80,10 @@ fn main() {
 
     if wanted("e2") {
         println!("== E2: detection time vs pattern-tableau size (10k rows) ==");
-        println!("{:>10} {:>14} {:>14}", "patterns", "sql (ms)", "native (ms)");
+        println!(
+            "{:>10} {:>14} {:>14}",
+            "patterns", "sql (ms)", "native (ms)"
+        );
         let w = workload(10_000, 0.05, 13);
         for k in [1usize, 4, 16, 64] {
             let cfds = scaled_pattern_cfds(k);
@@ -62,24 +101,26 @@ fn main() {
 
     if wanted("e3") {
         println!("== E3: incremental vs batch detection (20k rows) ==");
-        println!("{:>8} {:>16} {:>16}", "delta", "incremental (ms)", "batch (ms)");
+        println!(
+            "{:>8} {:>16} {:>16}",
+            "delta", "incremental (ms)", "batch (ms)"
+        );
         let w = workload(20_000, 0.02, 19);
         let base = IncrementalDetector::build(w.db.table("customer").unwrap(), &w.cfds).unwrap();
         for delta in [1usize, 16, 256, 4_096] {
-            let updates: Vec<(minidb::RowId, Vec<Value>, Vec<Value>)> = w
-                .db
-                .table("customer")
-                .unwrap()
-                .iter()
-                .take(delta)
-                .enumerate()
-                .map(|(i, (id, row))| {
-                    let before = row.to_vec();
-                    let mut after = before.clone();
-                    after[2] = Value::str(format!("UPD{i}"));
-                    (id, before, after)
-                })
-                .collect();
+            let updates: Vec<(minidb::RowId, Vec<Value>, Vec<Value>)> =
+                w.db.table("customer")
+                    .unwrap()
+                    .iter()
+                    .take(delta)
+                    .enumerate()
+                    .map(|(i, (id, row))| {
+                        let before = row.to_vec();
+                        let mut after = before.clone();
+                        after[2] = Value::str(format!("UPD{i}"));
+                        (id, before, after)
+                    })
+                    .collect();
             // incremental
             let mut det = base.clone();
             let t0 = Instant::now();
@@ -91,7 +132,8 @@ fn main() {
             // batch re-run (after applying updates to a copy)
             let mut db = w.db.clone();
             for (id, _, after) in &updates {
-                db.update_cell("customer", *id, 2, after[2].clone()).unwrap();
+                db.update_cell("customer", *id, 2, after[2].clone())
+                    .unwrap();
             }
             let t0 = Instant::now();
             detect_native(db.table("customer").unwrap(), &w.cfds).unwrap();
@@ -103,14 +145,21 @@ fn main() {
 
     if wanted("e4") {
         println!("== E4: repair time vs relation size (5% noise) ==");
-        println!("{:>8} {:>12} {:>10} {:>10}", "rows", "repair (ms)", "changes", "residual");
+        println!(
+            "{:>8} {:>12} {:>10} {:>10}",
+            "rows", "repair (ms)", "changes", "residual"
+        );
         for rows in [1_000usize, 5_000, 20_000] {
             let w = workload(rows, 0.05, 23);
             let mut db = w.db.clone();
             let t0 = Instant::now();
             let r = batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()).unwrap();
             let t = ms(t0);
-            println!("{rows:>8} {t:>12.1} {:>10} {:>10}", r.changes.len(), r.residual.len());
+            println!(
+                "{rows:>8} {t:>12.1} {:>10} {:>10}",
+                r.changes.len(),
+                r.residual.len()
+            );
         }
         println!();
     }
@@ -130,7 +179,12 @@ fn main() {
             let q = score_repair(&dirty, db.table("customer").unwrap(), &w.clean);
             println!(
                 "{pct:>6}% {:>8} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-                q.error_cells, q.changed_cells, q.precision_loc, q.recall_loc, q.precision, q.recall
+                q.error_cells,
+                q.changed_cells,
+                q.precision_loc,
+                q.recall_loc,
+                q.precision,
+                q.recall
             );
         }
         println!();
@@ -138,7 +192,10 @@ fn main() {
 
     if wanted("e6") {
         println!("== E6: consistency analysis time vs |Σ| ==");
-        println!("{:>8} {:>18} {:>20}", "rules", "consistent (µs)", "contradictory (µs)");
+        println!(
+            "{:>8} {:>18} {:>20}",
+            "rules", "consistent (µs)", "contradictory (µs)"
+        );
         let dom = DomainSpec::all_infinite();
         for n in [8usize, 32, 128, 256] {
             let cons = rule_chain(n);
@@ -203,9 +260,59 @@ fn main() {
         println!();
     }
 
+    if wanted("e8") {
+        println!("== E8: columnar vs row detection (customer workload, 5% noise) ==");
+        println!(
+            "{:>8} {:>13} {:>13} {:>13} {:>13} {:>9}",
+            "rows", "native (ms)", "par4 (ms)", "columnar(ms)", "snapshot(ms)", "col/nat"
+        );
+        let mut baseline: Vec<(usize, &str, f64)> = Vec::new();
+        for rows in [1_000usize, 10_000, 100_000] {
+            let w = workload(rows, 0.05, 11);
+            let t = w.db.table("customer").unwrap();
+            let iters = if rows >= 100_000 { 5 } else { 20 };
+            let n_native = time_ns(iters, || {
+                detect_native(t, &w.cfds).unwrap();
+            });
+            let n_par = time_ns(iters, || {
+                detect_parallel(t, &w.cfds, 4).unwrap();
+            });
+            let n_col = time_ns(iters, || {
+                detect_columnar(t, &w.cfds).unwrap();
+            });
+            let snap = Snapshot::of(t);
+            let n_reuse = time_ns(iters, || {
+                detect_on_snapshot(&snap, &w.cfds).unwrap();
+            });
+            // Engines must agree before their numbers mean anything.
+            assert_eq!(
+                detect_native(t, &w.cfds).unwrap().normalized(),
+                detect_columnar(t, &w.cfds).unwrap().normalized()
+            );
+            println!(
+                "{rows:>8} {:>13.1} {:>13.1} {:>13.1} {:>13.1} {:>8.1}x",
+                n_native / 1e6,
+                n_par / 1e6,
+                n_col / 1e6,
+                n_reuse / 1e6,
+                n_native / n_col
+            );
+            baseline.push((rows, "native", n_native));
+            baseline.push((rows, "parallel4", n_par));
+            baseline.push((rows, "columnar", n_col));
+            baseline.push((rows, "columnar_reuse", n_reuse));
+        }
+        let json = render_baseline_json(&baseline);
+        std::fs::write("BENCH_detection.json", &json).expect("write BENCH_detection.json");
+        println!("wrote BENCH_detection.json ({} entries)\n", baseline.len());
+    }
+
     if wanted("a1") {
         println!("== A1: merged tableau query vs per-pattern queries (5k rows) ==");
-        println!("{:>10} {:>13} {:>17}", "patterns", "merged (ms)", "per-pattern (ms)");
+        println!(
+            "{:>10} {:>13} {:>17}",
+            "patterns", "merged (ms)", "per-pattern (ms)"
+        );
         let w = workload(5_000, 0.05, 17);
         for k in [4usize, 16, 64] {
             let cfds = scaled_pattern_cfds(k);
@@ -228,8 +335,11 @@ fn main() {
             "{:>12} {:>18} {:>10} {:>10} {:>8} {:>8}",
             "noise kind", "cost model", "changes", "cost", "P", "R"
         );
-        for (kind, typo_fraction) in [("typos only", 1.0), ("mixed 25/75", 0.25), ("swaps only", 0.0)]
-        {
+        for (kind, typo_fraction) in [
+            ("typos only", 1.0),
+            ("mixed 25/75", 0.25),
+            ("swaps only", 0.0),
+        ] {
             let w = datagen::dirty_customers_typed(5_000, 0.05, 31, typo_fraction);
             for (label, sim) in [("similarity (DL)", true), ("uniform 0/1", false)] {
                 let dirty = w.db.table("customer").unwrap().clone();

@@ -222,10 +222,7 @@ pub fn group_into_tableaux(cfds: &[Cfd]) -> Vec<Tableau> {
         };
         let rel = c.relation.to_ascii_lowercase();
         let pats: Vec<Pattern> = pairs.into_iter().map(|(_, p)| p).collect();
-        match out
-            .iter_mut()
-            .find(|t| t.relation == rel && t.fd == fd)
-        {
+        match out.iter_mut().find(|t| t.relation == rel && t.fd == fd) {
             Some(t) => t.rows.push((pats, c.rhs_pat.clone(), idx)),
             None => out.push(Tableau {
                 relation: rel,
@@ -313,9 +310,14 @@ mod tests {
         let b = phi2().bind(&schema()).unwrap();
         assert_eq!(b.lhs_cols, vec![1, 3]);
         assert_eq!(b.rhs_col, 4);
-        let missing = Cfd::new("r", vec![("NOPE".into(), Pattern::Wild)], "CNT", Pattern::Wild)
-            .unwrap()
-            .bind(&schema());
+        let missing = Cfd::new(
+            "r",
+            vec![("NOPE".into(), Pattern::Wild)],
+            "CNT",
+            Pattern::Wild,
+        )
+        .unwrap()
+        .bind(&schema());
         assert!(missing.is_err());
     }
 

@@ -43,12 +43,7 @@ impl DomainSpec {
     /// constants of Σ behaves identically w.r.t. pattern matching, and two
     /// sentinels let a two-tuple search choose "equal outside constants" vs
     /// "unequal outside constants".
-    pub fn candidates(
-        &self,
-        attr: &str,
-        constants: &[Value],
-        extra_fresh: usize,
-    ) -> Vec<Value> {
+    pub fn candidates(&self, attr: &str, constants: &[Value], extra_fresh: usize) -> Vec<Value> {
         if let Some(dom) = self.finite_domain(attr) {
             return dom.to_vec();
         }

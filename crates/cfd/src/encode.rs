@@ -21,13 +21,14 @@ pub const PATTERN_ID_COLUMN: &str = "__pat";
 /// attribute, then [`PATTERN_ID_COLUMN`] holding the index of the source
 /// CFD. Cell types are taken from `data_schema` when the attribute exists
 /// there, defaulting to TEXT.
-pub fn encode_tableau(
-    name: &str,
-    tableau: &Tableau,
-    data_schema: &Schema,
-) -> CfdResult<Table> {
+pub fn encode_tableau(name: &str, tableau: &Tableau, data_schema: &Schema) -> CfdResult<Table> {
     let mut cols: Vec<Column> = Vec::with_capacity(tableau.fd.lhs.len() + 2);
-    for a in tableau.fd.lhs.iter().chain(std::iter::once(&tableau.fd.rhs)) {
+    for a in tableau
+        .fd
+        .lhs
+        .iter()
+        .chain(std::iter::once(&tableau.fd.rhs))
+    {
         let dtype = data_schema
             .index_of(a)
             .map(|i| data_schema.column(i).dtype)

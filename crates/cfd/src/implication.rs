@@ -100,19 +100,14 @@ struct PairSolver {
 }
 
 impl PairSolver {
-    fn new(
-        sigma: &[Cfd],
-        phi: &Cfd,
-        domains: &DomainSpec,
-        budget: u64,
-    ) -> CfdResult<PairSolver> {
+    fn new(sigma: &[Cfd], phi: &Cfd, domains: &DomainSpec, budget: u64) -> CfdResult<PairSolver> {
         let mut attr_ids: HashMap<String, usize> = HashMap::new();
         let mut attrs: Vec<String> = Vec::new();
         let mut constants: Vec<Vec<Value>> = Vec::new();
         let slot = |name: &str,
-                        attrs: &mut Vec<String>,
-                        constants: &mut Vec<Vec<Value>>,
-                        attr_ids: &mut HashMap<String, usize>| {
+                    attrs: &mut Vec<String>,
+                    constants: &mut Vec<Vec<Value>>,
+                    attr_ids: &mut HashMap<String, usize>| {
             let key = name.to_ascii_lowercase();
             *attr_ids.entry(key.clone()).or_insert_with(|| {
                 attrs.push(key);
@@ -121,9 +116,9 @@ impl PairSolver {
             })
         };
         let note_constants = |c: &Cfd,
-                                  attrs: &mut Vec<String>,
-                                  constants: &mut Vec<Vec<Value>>,
-                                  attr_ids: &mut HashMap<String, usize>| {
+                              attrs: &mut Vec<String>,
+                              constants: &mut Vec<Vec<Value>>,
+                              attr_ids: &mut HashMap<String, usize>| {
             for (a, p) in c.lhs.iter().zip(&c.lhs_pat) {
                 let s = slot(a, attrs, constants, attr_ids);
                 if let Some(v) = p.constant() {
@@ -318,10 +313,7 @@ impl PairSolver {
         match &self.phi_rhs_const {
             Some(c) => {
                 // Single tuple: matches LHS pattern, RHS differs.
-                let matches = self
-                    .phi_conds
-                    .iter()
-                    .all(|(s, v)| v1(*s).strong_eq(v));
+                let matches = self.phi_conds.iter().all(|(s, v)| v1(*s).strong_eq(v));
                 matches && !v1(self.phi_rhs).strong_eq(c)
             }
             None => {
@@ -329,9 +321,10 @@ impl PairSolver {
                     return false;
                 }
                 let v2 = |a: usize| assign[n + a].as_ref().expect("complete");
-                let both_match = self.phi_conds.iter().all(|(s, v)| {
-                    v1(*s).strong_eq(v) && v2(*s).strong_eq(v)
-                });
+                let both_match = self
+                    .phi_conds
+                    .iter()
+                    .all(|(s, v)| v1(*s).strong_eq(v) && v2(*s).strong_eq(v));
                 let agree = self.phi_lhs.iter().all(|&s| v1(s).strong_eq(v2(s)));
                 both_match && agree && !v1(self.phi_rhs).strong_eq(v2(self.phi_rhs))
             }
@@ -411,7 +404,10 @@ mod tests {
     #[test]
     fn cfd_is_implied_by_more_general_pattern() {
         // The plain FD CC -> CNT implies the conditional [CC='44'] -> [CNT=_].
-        assert!(imp("customer: [CC] -> [CNT]", "customer: [CC='44'] -> [CNT=_]"));
+        assert!(imp(
+            "customer: [CC] -> [CNT]",
+            "customer: [CC='44'] -> [CNT=_]"
+        ));
         // But not the constant-RHS version: the FD does not pin the value.
         assert!(!imp(
             "customer: [CC] -> [CNT]",
@@ -462,14 +458,8 @@ mod tests {
 
     #[test]
     fn augmenting_lhs_preserves_implication() {
-        assert!(imp(
-            "r: [A=_] -> [C=_]",
-            "r: [A=_, B=_] -> [C=_]"
-        ));
-        assert!(!imp(
-            "r: [A=_, B=_] -> [C=_]",
-            "r: [A=_] -> [C=_]"
-        ));
+        assert!(imp("r: [A=_] -> [C=_]", "r: [A=_, B=_] -> [C=_]"));
+        assert!(!imp("r: [A=_, B=_] -> [C=_]", "r: [A=_] -> [C=_]"));
     }
 
     #[test]

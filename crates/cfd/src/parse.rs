@@ -194,9 +194,8 @@ impl<'a> Cursor<'a> {
     fn pattern(&mut self) -> CfdResult<Pattern> {
         self.skip_ws();
         let rest = self.rest();
-        if rest.starts_with('_') {
+        if let Some(after) = rest.strip_prefix('_') {
             // `_` must stand alone (not an identifier prefix like `_x`).
-            let after = &rest[1..];
             if after
                 .chars()
                 .next()

@@ -57,12 +57,8 @@ pub fn check_consistency_budgeted(
     let mut solver = WitnessSolver::new(cfds, domains, budget)?;
     match solver.solve()? {
         Some(assign) => {
-            let mut witness: Vec<(String, Value)> = solver
-                .attrs
-                .iter()
-                .cloned()
-                .zip(assign)
-                .collect();
+            let mut witness: Vec<(String, Value)> =
+                solver.attrs.iter().cloned().zip(assign).collect();
             witness.sort_by(|a, b| a.0.cmp(&b.0));
             Ok(Consistency::Consistent(witness))
         }
@@ -93,9 +89,9 @@ impl WitnessSolver {
         let mut attrs: Vec<String> = Vec::new();
         let mut constants: Vec<Vec<Value>> = Vec::new();
         let slot = |name: &str,
-                        attrs: &mut Vec<String>,
-                        constants: &mut Vec<Vec<Value>>,
-                        attr_ids: &mut HashMap<String, usize>| {
+                    attrs: &mut Vec<String>,
+                    constants: &mut Vec<Vec<Value>>,
+                    attr_ids: &mut HashMap<String, usize>| {
             let key = name.to_ascii_lowercase();
             *attr_ids.entry(key.clone()).or_insert_with(|| {
                 attrs.push(key);
@@ -177,9 +173,10 @@ impl WitnessSolver {
         loop {
             let mut changed = false;
             for r in &self.rules {
-                let fires = r.conds.iter().all(|(s, v)| {
-                    matches!(&assign[*s], Some(x) if x.strong_eq(v))
-                });
+                let fires = r
+                    .conds
+                    .iter()
+                    .all(|(s, v)| matches!(&assign[*s], Some(x) if x.strong_eq(v)));
                 if !fires {
                     continue;
                 }

@@ -1,0 +1,126 @@
+//! Dictionary-encoded columns.
+//!
+//! A [`Column`] is an immutable `Vec<u32>` of codes plus the
+//! [`Dictionary`] that gives them meaning, both behind `Arc` so columns can
+//! be shared across snapshots, detector runs and threads for the cost of a
+//! reference-count bump.
+
+use std::sync::Arc;
+
+use crate::dictionary::{Dictionary, NULL_CODE};
+use minidb::Value;
+
+/// One immutable, dictionary-encoded column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    codes: Arc<Vec<u32>>,
+    dict: Arc<Dictionary>,
+}
+
+impl Column {
+    /// Assemble from parts (used by the snapshot builder).
+    pub fn new(codes: Vec<u32>, dict: Dictionary) -> Column {
+        Column {
+            codes: Arc::new(codes),
+            dict: Arc::new(dict),
+        }
+    }
+
+    /// The code slice, parallel to the snapshot's row order.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The column dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Decode the value at `pos` (owned; NULL materialized).
+    pub fn value_at(&self, pos: usize) -> Value {
+        self.dict.decode(self.codes[pos])
+    }
+
+    /// True when the value at `pos` is NULL.
+    pub fn is_null_at(&self, pos: usize) -> bool {
+        self.codes[pos] == NULL_CODE
+    }
+}
+
+/// Incremental builder used while scanning a table once.
+#[derive(Debug, Default)]
+pub struct ColumnBuilder {
+    codes: Vec<u32>,
+    dict: Dictionary,
+}
+
+impl ColumnBuilder {
+    /// Builder with row-count capacity.
+    pub fn with_capacity(rows: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            codes: Vec::with_capacity(rows),
+            dict: Dictionary::new(),
+        }
+    }
+
+    /// Append one cell.
+    pub fn push(&mut self, v: &Value) {
+        let code = self.dict.intern(v);
+        self.codes.push(code);
+    }
+
+    /// Freeze into an immutable [`Column`].
+    pub fn finish(self) -> Column {
+        Column::new(self.codes, self.dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_decode_roundtrip() {
+        let mut b = ColumnBuilder::with_capacity(4);
+        for v in [
+            Value::str("a"),
+            Value::Null,
+            Value::str("b"),
+            Value::str("a"),
+        ] {
+            b.push(&v);
+        }
+        let c = b.finish();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.codes(), &[1, NULL_CODE, 2, 1]);
+        assert_eq!(c.value_at(0), Value::str("a"));
+        assert!(c.is_null_at(1));
+        assert_eq!(c.value_at(3), Value::str("a"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let mut b = ColumnBuilder::with_capacity(2);
+        b.push(&Value::str("x"));
+        b.push(&Value::str("y"));
+        let c1 = b.finish();
+        let c2 = c1.clone();
+        assert!(std::ptr::eq(c1.codes(), c2.codes()));
+    }
+}

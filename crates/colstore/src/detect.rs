@@ -1,0 +1,819 @@
+//! Vectorized CFD violation detection over columnar snapshots.
+//!
+//! The reference detector ([`detect::detect_native`]) scans row slices and
+//! hashes a freshly cloned `Vec<Value>` LHS key per tuple. Here every CFD is
+//! evaluated over dictionary codes instead:
+//!
+//! * **constant CFDs** reduce to integer comparisons over `u32` column
+//!   slices — the pattern constants are resolved to codes once, and a
+//!   constant absent from a column's dictionary short-circuits the scan;
+//! * **variable CFDs** group rows by their LHS *code* key. When the
+//!   combined code widths fit, keys are packed into a single `u64`; wider
+//!   keys fall back to boxed `[u32]` slices. Either way no `Value` is
+//!   cloned on the scan path — values are only decoded (an `Arc` bump) when
+//!   a violating group is materialized into the report.
+//!
+//! The output is [`ViolationReport`]-identical (after `normalized()`) to the
+//! native detector on every instance; the property tests in
+//! `tests/detector_equivalence.rs` pin this.
+
+use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
+use detect::incremental::CfdSeed;
+use detect::{IncrementalDetector, ViolationReport};
+use minidb::{RowId, Table, Value};
+
+use crate::dictionary::NULL_CODE;
+use crate::snapshot::Snapshot;
+use detect::fxhash::FxHashMap;
+
+/// The columns a CFD set touches — the snapshot projection the detector
+/// needs. High-cardinality columns outside every rule (free-text names,
+/// ids) are never encoded.
+fn needed_columns(bound: &[BoundCfd]) -> Vec<usize> {
+    let mut cols: Vec<usize> = bound
+        .iter()
+        .flat_map(|b| b.lhs_cols.iter().copied().chain([b.rhs_col]))
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// One resolved LHS cell: either a group-key column or an equality filter.
+enum LhsCell {
+    /// Wildcard pattern: the column participates in the group key.
+    Wild { col: usize },
+    /// Constant pattern, resolved to its dictionary code.
+    Filter { col: usize, code: u32 },
+}
+
+/// A bound CFD with its pattern constants resolved to codes.
+struct Resolved {
+    cells: Vec<LhsCell>,
+    rhs_col: usize,
+    /// `Some(code)` for a constant RHS present in the column's dictionary;
+    /// `None` for a constant absent from the column (every non-NULL RHS
+    /// value differs from it). Irrelevant for variable CFDs.
+    rhs_code: Option<u32>,
+}
+
+/// Resolve pattern constants against the snapshot dictionaries. Returns
+/// `None` when some LHS constant does not occur in its column — then no row
+/// can match the pattern and the CFD holds vacuously.
+fn resolve(snap: &Snapshot, b: &BoundCfd) -> Option<Resolved> {
+    let mut cells = Vec::with_capacity(b.lhs_cols.len());
+    for (&col, pat) in b.lhs_cols.iter().zip(&b.cfd.lhs_pat) {
+        match pat {
+            Pattern::Wild => cells.push(LhsCell::Wild { col }),
+            Pattern::Const(v) => {
+                let code = snap.column(col).dictionary().code_of(v)?;
+                if code == NULL_CODE {
+                    // A NULL "constant" cannot arise from the parser, but a
+                    // programmatic pattern could; constants never match NULL.
+                    return None;
+                }
+                cells.push(LhsCell::Filter { col, code });
+            }
+        }
+    }
+    let rhs_code = b
+        .cfd
+        .rhs_pat
+        .constant()
+        .and_then(|v| snap.column(b.rhs_col).dictionary().code_of(v));
+    Some(Resolved {
+        cells,
+        rhs_col: b.rhs_col,
+        rhs_code,
+    })
+}
+
+/// Detect all violations of `cfds` in `table` by building one columnar
+/// snapshot, projected onto the columns the CFD set mentions, and
+/// evaluating every CFD against it (one encode, N rules).
+pub fn detect_columnar(table: &Table, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(table.schema()))
+        .collect::<CfdResult<_>>()?;
+    let snap = Snapshot::projected(table, &needed_columns(&bound));
+    let mut report = ViolationReport::default();
+    for (idx, b) in bound.iter().enumerate() {
+        detect_one_columnar(&snap, idx, b, &mut report);
+    }
+    Ok(report)
+}
+
+/// Detect all violations of `cfds` against an existing snapshot — the reuse
+/// path when several CFD sets (or repeated calls) run over the same data.
+pub fn detect_on_snapshot(snap: &Snapshot, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(snap.schema()))
+        .collect::<CfdResult<_>>()?;
+    let mut report = ViolationReport::default();
+    for (idx, b) in bound.iter().enumerate() {
+        detect_one_columnar(snap, idx, b, &mut report);
+    }
+    Ok(report)
+}
+
+/// A decoded violating group: LHS key, members, per-member multiplicities.
+type DecodedGroup = (Vec<Value>, Vec<(RowId, Value)>, Vec<u64>);
+
+/// Evaluate one bound CFD against the snapshot, appending to `report`.
+pub fn detect_one_columnar(
+    snap: &Snapshot,
+    cfd_idx: usize,
+    b: &BoundCfd,
+    report: &mut ViolationReport,
+) {
+    let Some(r) = resolve(snap, b) else {
+        return; // some LHS constant matches no row
+    };
+    if b.cfd.rhs_pat.constant().is_some() {
+        detect_constant(snap, cfd_idx, &r, report);
+    } else {
+        for (key, rows, own) in violating_groups(snap, b, &r) {
+            report.push_multi_prepared(cfd_idx, key, rows, &own);
+        }
+    }
+}
+
+/// Constant-RHS path: a row violates iff every LHS filter matches and its
+/// (non-NULL) RHS code differs from the pattern constant's code.
+fn detect_constant(snap: &Snapshot, cfd_idx: usize, r: &Resolved, report: &mut ViolationReport) {
+    let rhs = snap.column(r.rhs_col).codes();
+    let filters: Vec<(&[u32], u32)> = r
+        .cells
+        .iter()
+        .map(|c| match c {
+            LhsCell::Filter { col, code } => (snap.column(*col).codes(), *code),
+            // Wild LHS cells of a constant-RHS CFD match every row.
+            LhsCell::Wild { col } => (snap.column(*col).codes(), u32::MAX),
+        })
+        .filter(|(_, code)| *code != u32::MAX)
+        .collect();
+    for pos in 0..snap.n_rows() {
+        if !filters.iter().all(|(codes, code)| codes[pos] == *code) {
+            continue;
+        }
+        let c = rhs[pos];
+        if c != NULL_CODE && Some(c) != r.rhs_code {
+            report.push_single(cfd_idx, snap.row_id(pos));
+        }
+    }
+}
+
+/// Accumulator for one LHS group (non-NULL RHS members only).
+#[derive(Default)]
+struct Group {
+    /// `(snapshot position, rhs code)` in scan order.
+    rows: Vec<(u32, u32)>,
+    first_code: u32,
+    conflict: bool,
+}
+
+impl Group {
+    fn add(&mut self, pos: u32, code: u32) {
+        if self.rows.is_empty() {
+            self.first_code = code;
+        } else if code != self.first_code {
+            self.conflict = true;
+        }
+        self.rows.push((pos, code));
+    }
+}
+
+/// Group-conflict state per LHS key: `EMPTY` until a member arrives, then
+/// the first RHS code, then [`CONFLICT`] once a second distinct code shows
+/// up. RHS codes are ≥ 1 (NULL members are skipped) and far below
+/// `u32::MAX`, so both sentinels are safe.
+const EMPTY: u32 = 0;
+const CONFLICT: u32 = u32::MAX;
+/// High bit marks a slot re-labelled with a group output index in pass 2.
+const GROUP_MARK: u32 = 0x8000_0000;
+/// Absolute ceiling for the dense `u32` conflict-state vector (64 MB).
+const MAX_DENSE_STATE_SLOTS: u64 = 1 << 24;
+/// Absolute ceiling for dense `Group` accumulator vectors (~32 MB).
+const MAX_DENSE_GROUP_SLOTS: u64 = 1 << 20;
+
+#[inline]
+fn advance(state: &mut u32, rhs_code: u32) {
+    if *state == EMPTY {
+        *state = rhs_code;
+    } else if *state != rhs_code && *state != CONFLICT {
+        *state = CONFLICT;
+    }
+}
+
+/// Group the LHS-matching rows of a variable CFD by their LHS code key and
+/// return the violating groups, decoded, sorted by first member position.
+///
+/// Two passes: the first computes only a per-group conflict state (no
+/// member lists, no allocation per row), the second collects members for
+/// the — typically few — conflicted groups. This is what makes the
+/// columnar detector allocation-free on clean data.
+// Parallel code slices are indexed by one shared row position throughout;
+// an enumerate-based rewrite would obscure that.
+#[allow(clippy::needless_range_loop)]
+fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> Vec<DecodedGroup> {
+    let scan = Scan::new(snap, r);
+    let n = snap.n_rows();
+    let rhs = snap.column(r.rhs_col).codes();
+
+    let mut groups: Vec<(Key, Group)> = Vec::new();
+    if let Some(total_bits) = scan.packed_bits() {
+        let slots = 1u64 << total_bits.min(63);
+        // The dense state is one u32 per slot, so a generous per-row cap is
+        // cheap, but bound the absolute allocation too (2^24 slots = 64 MB)
+        // so very large tables with wide keys fall back to hashing instead
+        // of zeroing gigabytes per CFD.
+        if slots <= (64 * n as u64).clamp(4_096, MAX_DENSE_STATE_SLOTS) {
+            // Dense: state per slot, direct indexing, no hashing at all.
+            let mut state = vec![EMPTY; slots as usize];
+            for pos in 0..n {
+                let Some(key) = scan.packed_key(pos) else {
+                    continue;
+                };
+                let rc = rhs[pos];
+                if rc != NULL_CODE {
+                    advance(&mut state[key as usize], rc);
+                }
+            }
+            if state.contains(&CONFLICT) {
+                for pos in 0..n {
+                    let Some(key) = scan.packed_key(pos) else {
+                        continue;
+                    };
+                    let rc = rhs[pos];
+                    if rc == NULL_CODE {
+                        continue;
+                    }
+                    let s = state[key as usize];
+                    // Conflicted slots are re-labelled with their output
+                    // index on first touch (high bit set); dictionary codes
+                    // never reach the high bit.
+                    let idx = if s == CONFLICT {
+                        let idx = groups.len();
+                        groups.push((Key::Packed(key), Group::default()));
+                        state[key as usize] = GROUP_MARK | idx as u32;
+                        idx
+                    } else if s & GROUP_MARK != 0 {
+                        (s & !GROUP_MARK) as usize
+                    } else {
+                        continue; // clean group
+                    };
+                    groups[idx].1.add(pos as u32, rc);
+                }
+            }
+        } else {
+            // Hashed u64 keys.
+            let mut state: FxHashMap<u64, u32> = FxHashMap::default();
+            for pos in 0..n {
+                let Some(key) = scan.packed_key(pos) else {
+                    continue;
+                };
+                let rc = rhs[pos];
+                if rc != NULL_CODE {
+                    advance(state.entry(key).or_insert(EMPTY), rc);
+                }
+            }
+            if state.values().any(|&s| s == CONFLICT) {
+                for pos in 0..n {
+                    let Some(key) = scan.packed_key(pos) else {
+                        continue;
+                    };
+                    let rc = rhs[pos];
+                    if rc == NULL_CODE {
+                        continue;
+                    }
+                    let Some(s) = state.get_mut(&key) else {
+                        continue;
+                    };
+                    let idx = if *s == CONFLICT {
+                        let idx = groups.len();
+                        groups.push((Key::Packed(key), Group::default()));
+                        *s = GROUP_MARK | idx as u32;
+                        idx
+                    } else if *s & GROUP_MARK != 0 {
+                        (*s & !GROUP_MARK) as usize
+                    } else {
+                        continue; // clean group
+                    };
+                    groups[idx].1.add(pos as u32, rc);
+                }
+            }
+        }
+    } else {
+        // Wide keys: accumulate everything (rare: > 64 key bits).
+        groups = group_by_codes(snap, r)
+            .into_iter()
+            .filter(|(_, g)| g.conflict)
+            .collect();
+    }
+
+    let mut out: Vec<(u32, DecodedGroup)> = groups
+        .into_iter()
+        .map(|(key, g)| {
+            let first_pos = g.rows.first().map(|(p, _)| *p).unwrap_or(0);
+            let (members, own) = decode_members(snap, r, &g);
+            (first_pos, (decode_key(snap, b, r, &key), members, own))
+        })
+        .collect();
+    out.sort_by_key(|(first, _)| *first);
+    out.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Reusable per-row scan state for one resolved variable CFD: constant
+/// filters plus the packed-key layout of the wildcard columns.
+struct Scan<'a> {
+    filters: Vec<(&'a [u32], u32)>,
+    wilds: Vec<(&'a [u32], u32)>,
+    total_bits: u32,
+}
+
+impl<'a> Scan<'a> {
+    fn new(snap: &'a Snapshot, r: &Resolved) -> Scan<'a> {
+        let mut filters = Vec::new();
+        let mut wilds = Vec::new();
+        let mut total_bits = 0u32;
+        for cell in &r.cells {
+            match cell {
+                LhsCell::Filter { col, code } => {
+                    filters.push((snap.column(*col).codes(), *code));
+                }
+                LhsCell::Wild { col } => {
+                    let bits = snap.column(*col).dictionary().code_bits();
+                    total_bits += bits;
+                    wilds.push((snap.column(*col).codes(), bits));
+                }
+            }
+        }
+        Scan {
+            filters,
+            wilds,
+            total_bits,
+        }
+    }
+
+    /// Key width when the packed representation applies (≤ 64 bits).
+    fn packed_bits(&self) -> Option<u32> {
+        (self.total_bits <= 64).then_some(self.total_bits)
+    }
+
+    /// The packed key of row `pos`, or `None` when a constant filter
+    /// rejects the row.
+    #[inline]
+    fn packed_key(&self, pos: usize) -> Option<u64> {
+        for (codes, code) in &self.filters {
+            if codes[pos] != *code {
+                return None;
+            }
+        }
+        let mut key = 0u64;
+        for (codes, bits) in &self.wilds {
+            key = (key << bits) | codes[pos] as u64;
+        }
+        Some(key)
+    }
+}
+
+/// A group key: packed codes when they fit in 64 bits, boxed codes otherwise.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Packed(u64),
+    Wide(Box<[u32]>),
+}
+
+/// Single grouping pass over the code columns. Returns every group (the
+/// incremental seeding path needs non-violating groups too).
+fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
+    let wild_cols: Vec<usize> = r
+        .cells
+        .iter()
+        .filter_map(|c| match c {
+            LhsCell::Wild { col } => Some(*col),
+            LhsCell::Filter { .. } => None,
+        })
+        .collect();
+    let filters: Vec<(&[u32], u32)> = r
+        .cells
+        .iter()
+        .filter_map(|c| match c {
+            LhsCell::Filter { col, code } => Some((snap.column(*col).codes(), *code)),
+            LhsCell::Wild { .. } => None,
+        })
+        .collect();
+    let rhs = snap.column(r.rhs_col).codes();
+    let n = snap.n_rows();
+
+    let total_bits: u32 = wild_cols
+        .iter()
+        .map(|&c| snap.column(c).dictionary().code_bits())
+        .sum();
+
+    if total_bits <= 64 {
+        let wilds: Vec<(&[u32], u32)> = wild_cols
+            .iter()
+            .map(|&c| {
+                (
+                    snap.column(c).codes(),
+                    snap.column(c).dictionary().code_bits(),
+                )
+            })
+            .collect();
+        // Dense path: when the packed key space is small relative to the
+        // data, index a plain vector — grouping without any hashing. Group
+        // slots are an order of magnitude wider than the u32 state of the
+        // detection path, so the absolute ceiling is tighter.
+        let slots = 1u64 << total_bits.min(63);
+        if slots <= (2 * n as u64).clamp(4_096, MAX_DENSE_GROUP_SLOTS) {
+            let mut groups: Vec<Group> = Vec::new();
+            groups.resize_with(slots as usize, Group::default);
+            'drow: for pos in 0..n {
+                for (codes, code) in &filters {
+                    if codes[pos] != *code {
+                        continue 'drow;
+                    }
+                }
+                let rc = rhs[pos];
+                if rc == NULL_CODE {
+                    continue; // COUNT(DISTINCT) ignores NULL members
+                }
+                let mut key = 0u64;
+                for (codes, bits) in &wilds {
+                    key = (key << bits) | codes[pos] as u64;
+                }
+                groups[key as usize].add(pos as u32, rc);
+            }
+            return groups
+                .into_iter()
+                .enumerate()
+                .filter(|(_, g)| !g.rows.is_empty())
+                .map(|(k, g)| (Key::Packed(k as u64), g))
+                .collect();
+        }
+        // Hashed path: pack the whole key into one u64.
+        let mut groups: FxHashMap<u64, Group> = FxHashMap::default();
+        'row: for pos in 0..n {
+            for (codes, code) in &filters {
+                if codes[pos] != *code {
+                    continue 'row;
+                }
+            }
+            let rc = rhs[pos];
+            if rc == NULL_CODE {
+                continue;
+            }
+            let mut key = 0u64;
+            for (codes, bits) in &wilds {
+                key = (key << bits) | codes[pos] as u64;
+            }
+            groups.entry(key).or_default().add(pos as u32, rc);
+        }
+        groups
+            .into_iter()
+            .map(|(k, g)| (Key::Packed(k), g))
+            .collect()
+    } else {
+        // Wide path: materialize the code key.
+        let wilds: Vec<&[u32]> = wild_cols.iter().map(|&c| snap.column(c).codes()).collect();
+        let mut groups: FxHashMap<Box<[u32]>, Group> = FxHashMap::default();
+        'row: for pos in 0..n {
+            for (codes, code) in &filters {
+                if codes[pos] != *code {
+                    continue 'row;
+                }
+            }
+            let rc = rhs[pos];
+            if rc == NULL_CODE {
+                continue;
+            }
+            let key: Box<[u32]> = wilds.iter().map(|codes| codes[pos]).collect();
+            groups.entry(key).or_default().add(pos as u32, rc);
+        }
+        groups.into_iter().map(|(k, g)| (Key::Wide(k), g)).collect()
+    }
+}
+
+/// Decode a group key back into the `Vec<Value>` LHS key the report format
+/// uses: pattern order, constants included, wildcard codes decoded.
+fn decode_key(snap: &Snapshot, b: &BoundCfd, r: &Resolved, key: &Key) -> Vec<Value> {
+    // Recover per-wildcard codes from the key.
+    let wild_cols: Vec<usize> = r
+        .cells
+        .iter()
+        .filter_map(|c| match c {
+            LhsCell::Wild { col } => Some(*col),
+            LhsCell::Filter { .. } => None,
+        })
+        .collect();
+    let wild_codes: Vec<u32> = match key {
+        Key::Wide(codes) => codes.to_vec(),
+        Key::Packed(mut packed) => {
+            let bits: Vec<u32> = wild_cols
+                .iter()
+                .map(|&c| snap.column(c).dictionary().code_bits())
+                .collect();
+            let mut rev: Vec<u32> = Vec::with_capacity(bits.len());
+            for &b in bits.iter().rev() {
+                rev.push((packed & ((1u64 << b) - 1)) as u32);
+                packed >>= b;
+            }
+            rev.reverse();
+            rev
+        }
+    };
+    debug_assert_eq!(r.cells.len(), b.cfd.lhs_pat.len());
+    let mut wild_iter = wild_cols.iter().zip(&wild_codes);
+    r.cells
+        .iter()
+        .map(|cell| match cell {
+            LhsCell::Filter { col, code } => snap.column(*col).dictionary().decode(*code),
+            LhsCell::Wild { .. } => {
+                let (&col, &code) = wild_iter.next().expect("one code per wildcard");
+                snap.column(col).dictionary().decode(code)
+            }
+        })
+        .collect()
+}
+
+/// Decode group members into `(RowId, Value)` pairs, plus each member's
+/// value multiplicity within the group — counted over codes, so the report
+/// layer never compares values.
+/// Decode group members without multiplicity counting — the seeding path
+/// materializes every group (violating or not) and never needs `own`.
+fn decode_members_only(snap: &Snapshot, r: &Resolved, g: &Group) -> Vec<(RowId, Value)> {
+    let dict = snap.column(r.rhs_col).dictionary();
+    g.rows
+        .iter()
+        .map(|&(pos, code)| (snap.row_id(pos as usize), dict.decode(code)))
+        .collect()
+}
+
+fn decode_members(snap: &Snapshot, r: &Resolved, g: &Group) -> (Vec<(RowId, Value)>, Vec<u64>) {
+    // Counted-vec for the typical few-distinct-values group; hash fallback
+    // keeps high-cardinality groups O(members).
+    const LINEAR_MAX: usize = 16;
+    let dict = snap.column(r.rhs_col).dictionary();
+    let mut counts: Vec<(u32, u64)> = Vec::new();
+    let mut hashed: Option<FxHashMap<u32, u64>> = None;
+    for &(_, code) in &g.rows {
+        if let Some(map) = &mut hashed {
+            *map.entry(code).or_default() += 1;
+            continue;
+        }
+        match counts.iter().position(|(c, _)| *c == code) {
+            Some(i) => counts[i].1 += 1,
+            None if counts.len() < LINEAR_MAX => counts.push((code, 1)),
+            None => {
+                let mut map: FxHashMap<u32, u64> = counts.drain(..).collect();
+                *map.entry(code).or_default() += 1;
+                hashed = Some(map);
+            }
+        }
+    }
+    let members = g
+        .rows
+        .iter()
+        .map(|&(pos, code)| (snap.row_id(pos as usize), dict.decode(code)))
+        .collect();
+    let own = g
+        .rows
+        .iter()
+        .map(|&(_, code)| match &hashed {
+            Some(map) => map[&code],
+            None => {
+                counts
+                    .iter()
+                    .find(|(c, _)| *c == code)
+                    .expect("every member was counted")
+                    .1
+            }
+        })
+        .collect();
+    (members, own)
+}
+
+/// Build an [`IncrementalDetector`] by seeding its per-CFD state from one
+/// columnar pass instead of the row-at-a-time insert loop — the full-rescan
+/// fallback of the data monitor.
+pub fn seed_incremental(snap: &Snapshot, cfds: &[Cfd]) -> CfdResult<IncrementalDetector> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(snap.schema()))
+        .collect::<CfdResult<_>>()?;
+    let mut seeds = Vec::with_capacity(bound.len());
+    for b in &bound {
+        let seed = match resolve(snap, b) {
+            None => {
+                // No row matches the LHS pattern: empty state of either kind.
+                if b.cfd.rhs_pat.is_wild() {
+                    CfdSeed::Variable { groups: Vec::new() }
+                } else {
+                    CfdSeed::Constant {
+                        violating: Vec::new(),
+                    }
+                }
+            }
+            Some(r) => {
+                if b.cfd.rhs_pat.is_wild() {
+                    let groups = group_by_codes(snap, &r)
+                        .into_iter()
+                        .map(|(key, g)| {
+                            (
+                                decode_key(snap, b, &r, &key),
+                                decode_members_only(snap, &r, &g),
+                            )
+                        })
+                        .collect();
+                    CfdSeed::Variable { groups }
+                } else {
+                    let mut report = ViolationReport::default();
+                    detect_constant(snap, 0, &r, &mut report);
+                    CfdSeed::Constant {
+                        violating: report.dirty_rows(),
+                    }
+                }
+            }
+        };
+        seeds.push(seed);
+    }
+    Ok(IncrementalDetector::from_parts(bound, seeds))
+}
+
+/// [`seed_incremental`] from a table (snapshot built internally, projected
+/// onto the columns the CFD set mentions).
+pub fn build_incremental(table: &Table, cfds: &[Cfd]) -> CfdResult<IncrementalDetector> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(table.schema()))
+        .collect::<CfdResult<_>>()?;
+    let snap = Snapshot::projected(table, &needed_columns(&bound));
+    seed_incremental(&snap, cfds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd::parse::parse_cfds;
+    use datagen::dirty_customers;
+    use detect::detect_native;
+    use minidb::Schema;
+
+    fn assert_equivalent(table: &Table, cfds: &[Cfd]) {
+        let native = detect_native(table, cfds).unwrap().normalized();
+        let columnar = detect_columnar(table, cfds).unwrap().normalized();
+        assert_eq!(native, columnar);
+    }
+
+    #[test]
+    fn matches_native_on_customer_workload() {
+        let d = dirty_customers(500, 0.06, 21);
+        assert_equivalent(d.db.table("customer").unwrap(), &d.cfds);
+    }
+
+    #[test]
+    fn matches_native_on_clean_data() {
+        let d = dirty_customers(300, 0.0, 22);
+        let t = d.db.table("customer").unwrap();
+        let r = detect_columnar(t, &d.cfds).unwrap();
+        assert!(r.is_empty());
+        assert_equivalent(t, &d.cfds);
+    }
+
+    #[test]
+    fn snapshot_reuse_across_cfd_sets() {
+        let d = dirty_customers(400, 0.05, 23);
+        let t = d.db.table("customer").unwrap();
+        let snap = Snapshot::of(t);
+        // One encode, several rule sets.
+        for subset in [&d.cfds[..2], &d.cfds[2..], &d.cfds[..]] {
+            let a = detect_on_snapshot(&snap, subset).unwrap().normalized();
+            let b = detect_native(t, subset).unwrap().normalized();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn absent_constant_short_circuits() {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+        t.insert(vec![Value::str("x"), Value::str("1")]).unwrap();
+        t.insert(vec![Value::str("x"), Value::str("2")]).unwrap();
+        // 'zz' never occurs in column A: the conditional rules match nothing.
+        let cfds = parse_cfds("r: [A='zz'] -> [B='1']\nr: [A='zz'] -> [B=_]").unwrap();
+        let r = detect_columnar(&t, &cfds).unwrap();
+        assert!(r.is_empty());
+        assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn absent_rhs_constant_flags_all_matching_rows() {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+        t.insert(vec![Value::str("x"), Value::str("1")]).unwrap();
+        t.insert(vec![Value::str("x"), Value::Null]).unwrap();
+        // 'target' is absent from B's dictionary: every non-NULL B violates.
+        let cfds = parse_cfds("r: [A='x'] -> [B='target']").unwrap();
+        let r = detect_columnar(&t, &cfds).unwrap();
+        assert_eq!(r.len(), 1, "NULL RHS is never a single-tuple violation");
+        assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn all_null_column_groups_as_one() {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+        for v in ["1", "2", "2"] {
+            t.insert(vec![Value::Null, Value::str(v)]).unwrap();
+        }
+        // All-NULL LHS: one group under strong equality, two distinct B.
+        let cfds = parse_cfds("r: [A] -> [B]").unwrap();
+        let r = detect_columnar(&t, &cfds).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn wide_keys_fall_back_beyond_64_bits() {
+        // 17 LHS columns of cardinality >= 8 (4 bits each incl. NULL code)
+        // exceed the packed budget only with enough distinct values; use a
+        // high-cardinality instance to force > 64 key bits.
+        let names: Vec<String> = (0..17).map(|i| format!("C{i}")).collect();
+        let mut cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        cols.push("RHS");
+        let mut t = Table::new("wide", Schema::of_strings(&cols));
+        for row in 0..40 {
+            let mut vals: Vec<Value> = (0..17)
+                .map(|c| Value::str(format!("v{}", (row / 2 + c) % 20)))
+                .collect();
+            vals.push(Value::str(format!("r{}", row % 3)));
+            t.insert(vals).unwrap();
+        }
+        let rule = format!("wide: [{}] -> [RHS]", names.join(", "));
+        let cfds = parse_cfds(&rule).unwrap();
+        assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn hashed_u64_path_beyond_dense_cap() {
+        // Force the packed-but-hashed branch: two ~140-distinct columns give
+        // a 16-bit key (65 536 slots), above clamp(64 * 300, 4096, 2^24) for
+        // dense state at 300 rows — so grouping must hash u64 keys. Seed
+        // conflicts via duplicated (A, B) pairs with disagreeing RHS.
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B", "RHS"]));
+        for i in 0..140 {
+            t.insert(vec![
+                Value::str(format!("a{i}")),
+                Value::str(format!("b{i}")),
+                Value::str("same"),
+            ])
+            .unwrap();
+        }
+        for i in 0..140 {
+            // Duplicate keys; every third pair disagrees on RHS.
+            let rhs = if i % 3 == 0 { "diff" } else { "same" };
+            t.insert(vec![
+                Value::str(format!("a{i}")),
+                Value::str(format!("b{i}")),
+                Value::str(rhs),
+            ])
+            .unwrap();
+        }
+        let cfds = parse_cfds("r: [A, B] -> [RHS]").unwrap();
+        let r = detect_columnar(&t, &cfds).unwrap();
+        assert_eq!(r.len(), 47, "every i % 3 == 0 group conflicts");
+        assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn seeded_incremental_matches_classic_build() {
+        let d = dirty_customers(300, 0.05, 24);
+        let t = d.db.table("customer").unwrap();
+        let classic = IncrementalDetector::build(t, &d.cfds).unwrap();
+        let seeded = build_incremental(t, &d.cfds).unwrap();
+        assert_eq!(classic.report().normalized(), seeded.report().normalized());
+        assert_eq!(classic.total_violations(), seeded.total_violations());
+        for (id, _) in t.iter() {
+            assert_eq!(classic.vio_of(id), seeded.vio_of(id));
+        }
+    }
+
+    #[test]
+    fn seeded_incremental_stays_consistent_under_updates() {
+        let d = dirty_customers(200, 0.05, 25);
+        let t = d.db.table("customer").unwrap();
+        let mut det = build_incremental(t, &d.cfds).unwrap();
+        let mut table = t.clone();
+        // Mutate through the incremental interface, then cross-check batch.
+        let ids = table.row_ids();
+        for (i, &id) in ids.iter().take(20).enumerate() {
+            let old: Vec<Value> = table.get(id).unwrap().to_vec();
+            let mut new = old.clone();
+            new[2] = Value::str(format!("CITY{i}"));
+            table.update_cell(id, 2, new[2].clone()).unwrap();
+            det.update(id, &old, &new);
+        }
+        let batch = detect_native(&table, &d.cfds).unwrap().normalized();
+        assert_eq!(batch, det.report().normalized());
+    }
+}

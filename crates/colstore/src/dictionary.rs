@@ -1,0 +1,218 @@
+//! Per-column value dictionaries.
+//!
+//! A [`Dictionary`] maps the distinct non-NULL values of one column to dense
+//! `u32` codes `1..=n`, with code [`NULL_CODE`] (= 0) reserved for SQL NULL.
+//! Equality of codes is exactly [`Value::strong_eq`] equality (the map is
+//! keyed by `Value`, whose `Eq`/`Hash` impls are strong-equality: `3` and
+//! `3.0` intern to the same code, NaN equals NaN), so integer comparisons
+//! over codes reproduce the reference detector's grouping semantics bit for
+//! bit.
+
+use std::hash::{Hash, Hasher};
+
+use minidb::Value;
+
+use detect::fxhash::FxHasher;
+
+/// The reserved code for SQL NULL.
+pub const NULL_CODE: u32 = 0;
+
+#[inline]
+fn hash_value(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// A dense value ↔ code mapping for one column.
+///
+/// The index is a hand-rolled open-addressing table storing `(hash, code)`
+/// pairs: interning is the hottest loop of the encode, and one linear-probe
+/// array walk with a stored-hash compare beats the general `HashMap`
+/// machinery measurably. Code 0 in a slot means empty ([`NULL_CODE`] never
+/// enters the index).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    /// `values[i]` is the value with code `i + 1` (first-seen variant when
+    /// cross-type strong-equal values occur).
+    values: Vec<Value>,
+    /// Power-of-two probe table of `(value hash, code)`.
+    slots: Vec<(u64, u32)>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); new_cap]);
+        let mask = self.mask();
+        for (h, code) in old {
+            if code == 0 {
+                continue;
+            }
+            let mut idx = h as usize & mask;
+            while self.slots[idx].1 != 0 {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = (h, code);
+        }
+    }
+
+    /// Intern `v`, returning its code (assigning the next one on first
+    /// sight). NULL always maps to [`NULL_CODE`]; the value is cloned only
+    /// the first time it is seen.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if v.is_null() {
+            return NULL_CODE;
+        }
+        if self.slots.len() < (self.values.len() + 1) * 8 / 7 + 1 {
+            self.grow();
+        }
+        let h = hash_value(v);
+        let mask = self.mask();
+        let mut idx = h as usize & mask;
+        loop {
+            let (sh, code) = self.slots[idx];
+            if code == 0 {
+                let code = (self.values.len() + 1) as u32;
+                self.values.push(v.clone());
+                self.slots[idx] = (h, code);
+                return code;
+            }
+            if sh == h && self.values[(code - 1) as usize].strong_eq(v) {
+                return code;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Look up the code of `v` without interning. NULL yields
+    /// `Some(NULL_CODE)`; a non-NULL value absent from the column yields
+    /// `None` (no row can match it).
+    pub fn code_of(&self, v: &Value) -> Option<u32> {
+        if v.is_null() {
+            return Some(NULL_CODE);
+        }
+        if self.slots.is_empty() {
+            return None;
+        }
+        let h = hash_value(v);
+        let mask = self.mask();
+        let mut idx = h as usize & mask;
+        loop {
+            let (sh, code) = self.slots[idx];
+            if code == 0 {
+                return None;
+            }
+            if sh == h && self.values[(code - 1) as usize].strong_eq(v) {
+                return Some(code);
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Decode a code. [`NULL_CODE`] yields `None` (the caller renders NULL).
+    pub fn value_of(&self, code: u32) -> Option<&Value> {
+        if code == NULL_CODE {
+            None
+        } else {
+            self.values.get((code - 1) as usize)
+        }
+    }
+
+    /// Decode a code into an owned [`Value`], materializing NULL.
+    pub fn decode(&self, code: u32) -> Value {
+        match self.value_of(code) {
+            Some(v) => v.clone(),
+            None => Value::Null,
+        }
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column held no non-NULL values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Bits needed to store any code of this dictionary (codes run
+    /// `0..=len`). At least 1, so packed keys of all-empty columns still
+    /// consume a slot.
+    pub fn code_bits(&self) -> u32 {
+        let max_code = self.values.len() as u32;
+        (32 - max_code.leading_zeros()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Value::str("x"));
+        let b = d.intern(&Value::str("y"));
+        let a2 = d.intern(&Value::str("x"));
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(a, a2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value_of(a), Some(&Value::str("x")));
+    }
+
+    #[test]
+    fn null_is_the_sentinel() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern(&Value::Null), NULL_CODE);
+        assert_eq!(d.code_of(&Value::Null), Some(NULL_CODE));
+        assert!(d.value_of(NULL_CODE).is_none());
+        assert!(d.decode(NULL_CODE).is_null());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn cross_type_strong_equality_shares_codes() {
+        let mut d = Dictionary::new();
+        let i = d.intern(&Value::Int(3));
+        let f = d.intern(&Value::Float(3.0));
+        assert_eq!(i, f, "3 and 3.0 are strong-equal and must share a code");
+        assert_eq!(d.code_of(&Value::Float(3.0)), Some(i));
+        let n1 = d.intern(&Value::Float(f64::NAN));
+        let n2 = d.intern(&Value::Float(f64::NAN));
+        assert_eq!(n1, n2, "NaN groups with NaN, as in strong_eq");
+    }
+
+    #[test]
+    fn absent_values_have_no_code() {
+        let mut d = Dictionary::new();
+        d.intern(&Value::str("present"));
+        assert_eq!(d.code_of(&Value::str("absent")), None);
+    }
+
+    #[test]
+    fn code_bits_grow_with_cardinality() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.code_bits(), 1);
+        d.intern(&Value::Int(1));
+        assert_eq!(d.code_bits(), 1); // codes {0, 1}
+        d.intern(&Value::Int(2));
+        assert_eq!(d.code_bits(), 2); // codes {0, 1, 2}
+        for i in 3..=255 {
+            d.intern(&Value::Int(i));
+        }
+        assert_eq!(d.code_bits(), 8);
+    }
+}

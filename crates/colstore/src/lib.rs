@@ -1,0 +1,35 @@
+//! # colstore — columnar snapshot store with vectorized CFD detection
+//!
+//! A new execution layer under the Semandaq detector: an immutable,
+//! dictionary-encoded columnar copy of a [`minidb::Table`] plus a detector
+//! that evaluates CFDs over integer codes instead of cloned `Value` rows.
+//!
+//! * [`Dictionary`] — per-column value ↔ dense `u32` code mapping, with
+//!   code 0 ([`NULL_CODE`]) reserved for SQL NULL; code equality is exactly
+//!   `Value::strong_eq` equality, so code comparisons reproduce the
+//!   reference semantics.
+//! * [`Column`] — an `Arc`-shared code vector plus its dictionary; cloning
+//!   is a refcount bump.
+//! * [`Snapshot`] — one encode pass over a table's live rows; the unit of
+//!   reuse across a whole CFD set (one encode, N rules) and across engines.
+//! * [`detect_columnar`] / [`detect_on_snapshot`] — constant CFDs by code
+//!   comparison over column slices, variable CFDs by grouping packed `u64`
+//!   (or wide `[u32]`) LHS code keys. Returns reports `normalized()`-equal
+//!   to [`detect::detect_native`] on every instance.
+//! * [`seed_incremental`] / [`build_incremental`] — bulk-seed the
+//!   incremental detector's group state from one columnar pass (the data
+//!   monitor's full-rescan fallback).
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod detect;
+pub mod dictionary;
+pub mod snapshot;
+
+pub use self::column::{Column, ColumnBuilder};
+pub use self::detect::{
+    build_incremental, detect_columnar, detect_on_snapshot, detect_one_columnar, seed_incremental,
+};
+pub use self::dictionary::{Dictionary, NULL_CODE};
+pub use self::snapshot::Snapshot;

@@ -1,0 +1,221 @@
+//! Immutable columnar snapshots of heap tables.
+//!
+//! [`Snapshot::of`] makes one pass over a [`Table`], dictionary-encoding
+//! every column and recording the live-row id order; [`Snapshot::projected`]
+//! encodes only a chosen column subset (the detector projects onto the
+//! columns its CFD set mentions, skipping expensive high-cardinality
+//! free-text columns entirely). The snapshot is the unit of reuse: encode
+//! once, then evaluate an arbitrary number of CFDs (or build partitions, or
+//! seed the incremental detector) against the same code columns. Cloning a
+//! snapshot is cheap — row ids and columns are `Arc`-shared.
+
+use std::sync::Arc;
+
+use minidb::{RowId, Schema, Table};
+
+use crate::column::{Column, ColumnBuilder};
+
+/// A columnar, dictionary-encoded, immutable copy of a table's live rows.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    name: String,
+    schema: Schema,
+    row_ids: Arc<Vec<RowId>>,
+    /// One slot per schema column; `None` for columns outside the
+    /// projection of [`Snapshot::projected`].
+    columns: Vec<Option<Column>>,
+}
+
+impl Snapshot {
+    /// Encode all live rows of `table`, all columns, in iteration (arena)
+    /// order.
+    pub fn of(table: &Table) -> Snapshot {
+        let all: Vec<usize> = (0..table.schema().arity()).collect();
+        Snapshot::projected(table, &all)
+    }
+
+    /// Encode only the columns in `cols` (deduplicated; order irrelevant).
+    /// Accessing a column outside the projection panics — project onto
+    /// exactly what the consumer evaluates.
+    ///
+    /// Columns encode independently, so large tables fan the per-column
+    /// interning passes across scoped threads.
+    pub fn projected(table: &Table, cols: &[usize]) -> Snapshot {
+        /// Below this row count the spawn overhead outweighs the win.
+        const PARALLEL_ROWS: usize = 8_192;
+
+        let arity = table.schema().arity();
+        let rows = table.len();
+        let mut wanted = vec![false; arity];
+        for &c in cols {
+            if c < arity {
+                wanted[c] = true;
+            }
+        }
+        let mut columns: Vec<Option<Column>> = vec![None; arity];
+        let targets: Vec<usize> = (0..arity).filter(|&c| wanted[c]).collect();
+        let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let row_ids: Vec<RowId>;
+        if rows >= PARALLEL_ROWS && targets.len() > 1 && parallelism > 1 {
+            // Multicore: one interning thread per column (each pays its own
+            // walk over the row arena, amortized by the parallelism).
+            row_ids = table.iter().map(|(id, _)| id).collect();
+            let encode_one = |c: usize| {
+                let mut b = ColumnBuilder::with_capacity(rows);
+                for (_, row) in table.iter() {
+                    b.push(&row[c]);
+                }
+                b.finish()
+            };
+            let encoded = crossbeam::scope(|s| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|&c| s.spawn(move |_| (c, encode_one(c))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("column encoder does not panic"))
+                    .collect::<Vec<(usize, Column)>>()
+            })
+            .expect("encode workers do not panic");
+            for (c, col) in encoded {
+                columns[c] = Some(col);
+            }
+        } else {
+            // Serial: a single interleaved walk — every row is dereferenced
+            // once, not once per column.
+            let mut ids = Vec::with_capacity(rows);
+            let mut builders: Vec<(usize, ColumnBuilder)> = targets
+                .iter()
+                .map(|&c| (c, ColumnBuilder::with_capacity(rows)))
+                .collect();
+            for (id, row) in table.iter() {
+                ids.push(id);
+                for (c, b) in builders.iter_mut() {
+                    b.push(&row[*c]);
+                }
+            }
+            row_ids = ids;
+            for (c, b) in builders {
+                columns[c] = Some(b.finish());
+            }
+        }
+        Snapshot {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            row_ids: Arc::new(row_ids),
+            columns,
+        }
+    }
+
+    /// Name of the source table.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema of the source table.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of encoded rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// True when the snapshot holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// One column by schema position. Panics if `idx` was projected away.
+    pub fn column(&self, idx: usize) -> &Column {
+        self.columns[idx]
+            .as_ref()
+            .expect("column was projected away; encode it via Snapshot::of or projected()")
+    }
+
+    /// True when column `idx` was encoded.
+    pub fn has_column(&self, idx: usize) -> bool {
+        self.columns.get(idx).is_some_and(Option::is_some)
+    }
+
+    /// The encoded columns with their schema positions.
+    pub fn encoded_columns(&self) -> impl Iterator<Item = (usize, &Column)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+
+    /// The stable row id at snapshot position `pos`.
+    pub fn row_id(&self, pos: usize) -> RowId {
+        self.row_ids[pos]
+    }
+
+    /// All row ids in snapshot order.
+    pub fn row_ids(&self) -> &[RowId] {
+        &self.row_ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+        t.insert(vec![Value::str("x"), Value::str("p")]).unwrap();
+        t.insert(vec![Value::str("y"), Value::Null]).unwrap();
+        t.insert(vec![Value::str("x"), Value::str("q")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn snapshot_mirrors_live_rows() {
+        let mut t = table();
+        let victim = t.row_ids()[1];
+        t.delete(victim).unwrap();
+        let s = Snapshot::of(&t);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row_ids(), &[RowId(0), RowId(2)]);
+        assert_eq!(s.column(0).codes(), &[1, 1], "x interned once");
+        assert_eq!(s.column(1).codes(), &[1, 2]);
+        assert_eq!(s.schema().arity(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_table_mutation() {
+        let mut t = table();
+        let s = Snapshot::of(&t);
+        t.insert(vec![Value::str("z"), Value::str("r")]).unwrap();
+        assert_eq!(s.n_rows(), 3, "snapshot must not see later inserts");
+    }
+
+    #[test]
+    fn empty_table_snapshot() {
+        let t = Table::new("e", Schema::of_strings(&["A"]));
+        let s = Snapshot::of(&t);
+        assert!(s.is_empty());
+        assert_eq!(s.column(0).len(), 0);
+    }
+
+    #[test]
+    fn projection_encodes_only_requested_columns() {
+        let t = table();
+        let s = Snapshot::projected(&t, &[1]);
+        assert!(!s.has_column(0));
+        assert!(s.has_column(1));
+        assert_eq!(s.column(1).codes(), &[1, 0, 2]);
+        assert_eq!(s.encoded_columns().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "projected away")]
+    fn accessing_projected_away_column_panics() {
+        let t = table();
+        let s = Snapshot::projected(&t, &[1]);
+        let _ = s.column(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `crossbeam` surface this workspace uses:
+//! [`scope`] with crossbeam's `FnOnce(&Scope) -> R` shape, implemented over
+//! `std::thread::scope`. A panicking worker propagates when the scope joins
+//! (crossbeam reports it as `Err`; every call site `.expect(..)`s that `Err`,
+//! so propagation is observationally equivalent).
+
+#![warn(missing_docs)]
+
+use std::thread::Scope as StdScope;
+
+/// Handle passed to the closure of [`scope`]; lets workers spawn siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope StdScope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope again, mirroring
+    /// crossbeam's `|s|` parameter (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// workers are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(data.len(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}

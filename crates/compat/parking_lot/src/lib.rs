@@ -1,0 +1,45 @@
+//! Offline stand-in for the `parking_lot` surface this workspace uses:
+//! [`Mutex`] with parking_lot's poison-free `lock()` signature, implemented
+//! over `std::sync::Mutex` (a poisoned lock panics, which matches the
+//! "worker panics abort the operation" expectation at the call sites).
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutex whose `lock()` returns the guard directly (no `Result`).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock, blocking. Panics if a holder panicked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex holder panicked")
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,112 @@
+//! String strategies: [`string_regex`] for the character-class patterns the
+//! workspace tests use (`[chars]{min,max}`, e.g. `"[a-z]{2,8}"`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error returned for unsupported patterns.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strategy producing strings matching a `[class]{min,max}` pattern.
+pub struct RegexStrategy {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.max - self.min + 1) as u64;
+        let len = self.min + (rng.next_u64() % span) as usize;
+        (0..len)
+            .map(|_| self.alphabet[(rng.next_u64() % self.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Build a generator for `pattern`, which must have the shape
+/// `[class]{min,max}` — a single character class (ranges like `a-z` and
+/// literal characters) with a bounded repetition. This covers every pattern
+/// used in the workspace; anything else yields an [`Error`].
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let err = || Error(pattern.to_string());
+    let rest = pattern.strip_prefix('[').ok_or_else(err)?;
+    let class_end = rest.find(']').ok_or_else(err)?;
+    let class = &rest[..class_end];
+    let quant = rest[class_end + 1..]
+        .strip_prefix('{')
+        .and_then(|q| q.strip_suffix('}'))
+        .ok_or_else(err)?;
+    let (min_s, max_s) = quant.split_once(',').ok_or_else(err)?;
+    let min: usize = min_s.trim().parse().map_err(|_| err())?;
+    let max: usize = max_s.trim().parse().map_err(|_| err())?;
+    if min > max {
+        return Err(err());
+    }
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return Err(err());
+            }
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return Err(err());
+    }
+    Ok(RegexStrategy { alphabet, min, max })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_literal() {
+        let s = string_regex("[a-c ]{0,8}").unwrap();
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 8);
+            assert!(v.chars().all(|c| matches!(c, 'a'..='c' | ' ')), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn nonzero_minimum_respected() {
+        let s = string_regex("[a-z]{2,8}").unwrap();
+        let mut rng = TestRng::from_name("regex2");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=8).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(string_regex("(a|b)+").is_err());
+        assert!(string_regex("[z-a]{1,2}").is_err());
+    }
+}

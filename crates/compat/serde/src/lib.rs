@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its model types but
+//! never drives an actual serializer (there is no `serde_json` in the tree),
+//! so marker traits are sufficient. The derive macros live in the sibling
+//! `serde_derive` crate and expand to empty impls of these traits.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Upstream `serde::Serialize` has a required `serialize` method; nothing in
+/// this workspace calls it, so the offline subset keeps the trait empty.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}

@@ -1,0 +1,46 @@
+//! Derive macros for the offline `serde` subset.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to empty impls of
+//! the marker traits in the sibling `serde` crate. Only non-generic types are
+//! supported — which covers every derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive: could not find a type name in the derive input");
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the `Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derive the `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

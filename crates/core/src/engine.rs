@@ -119,9 +119,7 @@ mod tests {
         assert_eq!(e.len(), 1);
         // An addition that makes the set unsatisfiable is rejected.
         let v = e
-            .register_text(
-                "customer: [A=_] -> [B='1']\ncustomer: [A=_] -> [B='2']",
-            )
+            .register_text("customer: [A=_] -> [B='1']\ncustomer: [A=_] -> [B='2']")
             .unwrap();
         assert!(!v.is_consistent());
         assert_eq!(e.len(), 1, "inconsistent batch must not be adopted");
@@ -154,7 +152,7 @@ mod tests {
         db.execute("CREATE TABLE customer (NAME TEXT, CNT TEXT, CITY TEXT, ZIP TEXT, STR TEXT, CC TEXT, AC TEXT)").unwrap();
         let names = e.store_tableaux(&mut db, "customer").unwrap();
         assert_eq!(names.len(), 2); // (CNT,ZIP)->CITY and CC->CNT
-        // The CC → CNT tableau holds both pattern rows, queryable via SQL.
+                                    // The CC → CNT tableau holds both pattern rows, queryable via SQL.
         let rows = db
             .query(&format!("SELECT COUNT(*) AS n FROM {}", &names[1]))
             .unwrap();

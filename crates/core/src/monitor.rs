@@ -68,7 +68,9 @@ impl DataMonitor {
         cfds: Vec<Cfd>,
         mode: MonitorMode,
     ) -> CfdResult<DataMonitor> {
-        let detector = IncrementalDetector::build(db.table(relation).map_err(db_err)?, &cfds)?;
+        // Bulk-seed the incremental state with one columnar pass rather than
+        // the row-at-a-time insert loop — the same state, built vectorized.
+        let detector = colstore::build_incremental(db.table(relation).map_err(db_err)?, &cfds)?;
         Ok(DataMonitor {
             db,
             relation: relation.to_string(),
@@ -108,10 +110,7 @@ impl DataMonitor {
     pub fn apply(&mut self, update: Update) -> CfdResult<UpdateOutcome> {
         let affected = match update {
             Update::Insert(values) => {
-                let id = self
-                    .db
-                    .insert_row(&self.relation, values)
-                    .map_err(db_err)?;
+                let id = self.db.insert_row(&self.relation, values).map_err(db_err)?;
                 let row: Vec<Value> = self.row_values(id)?;
                 self.detector.insert(id, &row);
                 Some(id)
@@ -147,8 +146,7 @@ impl DataMonitor {
                     // Replay the repair into the detector: reconstruct each
                     // touched row's pre-repair state (earliest `old` per
                     // cell wins) and apply a single update per row.
-                    let mut touched: Vec<RowId> =
-                        result.changes.iter().map(|c| c.row).collect();
+                    let mut touched: Vec<RowId> = result.changes.iter().map(|c| c.row).collect();
                     touched.sort();
                     touched.dedup();
                     for row in touched {
@@ -229,8 +227,7 @@ mod tests {
     fn repair_mode_fixes_dirty_arrivals() {
         let (db, cfds) = clean_db(100);
         let mut m =
-            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::RepairOnArrival)
-                .unwrap();
+            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::RepairOnArrival).unwrap();
         let row = dirty_insert(m.database());
         let out = m.apply(Update::Insert(row)).unwrap();
         assert_eq!(out.violations, 0, "arrival must be repaired");

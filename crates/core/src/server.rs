@@ -3,6 +3,7 @@
 
 use audit::{quality_map, quality_report, QualityMap, QualityReport};
 use cfd::{CfdError, CfdResult, Consistency};
+use colstore::detect_columnar;
 use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
 use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
 use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
@@ -28,6 +29,10 @@ pub enum DetectorKind {
         /// Worker threads.
         threads: usize,
     },
+    /// Columnar detection: one dictionary-encoded snapshot per detect call,
+    /// every CFD evaluated over integer codes (the fastest engine at scale;
+    /// see `colstore`).
+    Columnar,
 }
 
 /// Server configuration.
@@ -143,9 +148,8 @@ impl QualityServer {
         let report = match self.config.detector {
             DetectorKind::Sql => detect_sql(&mut self.db, &self.relation, &cfds)?,
             DetectorKind::Native => detect_native(self.table(), &cfds)?,
-            DetectorKind::Parallel { threads } => {
-                detect_parallel(self.table(), &cfds, threads)?
-            }
+            DetectorKind::Parallel { threads } => detect_parallel(self.table(), &cfds, threads)?,
+            DetectorKind::Columnar => detect_columnar(self.table(), &cfds)?,
         };
         self.last_report = Some(report.clone());
         Ok(report)
@@ -221,8 +225,9 @@ impl QualityServer {
     /// Store the engine's pattern tableaux relationally in the server's
     /// own database (see [`ConstraintEngine::store_tableaux`]).
     pub fn store_tableaux(&mut self) -> CfdResult<Vec<String>> {
-        let engine = self.engine.clone();
-        engine.store_tableaux(&mut self.db, &self.relation)
+        // Disjoint field borrows: the engine is read while the database is
+        // written, no clone needed.
+        self.engine.store_tableaux(&mut self.db, &self.relation)
     }
 
     /// Hand the server's parts to a [`crate::monitor::DataMonitor`].
@@ -271,6 +276,43 @@ mod tests {
         let a = s1.detect().unwrap().normalized();
         let b = s2.detect().unwrap().normalized();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn columnar_detector_agrees_via_config() {
+        let mut s1 = server(200, 0.06, 75).with_config(ServerConfig {
+            detector: DetectorKind::Native,
+            ..ServerConfig::default()
+        });
+        let mut s2 = server(200, 0.06, 75).with_config(ServerConfig {
+            detector: DetectorKind::Columnar,
+            ..ServerConfig::default()
+        });
+        let a = s1.detect().unwrap().normalized();
+        let b = s2.detect().unwrap().normalized();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn columnar_pipeline_detect_audit_repair() {
+        let mut s = server(150, 0.05, 76).with_config(ServerConfig {
+            detector: DetectorKind::Columnar,
+            ..ServerConfig::default()
+        });
+        assert!(!s.detect().unwrap().is_empty());
+        let repair = s.repair().unwrap();
+        assert!(repair.residual.is_empty());
+        assert!(s.detect().unwrap().is_empty());
+    }
+
+    #[test]
+    fn store_tableaux_without_engine_clone() {
+        let mut s = server(50, 0.0, 77);
+        let names = s.store_tableaux().unwrap();
+        assert!(!names.is_empty());
+        for n in &names {
+            assert!(s.database().table(n).is_ok(), "tableau table {n} exists");
+        }
     }
 
     #[test]

@@ -124,11 +124,7 @@ pub fn generate_customers(cfg: &CustomerConfig) -> Table {
         // Street is a function of the zip (for every country — stronger than
         // needed, but consistent with φ2 which only requires it for UK).
         let street = STREETS[(city_idx * 31 + zip_idx * 7) % STREETS.len()];
-        let name = format!(
-            "{}{}",
-            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
-            i
-        );
+        let name = format!("{}{}", FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())], i);
         // Area code: a function of the city.
         let ac = format!("{}{}", country.cc, 10 + city_idx);
         t.insert(vec![

@@ -63,8 +63,12 @@ pub fn generate_planted(cfg: &GenericConfig) -> PlantedRelation {
     let mut t = Table::new("planted", schema);
 
     // Functions f, g over the A0 domain, fixed by the seed.
-    let f: Vec<usize> = (0..cfg.domain).map(|_| rng.gen_range(0..cfg.domain)).collect();
-    let g: Vec<usize> = (0..cfg.domain).map(|_| rng.gen_range(0..cfg.domain)).collect();
+    let f: Vec<usize> = (0..cfg.domain)
+        .map(|_| rng.gen_range(0..cfg.domain))
+        .collect();
+    let g: Vec<usize> = (0..cfg.domain)
+        .map(|_| rng.gen_range(0..cfg.domain))
+        .collect();
 
     for _ in 0..cfg.rows {
         let a0 = rng.gen_range(0..cfg.domain);

@@ -194,8 +194,14 @@ mod tests {
     #[test]
     fn generator_is_deterministic() {
         let cfg = HospConfig::default();
-        let a: Vec<_> = generate_hosp(&cfg).iter().map(|(_, r)| r.to_vec()).collect();
-        let b: Vec<_> = generate_hosp(&cfg).iter().map(|(_, r)| r.to_vec()).collect();
+        let a: Vec<_> = generate_hosp(&cfg)
+            .iter()
+            .map(|(_, r)| r.to_vec())
+            .collect();
+        let b: Vec<_> = generate_hosp(&cfg)
+            .iter()
+            .map(|(_, r)| r.to_vec())
+            .collect();
         assert_eq!(a, b);
     }
 

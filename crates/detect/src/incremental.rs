@@ -70,6 +70,27 @@ struct VarState {
     groups: HashMap<Vec<Value>, Group>,
 }
 
+/// Bulk-seed state for one CFD, produced by a columnar full scan (see
+/// `colstore::seed_incremental`): either the violating rows of a
+/// constant-RHS CFD or the complete LHS-group index of a variable CFD.
+#[derive(Debug, Clone)]
+pub enum CfdSeed {
+    /// Constant-RHS CFD: the rows currently violating it.
+    Constant {
+        /// Violating rows.
+        violating: Vec<RowId>,
+    },
+    /// Variable CFD: every LHS group (violating or not), with its non-NULL
+    /// RHS members — exactly the state incremental maintenance needs.
+    Variable {
+        /// `(LHS key, members)` pairs; members hold non-NULL RHS values.
+        groups: SeedGroups,
+    },
+}
+
+/// The group list of a variable-CFD seed: `(LHS key, members)` pairs.
+pub type SeedGroups = Vec<(Vec<Value>, Vec<(RowId, Value)>)>;
+
 /// Incrementally maintained detector state for a fixed CFD set and table.
 #[derive(Debug, Clone)]
 pub struct IncrementalDetector {
@@ -119,6 +140,79 @@ impl IncrementalDetector {
             me.insert(id, row);
         }
         Ok(me)
+    }
+
+    /// Assemble a detector from per-CFD bulk state, skipping the
+    /// row-at-a-time insert loop of [`IncrementalDetector::build`]. `seeds`
+    /// is parallel to `bound`; each seed's kind must match its CFD's RHS
+    /// pattern (variable seeds for wildcard RHS, constant seeds otherwise).
+    ///
+    /// This is the fast full-rescan path: `colstore::seed_incremental`
+    /// computes the seeds from a dictionary-encoded snapshot in one
+    /// vectorized pass and hands them over here.
+    pub fn from_parts(bound: Vec<BoundCfd>, seeds: Vec<CfdSeed>) -> IncrementalDetector {
+        assert_eq!(bound.len(), seeds.len(), "one seed per bound CFD");
+        let mut slots = Vec::with_capacity(bound.len());
+        let mut const_violations: Vec<HashMap<RowId, ()>> = Vec::new();
+        let mut var_state: Vec<VarState> = Vec::new();
+        let mut vio: HashMap<RowId, i64> = HashMap::new();
+        let mut total = 0i64;
+        for (b, seed) in bound.iter().zip(seeds) {
+            match seed {
+                CfdSeed::Constant { violating } => {
+                    assert!(
+                        !b.cfd.rhs_pat.is_wild(),
+                        "constant seed for a variable CFD {}",
+                        b.cfd
+                    );
+                    slots.push((false, const_violations.len()));
+                    let mut rows = HashMap::with_capacity(violating.len());
+                    for id in violating {
+                        if rows.insert(id, ()).is_none() {
+                            *vio.entry(id).or_default() += 1;
+                            total += 1;
+                        }
+                    }
+                    const_violations.push(rows);
+                }
+                CfdSeed::Variable { groups } => {
+                    assert!(
+                        b.cfd.rhs_pat.is_wild(),
+                        "variable seed for a constant CFD {}",
+                        b.cfd
+                    );
+                    slots.push((true, var_state.len()));
+                    let mut state = VarState {
+                        groups: HashMap::with_capacity(groups.len()),
+                    };
+                    for (key, members) in groups {
+                        let mut group = Group::default();
+                        for (id, v) in members {
+                            debug_assert!(!v.is_null(), "members carry non-NULL RHS values");
+                            group.add(id, v);
+                        }
+                        for (r, n) in group.contribution() {
+                            *vio.entry(r).or_default() += n as i64;
+                        }
+                        if group.violating() {
+                            total += 1;
+                        }
+                        if !group.is_empty() {
+                            state.groups.insert(key, group);
+                        }
+                    }
+                    var_state.push(state);
+                }
+            }
+        }
+        IncrementalDetector {
+            bound,
+            const_violations,
+            var_state,
+            slots,
+            vio,
+            total,
+        }
     }
 
     /// Total current number of violations (single rows + violating groups).
@@ -266,16 +360,12 @@ impl IncrementalDetector {
                     if !group.violating() {
                         continue;
                     }
-                    let members: Vec<(RowId, Value)> = group
-                        .members
-                        .iter()
-                        .map(|(r, v)| (*r, v.clone()))
-                        .collect();
+                    let members: Vec<(RowId, Value)> =
+                        group.members.iter().map(|(r, v)| (*r, v.clone())).collect();
                     report.push_multi(i, key.clone(), members);
                 }
             } else {
-                let mut rows: Vec<RowId> =
-                    self.const_violations[slot].keys().copied().collect();
+                let mut rows: Vec<RowId> = self.const_violations[slot].keys().copied().collect();
                 rows.sort();
                 for r in rows {
                     report.push_single(i, r);
@@ -315,8 +405,7 @@ mod tests {
     #[test]
     fn random_update_stream_stays_consistent() {
         let mut d = dirty_customers(150, 0.04, 23);
-        let mut det =
-            IncrementalDetector::build(d.db.table("customer").unwrap(), &d.cfds).unwrap();
+        let mut det = IncrementalDetector::build(d.db.table("customer").unwrap(), &d.cfds).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         // Apply 60 random cell updates / deletes / inserts.
         for step in 0..60 {
@@ -359,8 +448,7 @@ mod tests {
     #[test]
     fn repairing_noise_restores_zero_violations() {
         let mut d = dirty_customers(120, 0.03, 31);
-        let mut det =
-            IncrementalDetector::build(d.db.table("customer").unwrap(), &d.cfds).unwrap();
+        let mut det = IncrementalDetector::build(d.db.table("customer").unwrap(), &d.cfds).unwrap();
         // Undo every injected error through the incremental interface.
         let mask: Vec<CellNoise> = d.mask.clone();
         for m in mask.iter().rev() {

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod incremental;
 pub mod native;
 pub mod parallel;
@@ -23,7 +24,7 @@ pub mod sql_detector;
 pub mod sqlgen;
 pub mod violation;
 
-pub use incremental::IncrementalDetector;
+pub use incremental::{CfdSeed, IncrementalDetector};
 pub use native::detect_native;
 pub use parallel::detect_parallel;
 pub use sql_detector::{detect_sql, detect_sql_per_pattern};

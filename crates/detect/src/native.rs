@@ -45,10 +45,7 @@ pub fn detect_one(table: &Table, cfd_idx: usize, b: &BoundCfd, report: &mut Viol
 
 /// Group the LHS-matching tuples of a variable CFD by their LHS key,
 /// keeping only members with a non-NULL RHS value.
-pub fn variable_groups(
-    table: &Table,
-    b: &BoundCfd,
-) -> HashMap<Vec<Value>, Vec<(RowId, Value)>> {
+pub fn variable_groups(table: &Table, b: &BoundCfd) -> HashMap<Vec<Value>, Vec<(RowId, Value)>> {
     let mut groups: HashMap<Vec<Value>, Vec<(RowId, Value)>> = HashMap::new();
     for (id, row) in table.iter() {
         if !b.lhs_matches(row) {
@@ -82,7 +79,8 @@ mod tests {
         let schema = Schema::of_strings(&["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]);
         let mut t = Table::new("customer", schema);
         for r in rows {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         t
     }

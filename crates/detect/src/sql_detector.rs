@@ -64,8 +64,8 @@ pub fn detect_sql(db: &mut Database, relation: &str, cfds: &[Cfd]) -> CfdResult<
                     .iter()
                     .map(|c| rows.column_index(c).expect("key column projected"))
                     .collect();
-                let mut grouped: HashMap<(usize, Vec<Value>), Vec<(RowId, Value)>> =
-                    HashMap::new();
+                #[allow(clippy::type_complexity)]
+                let mut grouped: HashMap<(usize, Vec<Value>), Vec<(RowId, Value)>> = HashMap::new();
                 for r in &rows.rows {
                     let pat = r[pat_col].as_int().expect("pat is int") as usize;
                     let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
@@ -121,8 +121,7 @@ pub fn detect_sql_per_pattern(
                         continue;
                     }
                     // Attribute members natively (scan once, bucket by key).
-                    let b = cfds[cfd_idx]
-                        .bind(db.table(relation).map_err(db_err)?.schema())?;
+                    let b = cfds[cfd_idx].bind(db.table(relation).map_err(db_err)?.schema())?;
                     let all_groups =
                         crate::native::variable_groups(db.table(relation).map_err(db_err)?, &b);
                     for gr in &groups.rows {

@@ -209,7 +209,10 @@ mod tests {
         let ts = tableaux("customer: [CC='44'] -> [CNT='UK']");
         let sql = merged_detection_sql(&ts[0], "tab0");
         let qc = sql.qc.unwrap();
-        assert!(qc.contains("tp.cnt IS NOT NULL AND t.cnt <> tp.cnt"), "{qc}");
+        assert!(
+            qc.contains("tp.cnt IS NOT NULL AND t.cnt <> tp.cnt"),
+            "{qc}"
+        );
         assert!(sql.qv.is_none());
     }
 
@@ -230,10 +233,16 @@ mod tests {
         );
         let qs = per_pattern_sql(&ts[0]);
         assert_eq!(qs.len(), 2);
-        let single = qs.iter().find(|(_, k, _)| *k == PerPatternKind::Single).unwrap();
+        let single = qs
+            .iter()
+            .find(|(_, k, _)| *k == PerPatternKind::Single)
+            .unwrap();
         assert!(single.2.contains("t.cc = '44'"), "{}", single.2);
         assert!(single.2.contains("t.cnt <> 'UK'"), "{}", single.2);
-        let group = qs.iter().find(|(_, k, _)| *k == PerPatternKind::Group).unwrap();
+        let group = qs
+            .iter()
+            .find(|(_, k, _)| *k == PerPatternKind::Group)
+            .unwrap();
         assert!(group.2.contains("GROUP BY t.cc"), "{}", group.2);
     }
 

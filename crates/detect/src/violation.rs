@@ -16,6 +16,14 @@ use std::collections::HashMap;
 
 use minidb::{RowId, Value};
 
+use crate::fxhash::FxHashMap;
+
+/// The per-row `vio(t)` tally map. Keys are row ids — sequential integers,
+/// the classic case where SipHash is pure overhead; detection pushes one
+/// `vio` update per violating tuple, so this map is on the hot path of
+/// every engine.
+pub type VioMap = FxHashMap<RowId, u64>;
+
 /// The kind of a violation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ViolationKind {
@@ -59,7 +67,7 @@ pub struct ViolationReport {
     /// All violations, ordered by CFD index then discovery order.
     pub violations: Vec<Violation>,
     /// `vio(t)` per row (rows with zero violations are absent).
-    pub vio: HashMap<RowId, u64>,
+    pub vio: VioMap,
     /// Number of violations per CFD index.
     pub per_cfd: HashMap<usize, usize>,
 }
@@ -79,15 +87,64 @@ impl ViolationReport {
     /// partners. `rows` must hold non-NULL RHS values with ≥ 2 distinct.
     pub fn push_multi(&mut self, cfd_idx: usize, key: Vec<Value>, rows: Vec<(RowId, Value)>) {
         debug_assert!(rows.len() >= 2, "multi-tuple violation needs >= 2 rows");
-        let mut counts: HashMap<&Value, u64> = HashMap::new();
+        // Groups usually disagree on a handful of distinct RHS values, where
+        // a linear counted-vec beats a HashMap (no Value hashing per
+        // member); past a small threshold fall back to hashing so
+        // high-cardinality groups stay O(members).
+        const LINEAR_MAX: usize = 16;
+        let mut counts: Vec<(&Value, u64)> = Vec::new();
+        let mut hashed: Option<FxHashMap<&Value, u64>> = None;
         for (_, v) in &rows {
-            *counts.entry(v).or_default() += 1;
+            if let Some(map) = &mut hashed {
+                *map.entry(v).or_default() += 1;
+                continue;
+            }
+            match counts.iter().position(|(u, _)| u.strong_eq(v)) {
+                Some(i) => counts[i].1 += 1,
+                None if counts.len() < LINEAR_MAX => counts.push((v, 1)),
+                None => {
+                    let mut map: FxHashMap<&Value, u64> = counts.drain(..).collect();
+                    *map.entry(v).or_default() += 1;
+                    hashed = Some(map);
+                }
+            }
         }
-        debug_assert!(counts.len() >= 2, "group must disagree on RHS");
+        let own: Vec<u64> = match &hashed {
+            Some(map) => {
+                debug_assert!(map.len() >= 2, "group must disagree on RHS");
+                rows.iter().map(|(_, v)| map[v]).collect()
+            }
+            None => {
+                debug_assert!(counts.len() >= 2, "group must disagree on RHS");
+                rows.iter()
+                    .map(|(_, v)| {
+                        counts
+                            .iter()
+                            .find(|(u, _)| u.strong_eq(v))
+                            .expect("every member was counted")
+                            .1
+                    })
+                    .collect()
+            }
+        };
+        self.push_multi_prepared(cfd_idx, key, rows, &own);
+    }
+
+    /// [`ViolationReport::push_multi`] with the per-member value
+    /// multiplicities already known (`own[i]` = how many group members hold
+    /// the same RHS value as `rows[i]`). The columnar detector counts over
+    /// dictionary codes and skips the value comparisons entirely.
+    pub fn push_multi_prepared(
+        &mut self,
+        cfd_idx: usize,
+        key: Vec<Value>,
+        rows: Vec<(RowId, Value)>,
+        own: &[u64],
+    ) {
+        debug_assert_eq!(rows.len(), own.len(), "one multiplicity per member");
         let total = rows.len() as u64;
-        for (r, v) in &rows {
-            let partners = total - counts[v];
-            *self.vio.entry(*r).or_default() += partners;
+        for ((r, _), n) in rows.iter().zip(own) {
+            *self.vio.entry(*r).or_default() += total - n;
         }
         *self.per_cfd.entry(cfd_idx).or_default() += 1;
         self.violations.push(Violation {
@@ -123,9 +180,7 @@ impl ViolationReport {
         for v in other.violations {
             match v.kind {
                 ViolationKind::SingleTuple { row } => self.push_single(v.cfd_idx, row),
-                ViolationKind::MultiTuple { key, rows } => {
-                    self.push_multi(v.cfd_idx, key, rows)
-                }
+                ViolationKind::MultiTuple { key, rows } => self.push_multi(v.cfd_idx, key, rows),
             }
         }
     }

@@ -61,10 +61,7 @@ pub fn mine_constant_cfds(table: &Table, cfg: &MinerConfig) -> Vec<DiscoveredCon
             if v.is_null() {
                 continue;
             }
-            item_rows
-                .entry((c, v.clone()))
-                .or_default()
-                .push(i as u32);
+            item_rows.entry((c, v.clone())).or_default().push(i as u32);
         }
     }
     item_rows.retain(|_, tids| tids.len() >= cfg.min_support);
@@ -74,14 +71,13 @@ pub fn mine_constant_cfds(table: &Table, cfg: &MinerConfig) -> Vec<DiscoveredCon
         .iter()
         .map(|(it, tids)| (vec![it.clone()], tids.clone()))
         .collect();
-    level.sort_by(|a, b| itemset_key(&a.0).cmp(&itemset_key(&b.0)));
+    level.sort_by_key(|a| itemset_key(&a.0));
 
     let mut found: Vec<DiscoveredConstCfd> = Vec::new();
     // Conclusions derivable from an itemset (whether or not emitted —
     // suppressed non-minimal rules are still recorded so minimality
     // propagates transitively up the lattice): (itemset key, rhs column).
-    let mut derived: std::collections::HashSet<(Vec<(usize, String)>, usize)> =
-        Default::default();
+    let mut derived: std::collections::HashSet<(Vec<(usize, String)>, usize)> = Default::default();
 
     for level_no in 1..=cfg.max_lhs {
         // Emit rules for this level.
@@ -141,7 +137,7 @@ pub fn mine_constant_cfds(table: &Table, cfg: &MinerConfig) -> Vec<DiscoveredCon
                 }
                 let mut merged = a_items.clone();
                 merged.push(last);
-                merged.sort_by(|x, y| item_key(x).cmp(&item_key(y)));
+                merged.sort_by_key(item_key);
                 let key = itemset_key(&merged);
                 if !seen.insert(key) {
                     continue;
@@ -152,7 +148,7 @@ pub fn mine_constant_cfds(table: &Table, cfg: &MinerConfig) -> Vec<DiscoveredCon
                 }
             }
         }
-        next.sort_by(|a, b| itemset_key(&a.0).cmp(&itemset_key(&b.0)));
+        next.sort_by_key(|a| itemset_key(&a.0));
         level = next;
         if level.is_empty() {
             break;
@@ -187,7 +183,6 @@ fn item_key(it: &Item) -> (usize, String) {
 fn itemset_key(items: &[Item]) -> Vec<(usize, String)> {
     items.iter().map(item_key).collect()
 }
-
 
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));

@@ -75,9 +75,7 @@ pub fn mine_variable_cfds(table: &Table, cfg: &CtaneConfig) -> Vec<DiscoveredVar
             for pinned in pin_choices(x.len(), cfg.max_constants) {
                 if pinned.is_empty() {
                     // pure FD shape — evaluate directly
-                    if let Some(d) =
-                        check_rule(&rows, x, &[], a, cfg, &names)
-                    {
+                    if let Some(d) = check_rule(&rows, x, &[], a, cfg, &names) {
                         push_minimal(&mut found, d);
                     }
                 } else {
@@ -100,7 +98,7 @@ pub fn mine_variable_cfds(table: &Table, cfg: &CtaneConfig) -> Vec<DiscoveredVar
             }
         }
     }
-    found.sort_by(|a, b| a.cfd.to_string().cmp(&b.cfd.to_string()));
+    found.sort_by_key(|a| a.cfd.to_string());
     found
 }
 
@@ -239,7 +237,7 @@ fn frequent_values(rows: &[Vec<Value>], col: usize, min_support: usize) -> Vec<V
     vals
 }
 
-fn cartesian<'a>(lists: &'a [Vec<Value>]) -> Vec<Vec<&'a Value>> {
+fn cartesian(lists: &[Vec<Value>]) -> Vec<Vec<&Value>> {
     let mut out: Vec<Vec<&Value>> = vec![Vec::new()];
     for list in lists {
         let mut next = Vec::with_capacity(out.len() * list.len());
@@ -351,7 +349,9 @@ mod tests {
         // CC → CNT holds globally, so [CC='44'] -> [CNT=_] must be pruned.
         let strs: Vec<String> = found.iter().map(|d| d.cfd.to_string()).collect();
         assert!(strs.iter().any(|s| s == "customer: [CC=_] -> [CNT=_]"));
-        assert!(!strs.iter().any(|s| s.contains("CC='44'") && s.contains("[CNT=_]")));
+        assert!(!strs
+            .iter()
+            .any(|s| s.contains("CC='44'") && s.contains("[CNT=_]")));
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod validate;
 
 pub use cfdminer::{mine_constant_cfds, DiscoveredConstCfd, MinerConfig};
 pub use ctane::{mine_variable_cfds, CtaneConfig, DiscoveredVarCfd};
-pub use partition::{partition_by_column, refine, Partition};
+pub use partition::{
+    partition_by_column, partition_from_codes, refine, snapshot_partitions, Partition,
+};
 pub use tane::{discover_fds, DiscoveredFd, TaneConfig};
 pub use validate::{validate_rules, ValidationOutcome};

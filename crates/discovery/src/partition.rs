@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use colstore::{ColumnBuilder, Snapshot};
 use minidb::{Table, Value};
 
 /// A stripped partition: classes of row positions with ≥ 2 members, plus
@@ -45,13 +46,45 @@ impl Partition {
     }
 }
 
-/// Build the single-attribute partition of column `col`.
+/// Build the single-attribute partition of column `col` by
+/// dictionary-encoding the column and bucketing codes — no `Value` clones,
+/// no per-row `Value` hashing beyond the one interning pass.
 pub fn partition_by_column(table: &Table, col: usize) -> Partition {
-    let mut groups: HashMap<Value, Vec<u32>> = HashMap::new();
-    for (pos, (_, row)) in table.iter().enumerate() {
-        groups.entry(row[col].clone()).or_default().push(pos as u32);
+    let mut b = ColumnBuilder::with_capacity(table.len());
+    for (_, row) in table.iter() {
+        b.push(&row[col]);
     }
-    strip(groups.into_values(), table.len())
+    let column = b.finish();
+    partition_from_codes(column.codes(), column.distinct(), table.len())
+}
+
+/// Build a stripped partition directly from a dictionary-encoded code slice
+/// (codes `0..=n_distinct`, 0 = NULL). Bucketing is a counting pass over
+/// dense codes — the colstore fast path for discovery.
+///
+/// NULLs land in one class, mirroring [`Value::strong_eq`] grouping (the
+/// dictionary assigns all NULLs the sentinel code).
+pub fn partition_from_codes(codes: &[u32], n_distinct: usize, n_rows: usize) -> Partition {
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_distinct + 1];
+    for (pos, &c) in codes.iter().enumerate() {
+        buckets[c as usize].push(pos as u32);
+    }
+    strip(buckets.into_iter(), n_rows)
+}
+
+/// All single-attribute partitions of a columnar snapshot, tagged with
+/// their schema positions (one shared encode, one counting pass per encoded
+/// column). The tags matter on projected snapshots, where the encoded
+/// columns are not contiguous.
+pub fn snapshot_partitions(snap: &Snapshot) -> Vec<(usize, Partition)> {
+    snap.encoded_columns()
+        .map(|(i, c)| {
+            (
+                i,
+                partition_from_codes(c.codes(), c.distinct(), snap.n_rows()),
+            )
+        })
+        .collect()
 }
 
 /// Refine `base` by `other` (partition product): classes of `base` are
@@ -115,11 +148,41 @@ pub fn fd_holds(table: &Table, pi_x: &Partition, col: usize) -> bool {
     let values: Vec<&Value> = table.iter().map(|(_, r)| &r[col]).collect();
     for class in &pi_x.classes {
         let first = values[class[0] as usize];
-        if class[1..].iter().any(|&r| !values[r as usize].strong_eq(first)) {
+        if class[1..]
+            .iter()
+            .any(|&r| !values[r as usize].strong_eq(first))
+        {
             return false;
         }
     }
     true
+}
+
+/// [`fd_holds`] over a dictionary-encoded RHS column: code equality is
+/// strong equality, so the check is pure integer comparison.
+pub fn fd_holds_codes(codes: &[u32], pi_x: &Partition) -> bool {
+    pi_x.classes.iter().all(|class| {
+        let first = codes[class[0] as usize];
+        class[1..].iter().all(|&r| codes[r as usize] == first)
+    })
+}
+
+/// [`g3_error`] over a dictionary-encoded RHS column.
+pub fn g3_error_codes(codes: &[u32], pi_x: &Partition, n_rows: usize) -> f64 {
+    if n_rows == 0 {
+        return 0.0;
+    }
+    let mut violating = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for class in &pi_x.classes {
+        counts.clear();
+        for &r in class {
+            *counts.entry(codes[r as usize]).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        violating += class.len() - max;
+    }
+    violating as f64 / n_rows as f64
 }
 
 /// The g3 error of the FD "X → col": the minimum fraction of rows to
@@ -149,18 +212,15 @@ mod tests {
     fn t(rows: &[[&str; 3]]) -> Table {
         let mut t = Table::new("r", Schema::of_strings(&["A", "B", "C"]));
         for r in rows {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         t
     }
 
     #[test]
     fn single_column_partition_strips_singletons() {
-        let table = t(&[
-            ["x", "1", "p"],
-            ["x", "2", "q"],
-            ["y", "3", "r"],
-        ]);
+        let table = t(&[["x", "1", "p"], ["x", "2", "q"], ["y", "3", "r"]]);
         let p = partition_by_column(&table, 0);
         assert_eq!(p.classes, vec![vec![0, 1]]); // 'y' singleton stripped
         assert_eq!(p.n_rows, 3);
@@ -217,5 +277,56 @@ mod tests {
         let pa = partition_by_column(&table, 0);
         // one class of 2 → (2 - 1)/3
         assert!((pa.error() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn code_partitions_match_value_partitions() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "2", "p"],
+            ["y", "1", "q"],
+            ["y", "1", "q"],
+            ["z", "3", "p"],
+        ]);
+        let snap = Snapshot::of(&table);
+        for (c, p) in snapshot_partitions(&snap) {
+            assert_eq!(p, partition_by_column(&table, c), "column {c}");
+        }
+        // Projected snapshots keep their schema positions.
+        let proj = Snapshot::projected(&table, &[2]);
+        let tagged = snapshot_partitions(&proj);
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].0, 2, "partition tagged with schema position");
+        assert_eq!(tagged[0].1, partition_by_column(&table, 2));
+    }
+
+    #[test]
+    fn code_fd_checks_match_value_fd_checks() {
+        let table = t(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["y", "2", "q"],
+            ["y", "2", "q"],
+        ]);
+        let snap = Snapshot::of(&table);
+        let pa = partition_by_column(&table, 0);
+        for col in 1..3 {
+            let codes = snap.column(col).codes();
+            assert_eq!(fd_holds_codes(codes, &pa), fd_holds(&table, &pa, col));
+            assert!(
+                (g3_error_codes(codes, &pa, table.len()) - g3_error(&table, &pa, col)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn null_rows_share_one_code_class() {
+        let mut table = Table::new("r", minidb::Schema::of_strings(&["A"]));
+        for v in [Value::Null, Value::Null, Value::str("x")] {
+            table.insert(vec![v]).unwrap();
+        }
+        let p = partition_by_column(&table, 0);
+        assert_eq!(p.classes, vec![vec![0, 1]], "NULLs group together");
     }
 }

@@ -7,7 +7,9 @@ use std::collections::HashMap;
 use cfd::Fd;
 use minidb::Table;
 
-use crate::partition::{fd_holds, g3_error, partition_by_column, refine, Partition};
+use colstore::Snapshot;
+
+use crate::partition::{fd_holds_codes, g3_error_codes, refine, snapshot_partitions, Partition};
 
 /// Discovery configuration.
 #[derive(Debug, Clone)]
@@ -54,10 +56,12 @@ pub fn discover_fds(table: &Table, cfg: &TaneConfig) -> Vec<DiscoveredFd> {
         return Vec::new();
     }
 
-    // Level 1 partitions.
+    // One columnar encode; level-1 partitions and all FD checks run over
+    // dictionary codes instead of cloned values.
+    let snap = Snapshot::of(table);
     let mut level: HashMap<Vec<usize>, Partition> = HashMap::new();
-    for c in 0..arity {
-        level.insert(vec![c], partition_by_column(table, c));
+    for (c, p) in snapshot_partitions(&snap) {
+        level.insert(vec![c], p);
     }
 
     let mut found: Vec<DiscoveredFd> = Vec::new();
@@ -82,8 +86,13 @@ pub fn discover_fds(table: &Table, cfg: &TaneConfig) -> Vec<DiscoveredFd> {
                 {
                     continue;
                 }
-                let exact = fd_holds(table, pi_x, a);
-                let g3 = if exact { 0.0 } else { g3_error(table, pi_x, a) };
+                let codes = snap.column(a).codes();
+                let exact = fd_holds_codes(codes, pi_x);
+                let g3 = if exact {
+                    0.0
+                } else {
+                    g3_error_codes(codes, pi_x, snap.n_rows())
+                };
                 if exact || g3 <= cfg.g3_threshold {
                     minimal_lhs.entry(a).or_default().push(x.clone());
                     found.push(DiscoveredFd {
@@ -196,9 +205,9 @@ mod tests {
         });
         let found = discover_fds(&t, &TaneConfig::default());
         // [CC] -> CNT found, so [CC, CITY] -> CNT must not be reported.
-        assert!(!found
-            .iter()
-            .any(|d| d.fd.rhs == "CNT" && d.fd.lhs.contains(&"CC".to_string()) && d.fd.lhs.len() > 1));
+        assert!(!found.iter().any(|d| d.fd.rhs == "CNT"
+            && d.fd.lhs.contains(&"CC".to_string())
+            && d.fd.lhs.len() > 1));
     }
 
     #[test]
@@ -206,12 +215,17 @@ mod tests {
         let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
         // A -> B holds on 19 of 20 rows.
         for i in 0..19 {
-            t.insert(vec![Value::str(format!("k{}", i % 4)), Value::str(format!("v{}", i % 4))])
-                .unwrap();
+            t.insert(vec![
+                Value::str(format!("k{}", i % 4)),
+                Value::str(format!("v{}", i % 4)),
+            ])
+            .unwrap();
         }
         t.insert(vec![Value::str("k0"), Value::str("odd")]).unwrap();
         let exact = discover_fds(&t, &TaneConfig::default());
-        assert!(!exact.iter().any(|d| d.fd.rhs == "B" && d.fd.lhs == vec!["A".to_string()]));
+        assert!(!exact
+            .iter()
+            .any(|d| d.fd.rhs == "B" && d.fd.lhs == vec!["A".to_string()]));
         let approx = discover_fds(
             &t,
             &TaneConfig {

@@ -127,7 +127,8 @@ mod tests {
             ["b", "UK", "LDN", "EH4", "High St", "44", "131"],
             ["c", "US", "NYC", "012", "Oak Ave", "44", "212"],
         ] {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         let cfds = parse_cfds(
             "customer: [CNT, ZIP] -> [CITY]\n\

@@ -212,7 +212,10 @@ impl<'a> NavigationSession<'a> {
             .iter()
             .map(|e| vec![e.idx.to_string(), e.fd.clone(), e.violations.to_string()])
             .collect();
-        render_table(&["#".into(), "embedded FD".into(), "violations".into()], &rows)
+        render_table(
+            &["#".into(), "embedded FD".into(), "violations".into()],
+            &rows,
+        )
     }
 
     /// Render level 2.
@@ -295,7 +298,8 @@ mod tests {
             ["e", "US", "NYC", "01202", "Oak Ave", "01", "212"],
         ];
         for r in rows {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         let cfds = parse_cfds(
             "customer: [CNT, ZIP] -> [STR]\n\

@@ -66,7 +66,10 @@ impl<'a> ReviewSession<'a> {
         // Collapse multiple changes per cell: first old value, last new.
         let mut entries: Vec<ReviewEntry> = Vec::new();
         for c in changes {
-            match entries.iter_mut().find(|e| e.row == c.row && e.col == c.col) {
+            match entries
+                .iter_mut()
+                .find(|e| e.row == c.row && e.col == c.col)
+            {
                 Some(e) => e.proposed = c.new.clone(),
                 None => entries.push(ReviewEntry {
                     row: c.row,
@@ -218,7 +221,11 @@ pub fn diff_tables(original: &Table, repaired: &Table) -> String {
     for (id, orig_row) in original.iter() {
         let Ok(rep_row) = repaired.get(id) else {
             let mut r = vec![id.0.to_string()];
-            r.extend(orig_row.iter().map(|v| format!("{} => (deleted)", v.render())));
+            r.extend(
+                orig_row
+                    .iter()
+                    .map(|v| format!("{} => (deleted)", v.render())),
+            );
             rows.push(r);
             continue;
         };
@@ -251,8 +258,8 @@ mod tests {
             batch_repair(&mut d.db, "customer", &d.cfds, &RepairConfig::default()).unwrap();
         assert!(result.residual.is_empty());
         let n_changes = result.changes.len();
-        let mut session = ReviewSession::new(&mut d.db, "customer", &d.cfds, &result.changes)
-            .unwrap();
+        let mut session =
+            ReviewSession::new(&mut d.db, "customer", &d.cfds, &result.changes).unwrap();
         assert!(!session.entries().is_empty());
         assert!(session.entries().len() <= n_changes);
         assert_eq!(session.current_violations(), 0);
@@ -274,9 +281,7 @@ mod tests {
         let before = session.current_violations();
         let entry = session.entries()[0].clone();
         // Overriding CNT with junk re-violates [CC='44'] -> [CNT='UK'] etc.
-        let conflicts = session
-            .override_with(0, Value::str("Nowhere"))
-            .unwrap();
+        let conflicts = session.override_with(0, Value::str("Nowhere")).unwrap();
         let after = session.current_violations();
         assert!(
             after > before || !conflicts.is_empty() || entry.col == 0,

@@ -205,11 +205,7 @@ pub fn write_table_csv<W: Write>(table: &Table, w: &mut W) -> std::io::Result<()
 }
 
 /// Read CSV from a buffered reader and build a table.
-pub fn read_table_csv<R: BufRead>(
-    name: &str,
-    schema: Schema,
-    r: &mut R,
-) -> DbResult<Table> {
+pub fn read_table_csv<R: BufRead>(name: &str, schema: Schema, r: &mut R) -> DbResult<Table> {
     let mut text = String::new();
     r.read_to_string(&mut text)
         .map_err(|e| DbError::Csv(e.to_string()))?;

@@ -34,7 +34,7 @@ impl ExecOutcome {
 /// An in-memory relational database: named tables plus secondary indexes.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    tables: HashMap<String, Table>, // keyed by lower-cased name
+    tables: HashMap<String, Table>,      // keyed by lower-cased name
     indexes: HashMap<String, HashIndex>, // keyed by index name (lower-cased)
 }
 
@@ -65,7 +65,8 @@ impl Database {
     /// materialized query results). Replaces any existing table of the name.
     pub fn register_table(&mut self, table: Table) {
         let k = key(table.name());
-        self.indexes.retain(|_, ix| !ix.table().eq_ignore_ascii_case(table.name()));
+        self.indexes
+            .retain(|_, ix| !ix.table().eq_ignore_ascii_case(table.name()));
         self.tables.insert(k, table);
     }
 
@@ -75,7 +76,8 @@ impl Database {
         if self.tables.remove(&k).is_none() {
             return Err(DbError::UnknownTable(name.to_string()));
         }
-        self.indexes.retain(|_, ix| !ix.table().eq_ignore_ascii_case(name));
+        self.indexes
+            .retain(|_, ix| !ix.table().eq_ignore_ascii_case(name));
         Ok(())
     }
 
@@ -193,10 +195,7 @@ impl Database {
     /// Execute a `;`-separated script; returns the outcome of each statement.
     pub fn execute_script(&mut self, sql: &str) -> DbResult<Vec<ExecOutcome>> {
         let stmts = parse_script(sql)?;
-        stmts
-            .iter()
-            .map(|s| self.execute_statement(s))
-            .collect()
+        stmts.iter().map(|s| self.execute_statement(s)).collect()
     }
 
     /// Run a `SELECT` and return its rows (errors on non-queries).
@@ -421,10 +420,7 @@ fn table_scope(table: &str, schema: &Schema) -> crate::plan::Scope {
     Scope { cols }
 }
 
-fn resolve_over(
-    expr: &crate::sql::ast::Expr,
-    scope: &crate::plan::Scope,
-) -> DbResult<PhysExpr> {
+fn resolve_over(expr: &crate::sql::ast::Expr, scope: &crate::plan::Scope) -> DbResult<PhysExpr> {
     crate::plan::resolve_standalone(expr, scope)
 }
 
@@ -538,7 +534,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.len(), 5);
-        let ben = r.rows.iter().find(|row| row[0] == Value::str("ben")).unwrap();
+        let ben = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::str("ben"))
+            .unwrap();
         assert!(ben[1].is_null());
     }
 
@@ -586,9 +586,7 @@ mod tests {
             .query("SELECT cnt, COUNT(*) AS n FROM customer GROUP BY cnt")
             .unwrap();
         db.materialize("per_cnt", &r).unwrap();
-        let r2 = db
-            .query("SELECT n FROM per_cnt WHERE cnt = 'US'")
-            .unwrap();
+        let r2 = db.query("SELECT n FROM per_cnt WHERE cnt = 'US'").unwrap();
         assert_eq!(r2.rows[0][0], Value::Int(3));
     }
 
@@ -636,12 +634,14 @@ mod tests {
     #[test]
     fn create_index_and_lookup() {
         let mut db = db();
-        db.execute("CREATE INDEX idx_zip ON customer (zip)").unwrap();
+        db.execute("CREATE INDEX idx_zip ON customer (zip)")
+            .unwrap();
         let ix = db.index("idx_zip").unwrap();
         let hits = ix.lookup(&[Value::str("01202")]);
         assert_eq!(hits.len(), 3);
         // Index maintenance on delete.
-        db.execute("DELETE FROM customer WHERE name = 'ben'").unwrap();
+        db.execute("DELETE FROM customer WHERE name = 'ben'")
+            .unwrap();
         let ix = db.index("idx_zip").unwrap();
         assert_eq!(ix.lookup(&[Value::str("01202")]).len(), 2);
     }

@@ -265,9 +265,17 @@ fn sort_rows(mut rows: Vec<Vec<Value>>, keys: &[SortKey]) -> DbResult<Vec<Vec<Va
 enum Acc {
     Count(i64),
     CountDistinct(HashSet<Value>),
-    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        seen: bool,
+    },
     SumDistinct(HashSet<Value>),
-    Avg { sum: f64, n: i64 },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     AvgDistinct(HashSet<Value>),
     Min(Option<Value>),
     Max(Option<Value>),
@@ -319,9 +327,9 @@ impl Acc {
                     match val {
                         Value::Null => {}
                         Value::Int(i) => {
-                            *int = int.checked_add(i).ok_or_else(|| {
-                                DbError::Eval("integer overflow in SUM".into())
-                            })?;
+                            *int = int
+                                .checked_add(i)
+                                .ok_or_else(|| DbError::Eval("integer overflow in SUM".into()))?;
                             *seen = true;
                         }
                         Value::Float(x) => {
@@ -329,9 +337,7 @@ impl Acc {
                             *any_float = true;
                             *seen = true;
                         }
-                        other => {
-                            return Err(DbError::Eval(format!("SUM of non-number {other}")))
-                        }
+                        other => return Err(DbError::Eval(format!("SUM of non-number {other}"))),
                     }
                 }
             }
@@ -662,9 +668,7 @@ fn eval_binary(op: BinOp, left: &PhysExpr, right: &PhysExpr, row: &[Value]) -> D
         BinOp::Eq => Ok(from3(l.sql_eq(&r))),
         BinOp::NotEq => Ok(from3(l.sql_eq(&r).map(|b| !b))),
         BinOp::NullSafeEq => Ok(Value::Bool(l.strong_eq(&r))),
-        BinOp::Lt => Ok(from3(
-            l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less),
-        )),
+        BinOp::Lt => Ok(from3(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less))),
         BinOp::LtEq => Ok(from3(cmp_le(&l, &r))),
         BinOp::Gt => Ok(from3(
             l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater),

@@ -91,10 +91,7 @@ mod tests {
         ix.insert(&row(&["uk", "x", "eh1"]), RowId(0));
         ix.insert(&row(&["uk", "y", "eh1"]), RowId(1));
         ix.insert(&row(&["us", "y", "ny"]), RowId(2));
-        assert_eq!(
-            ix.lookup(&[Value::str("uk"), Value::str("eh1")]).len(),
-            2
-        );
+        assert_eq!(ix.lookup(&[Value::str("uk"), Value::str("eh1")]).len(), 2);
         ix.remove(&row(&["uk", "x", "eh1"]), RowId(0));
         assert_eq!(
             ix.lookup(&[Value::str("uk"), Value::str("eh1")]),

@@ -451,7 +451,9 @@ impl Planner<'_> {
             self.plan_aggregate(stmt, plan, &scope)?
         } else {
             if stmt.having.is_some() {
-                return Err(DbError::Plan("HAVING requires GROUP BY or aggregates".into()));
+                return Err(DbError::Plan(
+                    "HAVING requires GROUP BY or aggregates".into(),
+                ));
             }
             let (exprs, names) = self.plan_projections(&stmt.projections, &scope)?;
             let keys = self.simple_order_keys(stmt, &exprs, &names, &scope)?;
@@ -1099,8 +1101,8 @@ fn build_join_from_conjuncts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse_statement;
     use crate::sql::ast::Statement;
+    use crate::sql::parser::parse_statement;
 
     struct FakeCatalog;
     impl CatalogView for FakeCatalog {
@@ -1160,8 +1162,9 @@ mod tests {
 
     #[test]
     fn group_by_rewrites_projection_to_slots() {
-        let p = plan("SELECT b, COUNT(DISTINCT a) AS n FROM t GROUP BY b HAVING COUNT(DISTINCT a) > 1")
-            .unwrap();
+        let p =
+            plan("SELECT b, COUNT(DISTINCT a) AS n FROM t GROUP BY b HAVING COUNT(DISTINCT a) > 1")
+                .unwrap();
         assert_eq!(p.columns, vec!["b", "n"]);
         let s = p.plan.explain();
         assert!(s.contains("Aggregate"), "{s}");

@@ -156,12 +156,8 @@ mod tests {
         ])
         .unwrap();
         assert!(s.check_row(vec![Value::Int(1)]).is_err());
-        assert!(s
-            .check_row(vec![Value::Null, Value::str("x")])
-            .is_err());
-        assert!(s
-            .check_row(vec![Value::str("1"), Value::str("x")])
-            .is_err());
+        assert!(s.check_row(vec![Value::Null, Value::str("x")]).is_err());
+        assert!(s.check_row(vec![Value::str("1"), Value::str("x")]).is_err());
         let ok = s.check_row(vec![Value::Int(1), Value::Null]).unwrap();
         assert_eq!(ok, vec![Value::Int(1), Value::Null]);
     }

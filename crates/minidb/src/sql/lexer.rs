@@ -199,9 +199,7 @@ pub fn tokenize(src: &str) -> DbResult<Vec<Token>> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(DbError::Lex("unterminated identifier".into(), start))
-                        }
+                        None => return Err(DbError::Lex("unterminated identifier".into(), start)),
                         Some(&b'"') => {
                             i += 1;
                             break;

@@ -138,7 +138,9 @@ impl Parser {
     fn ident(&mut self) -> DbResult<String> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -155,7 +157,9 @@ impl Parser {
                 "DROP" => self.drop(),
                 other => Err(DbError::Parse(format!("unexpected keyword {other}"))),
             },
-            other => Err(DbError::Parse(format!("expected statement, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected statement, found {other:?}"
+            ))),
         }
     }
 
@@ -307,6 +311,7 @@ impl Parser {
         Ok((table, alias))
     }
 
+    #[allow(clippy::wrong_self_convention)] // parses the leading FROM item
     fn from_leading(&mut self) -> DbResult<FromItem> {
         let (table, alias) = self.table_ref()?;
         Ok(FromItem {
@@ -487,7 +492,9 @@ impl Parser {
                 columns,
             })
         } else {
-            Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()))
+            Err(DbError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ))
         }
     }
 
@@ -871,9 +878,7 @@ mod tests {
              ORDER BY 1 DESC LIMIT 10 OFFSET 2",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.from.len(), 2);
         assert!(matches!(sel.from[1].join, JoinSpec::Inner(_)));
         assert_eq!(sel.group_by.len(), 1);
@@ -902,7 +907,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
     }
 

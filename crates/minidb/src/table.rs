@@ -146,7 +146,7 @@ impl Table {
 
     /// True iff `id` designates a live row.
     pub fn contains(&self, id: RowId) -> bool {
-        self.rows.get(id.index()).map_or(false, Option::is_some)
+        self.rows.get(id.index()).is_some_and(Option::is_some)
     }
 }
 

@@ -333,7 +333,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_across_types() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("x"),
             Value::Int(5),
             Value::Null,

@@ -6,7 +6,8 @@ use minidb::{Database, DbError, ExecOutcome, Value};
 
 fn db() -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (a TEXT, n INT, f DOUBLE)").unwrap();
+    db.execute("CREATE TABLE t (a TEXT, n INT, f DOUBLE)")
+        .unwrap();
     db.execute(
         "INSERT INTO t VALUES ('x', 1, 1.5), ('y', NULL, 2.5), (NULL, 3, NULL), ('x', 4, 0.5)",
     )

@@ -26,6 +26,7 @@ pub struct Alternative {
 /// Rank up to `k` alternative values for cell `(row, col)`, cheapest first.
 /// The current value is excluded; `original` (the pre-repair value, if the
 /// cell was changed) is the distance baseline.
+#[allow(clippy::too_many_arguments)]
 pub fn alternatives_for(
     db: &Database,
     relation: &str,

@@ -164,7 +164,15 @@ pub fn batch_repair(
                 unreachable!("filtered")
             };
             const_progress |= resolve_constant(
-                db, relation, &bound, v.cfd_idx, row, &mut eq, cfg, &domains, iter,
+                db,
+                relation,
+                &bound,
+                v.cfd_idx,
+                row,
+                &mut eq,
+                cfg,
+                &domains,
+                iter,
                 &mut changes,
             )?;
         }
@@ -283,7 +291,7 @@ fn resolve_constant(
     // would trip another constant rule).
     let mut best: Option<(f64, usize, Value, ChangeReason)> = None;
     let rhs_pin = eq.pinned(rhs_cell);
-    let rhs_allowed = rhs_pin.as_ref().map_or(true, |p| p.strong_eq(&a));
+    let rhs_allowed = rhs_pin.as_ref().is_none_or(|p| p.strong_eq(&a));
     if rhs_allowed {
         let mut sim = current.clone();
         sim[b.rhs_col] = a.clone();
@@ -317,7 +325,7 @@ fn resolve_constant(
                     continue;
                 }
                 let cost = change_cost(cfg, row, col, &current[col], v);
-                if best.as_ref().map_or(true, |(bc, ..)| cost < *bc) {
+                if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
                     best = Some((
                         cost,
                         col,
@@ -344,7 +352,12 @@ fn resolve_constant(
             match (rhs_allowed, unpinned_lhs) {
                 (true, _) | (false, None) => {
                     let cost = change_cost(cfg, row, b.rhs_col, &current[b.rhs_col], &a);
-                    (cost, b.rhs_col, a.clone(), ChangeReason::ConstantRhs { cfd_idx })
+                    (
+                        cost,
+                        b.rhs_col,
+                        a.clone(),
+                        ChangeReason::ConstantRhs { cfd_idx },
+                    )
                 }
                 (false, Some((j, _))) => {
                     let col = b.lhs_cols[j];
@@ -485,7 +498,7 @@ fn resolve_variable(
                 .iter()
                 .map(|(r, v)| change_cost(cfg, *r, b.rhs_col, v, cand))
                 .sum();
-            if best.as_ref().map_or(true, |(bc, _)| total < *bc) {
+            if best.as_ref().is_none_or(|(bc, _)| total < *bc) {
                 best = Some((total, cand.clone()));
             }
         }
@@ -495,7 +508,7 @@ fn resolve_variable(
             // nominal target; incompatible members LHS-break out below.
             None => {
                 let mut vals: Vec<&Value> = current.iter().map(|(_, v)| v).collect();
-                vals.sort_by(|a, b| a.render().cmp(&b.render()));
+                vals.sort_by_key(|a| a.render());
                 (*vals.first().expect("group is nonempty")).clone()
             }
         }
@@ -510,7 +523,7 @@ fn resolve_variable(
         // the class value — it leaves the group via an LHS break instead.
         // (Triggering a constant rule is fine: the next iteration's
         // constant pass cascades the fix, and pins bound the recursion.)
-        let compatible = pin.as_ref().map_or(true, |p| p.strong_eq(&target));
+        let compatible = pin.as_ref().is_none_or(|p| p.strong_eq(&target));
         if compatible {
             let cost = change_cost(cfg, *row, b.rhs_col, val, &target);
             let old = db
@@ -596,13 +609,8 @@ mod tests {
     #[test]
     fn repairs_dirty_customers_to_zero_violations() {
         let mut d = dirty_customers(300, 0.05, 77);
-        let (result, remaining) = repair_and_verify(
-            &mut d.db,
-            "customer",
-            &d.cfds,
-            &RepairConfig::default(),
-        )
-        .unwrap();
+        let (result, remaining) =
+            repair_and_verify(&mut d.db, "customer", &d.cfds, &RepairConfig::default()).unwrap();
         assert_eq!(remaining, 0, "residual: {:?}", result.residual.violations);
         assert!(result.residual.is_empty());
         assert!(!result.changes.is_empty());
@@ -652,17 +660,18 @@ mod tests {
     fn constant_rule_pins_rhs_and_repairs() {
         let mut db = Database::new();
         db.execute("CREATE TABLE customer (NAME TEXT, CNT TEXT, CITY TEXT, ZIP TEXT, STR TEXT, CC TEXT, AC TEXT)").unwrap();
-        db.execute(
-            "INSERT INTO customer VALUES ('a','US','EDI','EH4','High St','44','131')",
-        )
-        .unwrap();
+        db.execute("INSERT INTO customer VALUES ('a','US','EDI','EH4','High St','44','131')")
+            .unwrap();
         let cfds = cfd::parse::parse_cfds("customer: [CC='44'] -> [CNT='UK']").unwrap();
         let r = batch_repair(&mut db, "customer", &cfds, &RepairConfig::default()).unwrap();
         assert!(r.residual.is_empty());
         assert_eq!(r.changes.len(), 1);
         // Cheapest fix: CNT US → UK (distance 1/2) beats changing CC.
         assert_eq!(r.changes[0].new, Value::str("UK"));
-        assert!(matches!(r.changes[0].reason, ChangeReason::ConstantRhs { .. }));
+        assert!(matches!(
+            r.changes[0].reason,
+            ChangeReason::ConstantRhs { .. }
+        ));
     }
 
     #[test]
@@ -670,7 +679,8 @@ mod tests {
         // Both rules fire on the same tuple with different RHS constants;
         // resolution must modify an LHS attribute instead of ping-ponging.
         let mut db = Database::new();
-        db.execute("CREATE TABLE r (A TEXT, B TEXT, C TEXT)").unwrap();
+        db.execute("CREATE TABLE r (A TEXT, B TEXT, C TEXT)")
+            .unwrap();
         db.execute("INSERT INTO r VALUES ('a1','b1','x')").unwrap();
         // also provide alternative domain values
         db.execute("INSERT INTO r VALUES ('a2','b2','y')").unwrap();
@@ -680,7 +690,11 @@ mod tests {
         )
         .unwrap();
         let r = batch_repair(&mut db, "r", &cfds, &RepairConfig::default()).unwrap();
-        assert!(r.residual.is_empty(), "residual: {:?}", r.residual.violations);
+        assert!(
+            r.residual.is_empty(),
+            "residual: {:?}",
+            r.residual.violations
+        );
         // Verify final state satisfies both rules.
         let final_report = detect_native(db.table("r").unwrap(), &cfds).unwrap();
         assert!(final_report.is_empty());

@@ -155,10 +155,7 @@ mod tests {
         let d = normalized_distance(&a, &b);
         assert!(d > 0.0 && d < 0.3, "one char over seven: {d}");
         assert_eq!(normalized_distance(&a, &a), 0.0);
-        assert_eq!(
-            normalized_distance(&Value::Int(1), &Value::Int(2)),
-            1.0
-        );
+        assert_eq!(normalized_distance(&Value::Int(1), &Value::Int(2)), 1.0);
         assert_eq!(normalized_distance(&Value::Null, &Value::str("x")), 1.0);
     }
 
@@ -174,8 +171,21 @@ mod tests {
     #[test]
     fn similar_values_cost_less() {
         let w = WeightModel::uniform();
-        let typo = w.change_cost(RowId(0), 0, &Value::str("Mayfield Rd"), &Value::str("Mayfeild Rd"));
-        let swap = w.change_cost(RowId(0), 0, &Value::str("Mayfield Rd"), &Value::str("Oak Ave"));
-        assert!(typo < swap, "typo fix {typo} must be cheaper than replacement {swap}");
+        let typo = w.change_cost(
+            RowId(0),
+            0,
+            &Value::str("Mayfield Rd"),
+            &Value::str("Mayfeild Rd"),
+        );
+        let swap = w.change_cost(
+            RowId(0),
+            0,
+            &Value::str("Mayfield Rd"),
+            &Value::str("Oak Ave"),
+        );
+        assert!(
+            typo < swap,
+            "typo fix {typo} must be cheaper than replacement {swap}"
+        );
     }
 }

@@ -215,7 +215,10 @@ mod tests {
         eq.pin(c(2, 0), Value::str("US"));
         let out = eq.merge(c(1, 0), c(2, 0));
         assert!(matches!(out, PinOutcome::Conflict(_)));
-        assert!(!eq.same(c(1, 0), c(2, 0)), "conflicting merge must not happen");
+        assert!(
+            !eq.same(c(1, 0), c(2, 0)),
+            "conflicting merge must not happen"
+        );
     }
 
     #[test]

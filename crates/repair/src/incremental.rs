@@ -81,8 +81,8 @@ pub fn incremental_repair(
                         let old = db
                             .update_cell(relation, row, b.rhs_col, a.clone())
                             .map_err(db_err)?;
-                        let cost = cfg.weights.weight(row, b.rhs_col)
-                            * normalized_distance(&old, a);
+                        let cost =
+                            cfg.weights.weight(row, b.rhs_col) * normalized_distance(&old, a);
                         changes.push(CellChange {
                             row,
                             col: b.rhs_col,
@@ -118,8 +118,8 @@ pub fn incremental_repair(
                         let old = db
                             .update_cell(relation, row, b.rhs_col, v.clone())
                             .map_err(db_err)?;
-                        let cost = cfg.weights.weight(row, b.rhs_col)
-                            * normalized_distance(&old, v);
+                        let cost =
+                            cfg.weights.weight(row, b.rhs_col) * normalized_distance(&old, v);
                         changes.push(CellChange {
                             row,
                             col: b.rhs_col,
@@ -267,8 +267,14 @@ mod tests {
         let mut db = d.db.clone();
         let ids: Vec<RowId> = db.table("customer").unwrap().row_ids();
         let delta = vec![ids[0], ids[1]];
-        let r = incremental_repair(&mut db, "customer", &d.cfds, &delta, &RepairConfig::default())
-            .unwrap();
+        let r = incremental_repair(
+            &mut db,
+            "customer",
+            &d.cfds,
+            &delta,
+            &RepairConfig::default(),
+        )
+        .unwrap();
         assert!(r.changes.is_empty());
         assert!(detect_native(db.table("customer").unwrap(), &d.cfds)
             .unwrap()

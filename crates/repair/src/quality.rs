@@ -103,7 +103,8 @@ mod tests {
     fn t(rows: &[[&str; 2]]) -> Table {
         let mut t = Table::new("t", Schema::of_strings(&["a", "b"]));
         for r in rows {
-            t.insert(r.iter().map(|v| Value::str(*v)).collect()).unwrap();
+            t.insert(r.iter().map(|v| Value::str(*v)).collect())
+                .unwrap();
         }
         t
     }

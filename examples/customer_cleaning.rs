@@ -8,7 +8,9 @@
 use semandaq::audit::{quality_map, quality_report};
 use semandaq::datagen::dirty_customers;
 use semandaq::detect::detect_sql;
-use semandaq::explore::{diff_tables, inspect_tuple, render_inspection, NavigationSession, ReviewSession};
+use semandaq::explore::{
+    diff_tables, inspect_tuple, render_inspection, NavigationSession, ReviewSession,
+};
 use semandaq::minidb::Value;
 use semandaq::repair::{batch_repair, RepairConfig};
 

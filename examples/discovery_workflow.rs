@@ -9,13 +9,13 @@
 
 use semandaq::cfd::DomainSpec;
 use semandaq::datagen::{dirty_customers, generate_customers, CustomerConfig};
+use semandaq::detect::detect_native;
 use semandaq::discovery::{
-    discover_fds, mine_constant_cfds, mine_variable_cfds, validate_rules, CtaneConfig,
-    MinerConfig, TaneConfig,
+    discover_fds, mine_constant_cfds, mine_variable_cfds, validate_rules, CtaneConfig, MinerConfig,
+    TaneConfig,
 };
 use semandaq::minidb::Database;
 use semandaq::repair::{batch_repair, RepairConfig};
-use semandaq::detect::detect_native;
 
 fn main() {
     // Reference data: a clean customer sample.

@@ -88,6 +88,9 @@ fn main() {
             "dirty arrival {k}: repaired with {} changes, violations = {}",
             out.repairs, out.violations
         );
-        assert!(out.violations <= baseline, "arrivals must not add violations");
+        assert!(
+            out.violations <= baseline,
+            "arrivals must not add violations"
+        );
     }
 }

@@ -9,6 +9,8 @@
 //! * [`repair`] — cost-based data repair (batch + incremental).
 //! * [`audit`] — quality metrics, reports, quality map and charts.
 //! * [`explore`] — drill-down navigation, tuple inspection, cleansing review.
+//! * [`colstore`] — columnar snapshot store: dictionary-encoded columns and
+//!   vectorized CFD detection.
 //! * [`discovery`] — FD/CFD discovery from reference data.
 //! * [`datagen`] — seeded workload generators.
 //! * [`system`] (re-export of `semandaq-core`) — the assembled system:
@@ -16,6 +18,7 @@
 
 pub use audit;
 pub use cfd;
+pub use colstore;
 pub use datagen;
 pub use detect;
 pub use discovery;

@@ -1,11 +1,13 @@
-//! Property: the three detection engines (generated SQL on the embedded
-//! engine, native hash-based, parallel) compute identical violation sets on
-//! arbitrary instances — the SQL code path is exactly the CFD semantics.
+//! Property: the four detection engines (generated SQL on the embedded
+//! engine, native hash-based, parallel, columnar) compute identical
+//! violation sets on arbitrary instances — every code path is exactly the
+//! CFD semantics.
 
 mod common;
 
 use common::{arb_cfds, arb_table, db_with};
 use proptest::prelude::*;
+use semandaq::colstore::detect_columnar;
 use semandaq::detect::{detect_native, detect_parallel, detect_sql};
 
 proptest! {
@@ -31,6 +33,31 @@ proptest! {
         let native = detect_native(&table, &cfds).unwrap().normalized();
         let par = detect_parallel(&table, &cfds, threads).unwrap().normalized();
         prop_assert_eq!(native, par);
+    }
+
+    #[test]
+    fn columnar_equals_native_on_random_instances(
+        table in arb_table(40),
+        cfds in arb_cfds(),
+    ) {
+        let native = detect_native(&table, &cfds).unwrap().normalized();
+        let col = detect_columnar(&table, &cfds).unwrap().normalized();
+        prop_assert_eq!(native, col);
+    }
+
+    #[test]
+    fn all_four_engines_agree(
+        table in arb_table(30),
+        cfds in arb_cfds(),
+    ) {
+        let native = detect_native(&table, &cfds).unwrap().normalized();
+        let par = detect_parallel(&table, &cfds, 4).unwrap().normalized();
+        let col = detect_columnar(&table, &cfds).unwrap().normalized();
+        let mut db = db_with(table);
+        let sql = detect_sql(&mut db, "r", &cfds).unwrap().normalized();
+        prop_assert_eq!(&native, &sql);
+        prop_assert_eq!(&native, &par);
+        prop_assert_eq!(&native, &col);
     }
 
     #[test]
@@ -101,7 +128,70 @@ fn customers_equivalence_at_scale() {
     let native = detect_native(t, &d.cfds).unwrap().normalized();
     let par = detect_parallel(t, &d.cfds, 8).unwrap().normalized();
     assert_eq!(native, par);
+    let col = detect_columnar(t, &d.cfds).unwrap().normalized();
+    assert_eq!(native, col);
     let mut db = d.db.clone();
-    let sql = detect_sql(&mut db, "customer", &d.cfds).unwrap().normalized();
+    let sql = detect_sql(&mut db, "customer", &d.cfds)
+        .unwrap()
+        .normalized();
+    assert_eq!(native, sql);
+}
+
+/// Edge case: every cell NULL. Constants never match NULL, wildcards do;
+/// NULL RHS members are invisible to COUNT(DISTINCT) — so nothing violates,
+/// on every engine.
+#[test]
+fn all_null_instance_is_clean_on_every_engine() {
+    use semandaq::minidb::{Schema, Table, Value};
+    let mut t = Table::new("r", Schema::of_strings(&common::COLS));
+    for _ in 0..8 {
+        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+    }
+    let cfds = common::cfd_pool();
+    let native = detect_native(&t, &cfds).unwrap();
+    assert!(
+        native.is_empty(),
+        "all-NULL data cannot violate: {native:?}"
+    );
+    let col = detect_columnar(&t, &cfds).unwrap().normalized();
+    let par = detect_parallel(&t, &cfds, 4).unwrap().normalized();
+    let mut db = db_with(t);
+    let sql = detect_sql(&mut db, "r", &cfds).unwrap().normalized();
+    let native = native.normalized();
+    assert_eq!(native, col);
+    assert_eq!(native, par);
+    assert_eq!(native, sql);
+}
+
+/// Edge case: the whole table is one LHS group (single-valued LHS columns),
+/// first agreeing and then with one dissenting RHS.
+#[test]
+fn single_row_group_edge_case_on_every_engine() {
+    use semandaq::minidb::{Schema, Table, Value};
+    let cfds = semandaq::cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+    let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+    // One row: a group of one can never violate a variable CFD.
+    t.insert(vec![Value::str("k"), Value::str("v")]).unwrap();
+    for engine_report in [
+        detect_native(&t, &cfds).unwrap(),
+        detect_columnar(&t, &cfds).unwrap(),
+        detect_parallel(&t, &cfds, 2).unwrap(),
+    ] {
+        assert!(engine_report.is_empty(), "singleton group must be clean");
+    }
+    // Grow the single group until it disagrees: all engines see one
+    // violation covering exactly the non-NULL members.
+    t.insert(vec![Value::str("k"), Value::str("v")]).unwrap();
+    t.insert(vec![Value::str("k"), Value::Null]).unwrap();
+    t.insert(vec![Value::str("k"), Value::str("w")]).unwrap();
+    let native = detect_native(&t, &cfds).unwrap().normalized();
+    assert_eq!(native.len(), 1);
+    let col = detect_columnar(&t, &cfds).unwrap().normalized();
+    let par = detect_parallel(&t, &cfds, 2).unwrap().normalized();
+    let mut db = db_with(t);
+    let sql = detect_sql(&mut db, "r", &cfds).unwrap().normalized();
+    assert_eq!(native, col);
+    assert_eq!(native, par);
     assert_eq!(native, sql);
 }

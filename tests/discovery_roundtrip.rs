@@ -8,8 +8,8 @@ use semandaq::datagen::{
 };
 use semandaq::detect::detect_native;
 use semandaq::discovery::{
-    discover_fds, mine_constant_cfds, mine_variable_cfds, validate_rules, CtaneConfig,
-    MinerConfig, TaneConfig,
+    discover_fds, mine_constant_cfds, mine_variable_cfds, validate_rules, CtaneConfig, MinerConfig,
+    TaneConfig,
 };
 use semandaq::repair::{batch_repair, RepairConfig};
 
@@ -111,9 +111,11 @@ fn discovered_rules_clean_a_dirty_sibling() {
     );
     let mut rules: Vec<semandaq::cfd::Cfd> = consts.into_iter().map(|d| d.cfd).collect();
     rules.extend(vars.into_iter().map(|d| d.cfd));
-    assert!(validate_rules(&rules, &DomainSpec::all_infinite())
-        .unwrap()
-        .consistent);
+    assert!(
+        validate_rules(&rules, &DomainSpec::all_infinite())
+            .unwrap()
+            .consistent
+    );
 
     let w = dirty_customers(600, 0.04, 777);
     let mut db = w.db;

@@ -52,7 +52,7 @@ fn pipeline(rows: usize, noise: f64, seed: u64, detector: DetectorKind) {
         assert!(q.error_cells > 0);
         let floor = if rows >= 1_000 { 0.4 } else { 0.2 };
         assert!(
-            q.recall_loc > floor,
+            q.recall_loc >= floor,
             "located fraction {} below {floor} at rows={rows}",
             q.recall_loc
         );
@@ -126,12 +126,8 @@ fn tuple_classification_tracks_membership() {
     let report = server.detect().unwrap();
     let audit = server.audit().unwrap();
     let _ = audit;
-    let classification = semandaq::audit::classify(
-        server.table(),
-        server.engine().cfds(),
-        &report,
-    )
-    .unwrap();
+    let classification =
+        semandaq::audit::classify(server.table(), server.engine().cfds(), &report).unwrap();
     // Every tuple with vio > 0 is not verified/probably clean.
     for (row, class) in &classification.tuples {
         let vio = report.vio_of(*row);

@@ -102,8 +102,7 @@ fn review_accept_all_keeps_database_clean() {
 fn review_override_then_correct_value_restores_cleanliness() {
     let mut w = dirty_customers(200, 0.05, 95);
     let result = batch_repair(&mut w.db, "customer", &w.cfds, &RepairConfig::default()).unwrap();
-    let mut session =
-        ReviewSession::new(&mut w.db, "customer", &w.cfds, &result.changes).unwrap();
+    let mut session = ReviewSession::new(&mut w.db, "customer", &w.cfds, &result.changes).unwrap();
     let proposed = session.entries()[0].proposed.clone();
     // Override with junk, then override back with the proposal.
     session

@@ -68,12 +68,9 @@ fn detect_only_stream_tracks_batch_detection() {
             m.apply(u).unwrap();
         }
         if step % 30 == 29 {
-            let batch = detect_native(
-                m.database().table("customer").unwrap(),
-                &canonical_cfds(),
-            )
-            .unwrap()
-            .normalized();
+            let batch = detect_native(m.database().table("customer").unwrap(), &canonical_cfds())
+                .unwrap()
+                .normalized();
             assert_eq!(batch, m.report().normalized(), "drift at step {step}");
             assert_eq!(batch.len() as u64, m.violations());
         }
@@ -101,11 +98,7 @@ fn repair_on_arrival_keeps_inserts_clean() {
         let out = m.apply(Update::Insert(row)).unwrap();
         assert_eq!(out.violations, 0, "arrival {step} left violations");
     }
-    let batch = detect_native(
-        m.database().table("customer").unwrap(),
-        &canonical_cfds(),
-    )
-    .unwrap();
+    let batch = detect_native(m.database().table("customer").unwrap(), &canonical_cfds()).unwrap();
     assert!(batch.is_empty());
 }
 
@@ -139,11 +132,8 @@ fn mode_switch_midstream_is_safe() {
         "repaired arrival must not grow the backlog"
     );
     // Consistency with batch after everything.
-    let batch = detect_native(
-        m.database().table("customer").unwrap(),
-        &canonical_cfds(),
-    )
-    .unwrap()
-    .normalized();
+    let batch = detect_native(m.database().table("customer").unwrap(), &canonical_cfds())
+        .unwrap()
+        .normalized();
     assert_eq!(batch, m.report().normalized());
 }

@@ -78,7 +78,11 @@ fn repair_quality_reasonable_at_moderate_noise() {
     // CFD can see, and swapped-in CC/CNT values create genuinely ambiguous
     // violations where the cost model legitimately fixes the other cell.
     // E5 in EXPERIMENTS.md tracks these numbers across noise rates.
-    assert!(q.precision_loc > 0.5, "location precision {}", q.precision_loc);
+    assert!(
+        q.precision_loc > 0.5,
+        "location precision {}",
+        q.precision_loc
+    );
     assert!(q.recall_loc > 0.35, "location recall {}", q.recall_loc);
     assert!(q.recall > 0.2, "value recall {}", q.recall);
 }
@@ -112,8 +116,14 @@ fn weights_steer_resolution_choices() {
     assert!(r.residual.is_empty());
     // Row 0 must have been changed to LDN (the trusted value).
     let t = db.table("customer").unwrap();
-    assert_eq!(t.get(semandaq::minidb::RowId(0)).unwrap()[2], Value::str("LDN"));
-    assert_eq!(t.get(semandaq::minidb::RowId(1)).unwrap()[2], Value::str("LDN"));
+    assert_eq!(
+        t.get(semandaq::minidb::RowId(0)).unwrap()[2],
+        Value::str("LDN")
+    );
+    assert_eq!(
+        t.get(semandaq::minidb::RowId(1)).unwrap()[2],
+        Value::str("LDN")
+    );
 }
 
 #[test]
@@ -129,7 +139,11 @@ fn incremental_repair_matches_clean_consensus() {
 
     // Insert 10 dirty copies; incremental repair must restore each to the
     // donor's values on the corrupted attribute.
-    let donors: Vec<_> = clean.iter().take(10).map(|(id, r)| (id, r.to_vec())).collect();
+    let donors: Vec<_> = clean
+        .iter()
+        .take(10)
+        .map(|(id, r)| (id, r.to_vec()))
+        .collect();
     let mut delta = Vec::new();
     for (k, (_, row)) in donors.iter().enumerate() {
         let mut dirty_row = row.clone();
@@ -170,15 +184,26 @@ fn batch_and_incremental_agree_on_delta_scenarios() {
     let mut db1 = semandaq::minidb::Database::new();
     db1.register_table(clean.clone());
     let id1 = mk_dirty(&mut db1);
-    incremental_repair(&mut db1, "customer", &cfds, &[id1], &RepairConfig::default()).unwrap();
+    incremental_repair(
+        &mut db1,
+        "customer",
+        &cfds,
+        &[id1],
+        &RepairConfig::default(),
+    )
+    .unwrap();
     // Batch path.
     let mut db2 = semandaq::minidb::Database::new();
     db2.register_table(clean);
     let id2 = mk_dirty(&mut db2);
     batch_repair(&mut db2, "customer", &cfds, &RepairConfig::default()).unwrap();
     // Both end Σ-clean and agree on the repaired tuple.
-    assert!(detect_native(db1.table("customer").unwrap(), &cfds).unwrap().is_empty());
-    assert!(detect_native(db2.table("customer").unwrap(), &cfds).unwrap().is_empty());
+    assert!(detect_native(db1.table("customer").unwrap(), &cfds)
+        .unwrap()
+        .is_empty());
+    assert!(detect_native(db2.table("customer").unwrap(), &cfds)
+        .unwrap()
+        .is_empty());
     assert_eq!(
         db1.table("customer").unwrap().get(id1).unwrap(),
         db2.table("customer").unwrap().get(id2).unwrap()

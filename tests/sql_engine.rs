@@ -40,9 +40,7 @@ fn fd_violation_query_self_join() {
             .iter()
             .map(|r| (r[0].render(), r[1].render()))
             .collect();
-        let lookup = db
-            .query("SELECT __rowid, cnt, zip FROM customer")
-            .unwrap();
+        let lookup = db.query("SELECT __rowid, cnt, zip FROM customer").unwrap();
         let by_rowid: std::collections::HashMap<i64, (String, String)> = lookup
             .rows
             .iter()
@@ -77,11 +75,7 @@ fn aggregate_expressions_over_customers() {
     let all = db
         .query("SELECT cnt, COUNT(*) AS n FROM customer GROUP BY cnt")
         .unwrap();
-    let sum: i64 = all
-        .rows
-        .iter()
-        .map(|r| r[1].as_int().unwrap())
-        .sum();
+    let sum: i64 = all.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
     assert_eq!(sum, total);
 }
 
@@ -173,9 +167,7 @@ fn reference_group_count_distinct(
             entry.insert(row[agg_col].clone());
         }
     }
-    out.into_iter()
-        .map(|(k, s)| (k, s.len() as i64))
-        .collect()
+    out.into_iter().map(|(k, s)| (k, s.len() as i64)).collect()
 }
 
 proptest! {

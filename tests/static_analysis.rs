@@ -111,8 +111,8 @@ fn classic_inconsistency_examples() {
 fn finite_domain_changes_both_analyses() {
     use semandaq::minidb::Value;
     let dom_inf = DomainSpec::all_infinite();
-    let dom_bool = DomainSpec::all_infinite()
-        .with_finite("F", vec![Value::Bool(true), Value::Bool(false)]);
+    let dom_bool =
+        DomainSpec::all_infinite().with_finite("F", vec![Value::Bool(true), Value::Bool(false)]);
     let sigma = semandaq::cfd::parse::parse_cfds(
         "r: [F=true] -> [B='x']\n\
          r: [F=false] -> [B='x']",
@@ -129,8 +129,12 @@ fn finite_domain_changes_both_analyses() {
          r: [C=_] -> [B='z']",
     )
     .unwrap();
-    assert!(check_consistency(&sigma2, &dom_inf).unwrap().is_consistent());
-    assert!(!check_consistency(&sigma2, &dom_bool).unwrap().is_consistent());
+    assert!(check_consistency(&sigma2, &dom_inf)
+        .unwrap()
+        .is_consistent());
+    assert!(!check_consistency(&sigma2, &dom_bool)
+        .unwrap()
+        .is_consistent());
 }
 
 #[test]
