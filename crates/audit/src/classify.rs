@@ -92,10 +92,10 @@ pub fn classify(
             ViolationKind::MultiTuple { rows, .. } => {
                 let total = rows.len();
                 let mut counts: HashMap<&minidb::Value, usize> = HashMap::new();
-                for (_, val) in rows {
+                for (_, val) in rows.iter() {
                     *counts.entry(val).or_default() += 1;
                 }
-                for (row, val) in rows {
+                for (row, val) in rows.iter() {
                     let majority = counts[val] * 2 > total;
                     let inv = row_inv.entry(*row).or_default();
                     if majority {

@@ -60,6 +60,29 @@ impl Column {
     pub fn is_null_at(&self, pos: usize) -> bool {
         self.codes[pos] == NULL_CODE
     }
+
+    // Patch operations (snapshot lifecycle). Copy-on-write: when the codes
+    // or dictionary are still shared with a handed-out snapshot they are
+    // cloned first — a memcpy, never a re-interning pass. Dictionaries only
+    // grow; codes of values no longer present simply go unreferenced until
+    // the owning cache decides on a full rebuild.
+
+    /// Append one cell, interning its value into the existing dictionary.
+    pub(crate) fn push_value(&mut self, v: &Value) {
+        let code = Arc::make_mut(&mut self.dict).intern(v);
+        Arc::make_mut(&mut self.codes).push(code);
+    }
+
+    /// Overwrite the cell at `pos`, interning the new value.
+    pub(crate) fn set_value(&mut self, pos: usize, v: &Value) {
+        let code = Arc::make_mut(&mut self.dict).intern(v);
+        Arc::make_mut(&mut self.codes)[pos] = code;
+    }
+
+    /// Remove the cell at `pos` by swapping the last cell into its place.
+    pub(crate) fn swap_remove(&mut self, pos: usize) {
+        Arc::make_mut(&mut self.codes).swap_remove(pos);
+    }
 }
 
 /// Incremental builder used while scanning a table once.

@@ -29,7 +29,7 @@ use detect::fxhash::FxHashMap;
 /// The columns a CFD set touches — the snapshot projection the detector
 /// needs. High-cardinality columns outside every rule (free-text names,
 /// ids) are never encoded.
-fn needed_columns(bound: &[BoundCfd]) -> Vec<usize> {
+pub(crate) fn needed_columns(bound: &[BoundCfd]) -> Vec<usize> {
     let mut cols: Vec<usize> = bound
         .iter()
         .flat_map(|b| b.lhs_cols.iter().copied().chain([b.rhs_col]))
@@ -40,7 +40,7 @@ fn needed_columns(bound: &[BoundCfd]) -> Vec<usize> {
 }
 
 /// One resolved LHS cell: either a group-key column or an equality filter.
-enum LhsCell {
+pub(crate) enum LhsCell {
     /// Wildcard pattern: the column participates in the group key.
     Wild { col: usize },
     /// Constant pattern, resolved to its dictionary code.
@@ -48,7 +48,7 @@ enum LhsCell {
 }
 
 /// A bound CFD with its pattern constants resolved to codes.
-struct Resolved {
+pub(crate) struct Resolved {
     cells: Vec<LhsCell>,
     rhs_col: usize,
     /// `Some(code)` for a constant RHS present in the column's dictionary;
@@ -60,7 +60,7 @@ struct Resolved {
 /// Resolve pattern constants against the snapshot dictionaries. Returns
 /// `None` when some LHS constant does not occur in its column — then no row
 /// can match the pattern and the CFD holds vacuously.
-fn resolve(snap: &Snapshot, b: &BoundCfd) -> Option<Resolved> {
+pub(crate) fn resolve(snap: &Snapshot, b: &BoundCfd) -> Option<Resolved> {
     let mut cells = Vec::with_capacity(b.lhs_cols.len());
     for (&col, pat) in b.lhs_cols.iter().zip(&b.cfd.lhs_pat) {
         match pat {
@@ -118,8 +118,9 @@ pub fn detect_on_snapshot(snap: &Snapshot, cfds: &[Cfd]) -> CfdResult<ViolationR
     Ok(report)
 }
 
-/// A decoded violating group: LHS key, members, per-member multiplicities.
-type DecodedGroup = (Vec<Value>, Vec<(RowId, Value)>, Vec<u64>);
+/// A decoded violating group: LHS key, members (shared — the lifecycle
+/// memo replays them into many reports), per-member multiplicities.
+pub(crate) type DecodedGroup = (Vec<Value>, std::sync::Arc<Vec<(RowId, Value)>>, Vec<u64>);
 
 /// Evaluate one bound CFD against the snapshot, appending to `report`.
 pub fn detect_one_columnar(
@@ -135,14 +136,19 @@ pub fn detect_one_columnar(
         detect_constant(snap, cfd_idx, &r, report);
     } else {
         for (key, rows, own) in violating_groups(snap, b, &r) {
-            report.push_multi_prepared(cfd_idx, key, rows, &own);
+            report.push_multi_shared(cfd_idx, key, rows, &own);
         }
     }
 }
 
 /// Constant-RHS path: a row violates iff every LHS filter matches and its
 /// (non-NULL) RHS code differs from the pattern constant's code.
-fn detect_constant(snap: &Snapshot, cfd_idx: usize, r: &Resolved, report: &mut ViolationReport) {
+pub(crate) fn detect_constant(
+    snap: &Snapshot,
+    cfd_idx: usize,
+    r: &Resolved,
+    report: &mut ViolationReport,
+) {
     let rhs = snap.column(r.rhs_col).codes();
     let filters: Vec<(&[u32], u32)> = r
         .cells
@@ -207,111 +213,145 @@ fn advance(state: &mut u32, rhs_code: u32) {
     }
 }
 
-/// Group the LHS-matching rows of a variable CFD by their LHS code key and
-/// return the violating groups, decoded, sorted by first member position.
-///
-/// Two passes: the first computes only a per-group conflict state (no
-/// member lists, no allocation per row), the second collects members for
-/// the — typically few — conflicted groups. This is what makes the
-/// columnar detector allocation-free on clean data.
+/// Per-key conflict-state storage for the packed-u64 detection path. The
+/// two implementations — dense direct-indexed and hashed — differ *only*
+/// in how a key finds its slot; the two scan passes over them are written
+/// once ([`packed_violating_groups`]), so the paths cannot desynchronize.
+trait ConflictState {
+    /// Fold one non-NULL RHS code into the key's state (pass 1).
+    fn advance(&mut self, key: u64, rhs_code: u32);
+    /// Did any key reach [`CONFLICT`]? Gates pass 2 entirely.
+    fn any_conflict(&self) -> bool;
+    /// The state slot of `key`, if the key was ever advanced (pass 2).
+    fn get_state(&mut self, key: u64) -> Option<&mut u32>;
+}
+
+/// Direct-indexed state: one `u32` per possible packed key.
+struct DenseState(Vec<u32>);
+
+impl ConflictState for DenseState {
+    #[inline]
+    fn advance(&mut self, key: u64, rhs_code: u32) {
+        advance(&mut self.0[key as usize], rhs_code);
+    }
+
+    fn any_conflict(&self) -> bool {
+        self.0.contains(&CONFLICT)
+    }
+
+    #[inline]
+    fn get_state(&mut self, key: u64) -> Option<&mut u32> {
+        // Every slot exists; EMPTY slots are filtered by the caller's
+        // mark/conflict checks (an EMPTY slot is neither).
+        Some(&mut self.0[key as usize])
+    }
+}
+
+/// Hashed state for key spaces too large to index directly.
+struct HashedState(FxHashMap<u64, u32>);
+
+impl ConflictState for HashedState {
+    #[inline]
+    fn advance(&mut self, key: u64, rhs_code: u32) {
+        advance(self.0.entry(key).or_insert(EMPTY), rhs_code);
+    }
+
+    fn any_conflict(&self) -> bool {
+        self.0.values().any(|&s| s == CONFLICT)
+    }
+
+    #[inline]
+    fn get_state(&mut self, key: u64) -> Option<&mut u32> {
+        self.0.get_mut(&key)
+    }
+}
+
+/// The two-pass conflict scan over packed keys, generic in the state
+/// storage: pass 1 folds every LHS-matching row's RHS code into its key's
+/// state; pass 2 — entered only when some key conflicted — re-labels
+/// conflicted slots with group output indexes on first touch
+/// ([`GROUP_MARK`]) and collects members.
 // Parallel code slices are indexed by one shared row position throughout;
 // an enumerate-based rewrite would obscure that.
 #[allow(clippy::needless_range_loop)]
-fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> Vec<DecodedGroup> {
+fn packed_violating_groups<S: ConflictState>(
+    scan: &Scan<'_>,
+    rhs: &[u32],
+    mut state: S,
+) -> Vec<(Key, Group)> {
+    let n = rhs.len();
+    for pos in 0..n {
+        let Some(key) = scan.packed_key(pos) else {
+            continue;
+        };
+        let rc = rhs[pos];
+        if rc != NULL_CODE {
+            state.advance(key, rc);
+        }
+    }
+    let mut groups: Vec<(Key, Group)> = Vec::new();
+    if !state.any_conflict() {
+        return groups;
+    }
+    for pos in 0..n {
+        let Some(key) = scan.packed_key(pos) else {
+            continue;
+        };
+        let rc = rhs[pos];
+        if rc == NULL_CODE {
+            continue;
+        }
+        let Some(s) = state.get_state(key) else {
+            continue;
+        };
+        // Conflicted slots are re-labelled with their output index on
+        // first touch (high bit set); dictionary codes never reach the
+        // high bit.
+        let idx = if *s == CONFLICT {
+            let idx = groups.len();
+            groups.push((Key::Packed(key), Group::default()));
+            *s = GROUP_MARK | idx as u32;
+            idx
+        } else if *s & GROUP_MARK != 0 {
+            (*s & !GROUP_MARK) as usize
+        } else {
+            continue; // clean group
+        };
+        groups[idx].1.add(pos as u32, rc);
+    }
+    groups
+}
+
+/// Group the LHS-matching rows of a variable CFD by their LHS code key and
+/// return the violating groups, decoded, sorted by first member position.
+///
+/// Two passes (see [`packed_violating_groups`]): the first computes only a
+/// per-group conflict state (no member lists, no allocation per row), the
+/// second collects members for the — typically few — conflicted groups.
+/// This is what makes the columnar detector allocation-free on clean data.
+pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> Vec<DecodedGroup> {
     let scan = Scan::new(snap, r);
     let n = snap.n_rows();
     let rhs = snap.column(r.rhs_col).codes();
 
-    let mut groups: Vec<(Key, Group)> = Vec::new();
-    if let Some(total_bits) = scan.packed_bits() {
+    let groups: Vec<(Key, Group)> = if let Some(total_bits) = scan.packed_bits() {
         let slots = 1u64 << total_bits.min(63);
         // The dense state is one u32 per slot, so a generous per-row cap is
         // cheap, but bound the absolute allocation too (2^24 slots = 64 MB)
         // so very large tables with wide keys fall back to hashing instead
         // of zeroing gigabytes per CFD.
         if slots <= (64 * n as u64).clamp(4_096, MAX_DENSE_STATE_SLOTS) {
-            // Dense: state per slot, direct indexing, no hashing at all.
-            let mut state = vec![EMPTY; slots as usize];
-            for pos in 0..n {
-                let Some(key) = scan.packed_key(pos) else {
-                    continue;
-                };
-                let rc = rhs[pos];
-                if rc != NULL_CODE {
-                    advance(&mut state[key as usize], rc);
-                }
-            }
-            if state.contains(&CONFLICT) {
-                for pos in 0..n {
-                    let Some(key) = scan.packed_key(pos) else {
-                        continue;
-                    };
-                    let rc = rhs[pos];
-                    if rc == NULL_CODE {
-                        continue;
-                    }
-                    let s = state[key as usize];
-                    // Conflicted slots are re-labelled with their output
-                    // index on first touch (high bit set); dictionary codes
-                    // never reach the high bit.
-                    let idx = if s == CONFLICT {
-                        let idx = groups.len();
-                        groups.push((Key::Packed(key), Group::default()));
-                        state[key as usize] = GROUP_MARK | idx as u32;
-                        idx
-                    } else if s & GROUP_MARK != 0 {
-                        (s & !GROUP_MARK) as usize
-                    } else {
-                        continue; // clean group
-                    };
-                    groups[idx].1.add(pos as u32, rc);
-                }
-            }
+            packed_violating_groups(&scan, rhs, DenseState(vec![EMPTY; slots as usize]))
         } else {
-            // Hashed u64 keys.
-            let mut state: FxHashMap<u64, u32> = FxHashMap::default();
-            for pos in 0..n {
-                let Some(key) = scan.packed_key(pos) else {
-                    continue;
-                };
-                let rc = rhs[pos];
-                if rc != NULL_CODE {
-                    advance(state.entry(key).or_insert(EMPTY), rc);
-                }
-            }
-            if state.values().any(|&s| s == CONFLICT) {
-                for pos in 0..n {
-                    let Some(key) = scan.packed_key(pos) else {
-                        continue;
-                    };
-                    let rc = rhs[pos];
-                    if rc == NULL_CODE {
-                        continue;
-                    }
-                    let Some(s) = state.get_mut(&key) else {
-                        continue;
-                    };
-                    let idx = if *s == CONFLICT {
-                        let idx = groups.len();
-                        groups.push((Key::Packed(key), Group::default()));
-                        *s = GROUP_MARK | idx as u32;
-                        idx
-                    } else if *s & GROUP_MARK != 0 {
-                        (*s & !GROUP_MARK) as usize
-                    } else {
-                        continue; // clean group
-                    };
-                    groups[idx].1.add(pos as u32, rc);
-                }
-            }
+            packed_violating_groups(&scan, rhs, HashedState(FxHashMap::default()))
         }
     } else {
         // Wide keys: accumulate everything (rare: > 64 key bits).
-        groups = group_by_codes(snap, r)
+        group_by_codes(snap, r)
             .into_iter()
             .filter(|(_, g)| g.conflict)
-            .collect();
-    }
+            .collect()
+    };
 
     let mut out: Vec<(u32, DecodedGroup)> = groups
         .into_iter()
@@ -325,12 +365,28 @@ fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> Vec<DecodedG
     out.into_iter().map(|(_, g)| g).collect()
 }
 
+/// The common LHS shapes, pre-dispatched so the per-row hot loop is a
+/// predictable branch plus direct slice indexing instead of two `Vec`
+/// walks. Covers every rule of the canonical workloads; anything else
+/// (3+ wildcards, multiple filters) takes the general path.
+enum Shape<'a> {
+    /// No filters, one wildcard: the key *is* the code.
+    W1(&'a [u32]),
+    /// No filters, two wildcards: one shift-or.
+    W2(&'a [u32], &'a [u32], u32),
+    /// One filter, one wildcard.
+    F1W1(&'a [u32], u32, &'a [u32]),
+    /// Everything else: iterate `filters` / `wilds`.
+    General,
+}
+
 /// Reusable per-row scan state for one resolved variable CFD: constant
 /// filters plus the packed-key layout of the wildcard columns.
 struct Scan<'a> {
     filters: Vec<(&'a [u32], u32)>,
     wilds: Vec<(&'a [u32], u32)>,
     total_bits: u32,
+    shape: Shape<'a>,
 }
 
 impl<'a> Scan<'a> {
@@ -350,10 +406,17 @@ impl<'a> Scan<'a> {
                 }
             }
         }
+        let shape = match (filters.as_slice(), wilds.as_slice()) {
+            ([], [(w, _)]) => Shape::W1(w),
+            ([], [(a, _), (b, b_bits)]) => Shape::W2(a, b, *b_bits),
+            ([(f, fc)], [(w, _)]) => Shape::F1W1(f, *fc, w),
+            _ => Shape::General,
+        };
         Scan {
             filters,
             wilds,
             total_bits,
+            shape,
         }
     }
 
@@ -362,20 +425,43 @@ impl<'a> Scan<'a> {
         (self.total_bits <= 64).then_some(self.total_bits)
     }
 
+    /// Do row `pos`'s codes pass every constant filter?
+    #[inline]
+    fn matches(&self, pos: usize) -> bool {
+        self.filters.iter().all(|(codes, code)| codes[pos] == *code)
+    }
+
     /// The packed key of row `pos`, or `None` when a constant filter
     /// rejects the row.
     #[inline]
     fn packed_key(&self, pos: usize) -> Option<u64> {
-        for (codes, code) in &self.filters {
-            if codes[pos] != *code {
-                return None;
-            }
+        match self.shape {
+            Shape::W1(w) => Some(w[pos] as u64),
+            Shape::W2(a, b, b_bits) => Some(((a[pos] as u64) << b_bits) | b[pos] as u64),
+            Shape::F1W1(f, fc, w) => (f[pos] == fc).then(|| w[pos] as u64),
+            Shape::General => self.packed_key_general(pos),
+        }
+    }
+
+    fn packed_key_general(&self, pos: usize) -> Option<u64> {
+        if !self.matches(pos) {
+            return None;
         }
         let mut key = 0u64;
         for (codes, bits) in &self.wilds {
             key = (key << bits) | codes[pos] as u64;
         }
         Some(key)
+    }
+
+    /// The materialized wildcard-code key of row `pos` (the > 64-bit
+    /// fallback), or `None` when a constant filter rejects the row.
+    #[inline]
+    fn wide_key(&self, pos: usize) -> Option<Box<[u32]>> {
+        if !self.matches(pos) {
+            return None;
+        }
+        Some(self.wilds.iter().map(|(codes, _)| codes[pos]).collect())
     }
 }
 
@@ -388,41 +474,19 @@ enum Key {
 
 /// Single grouping pass over the code columns. Returns every group (the
 /// incremental seeding path needs non-violating groups too).
+///
+/// Row filtering and key packing are [`Scan`]'s — the same `packed_key` /
+/// `wide_key` the detection path scans with, so the seeding and detection
+/// paths group by construction-identical keys.
+// Parallel code slices are indexed by one shared row position throughout;
+// an enumerate-based rewrite would obscure that.
+#[allow(clippy::needless_range_loop)]
 fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
-    let wild_cols: Vec<usize> = r
-        .cells
-        .iter()
-        .filter_map(|c| match c {
-            LhsCell::Wild { col } => Some(*col),
-            LhsCell::Filter { .. } => None,
-        })
-        .collect();
-    let filters: Vec<(&[u32], u32)> = r
-        .cells
-        .iter()
-        .filter_map(|c| match c {
-            LhsCell::Filter { col, code } => Some((snap.column(*col).codes(), *code)),
-            LhsCell::Wild { .. } => None,
-        })
-        .collect();
+    let scan = Scan::new(snap, r);
     let rhs = snap.column(r.rhs_col).codes();
     let n = snap.n_rows();
 
-    let total_bits: u32 = wild_cols
-        .iter()
-        .map(|&c| snap.column(c).dictionary().code_bits())
-        .sum();
-
-    if total_bits <= 64 {
-        let wilds: Vec<(&[u32], u32)> = wild_cols
-            .iter()
-            .map(|&c| {
-                (
-                    snap.column(c).codes(),
-                    snap.column(c).dictionary().code_bits(),
-                )
-            })
-            .collect();
+    if let Some(total_bits) = scan.packed_bits() {
         // Dense path: when the packed key space is small relative to the
         // data, index a plain vector — grouping without any hashing. Group
         // slots are an order of magnitude wider than the u32 state of the
@@ -431,19 +495,13 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
         if slots <= (2 * n as u64).clamp(4_096, MAX_DENSE_GROUP_SLOTS) {
             let mut groups: Vec<Group> = Vec::new();
             groups.resize_with(slots as usize, Group::default);
-            'drow: for pos in 0..n {
-                for (codes, code) in &filters {
-                    if codes[pos] != *code {
-                        continue 'drow;
-                    }
-                }
+            for pos in 0..n {
+                let Some(key) = scan.packed_key(pos) else {
+                    continue;
+                };
                 let rc = rhs[pos];
                 if rc == NULL_CODE {
                     continue; // COUNT(DISTINCT) ignores NULL members
-                }
-                let mut key = 0u64;
-                for (codes, bits) in &wilds {
-                    key = (key << bits) | codes[pos] as u64;
                 }
                 groups[key as usize].add(pos as u32, rc);
             }
@@ -456,19 +514,13 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
         }
         // Hashed path: pack the whole key into one u64.
         let mut groups: FxHashMap<u64, Group> = FxHashMap::default();
-        'row: for pos in 0..n {
-            for (codes, code) in &filters {
-                if codes[pos] != *code {
-                    continue 'row;
-                }
-            }
+        for pos in 0..n {
+            let Some(key) = scan.packed_key(pos) else {
+                continue;
+            };
             let rc = rhs[pos];
             if rc == NULL_CODE {
                 continue;
-            }
-            let mut key = 0u64;
-            for (codes, bits) in &wilds {
-                key = (key << bits) | codes[pos] as u64;
             }
             groups.entry(key).or_default().add(pos as u32, rc);
         }
@@ -477,20 +529,17 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
             .map(|(k, g)| (Key::Packed(k), g))
             .collect()
     } else {
-        // Wide path: materialize the code key.
-        let wilds: Vec<&[u32]> = wild_cols.iter().map(|&c| snap.column(c).codes()).collect();
+        // Wide path: materialize the code key (NULL-RHS rows are skipped
+        // before the key allocation).
         let mut groups: FxHashMap<Box<[u32]>, Group> = FxHashMap::default();
-        'row: for pos in 0..n {
-            for (codes, code) in &filters {
-                if codes[pos] != *code {
-                    continue 'row;
-                }
-            }
+        for pos in 0..n {
             let rc = rhs[pos];
             if rc == NULL_CODE {
                 continue;
             }
-            let key: Box<[u32]> = wilds.iter().map(|codes| codes[pos]).collect();
+            let Some(key) = scan.wide_key(pos) else {
+                continue;
+            };
             groups.entry(key).or_default().add(pos as u32, rc);
         }
         groups.into_iter().map(|(k, g)| (Key::Wide(k), g)).collect()
@@ -552,7 +601,11 @@ fn decode_members_only(snap: &Snapshot, r: &Resolved, g: &Group) -> Vec<(RowId, 
         .collect()
 }
 
-fn decode_members(snap: &Snapshot, r: &Resolved, g: &Group) -> (Vec<(RowId, Value)>, Vec<u64>) {
+fn decode_members(
+    snap: &Snapshot,
+    r: &Resolved,
+    g: &Group,
+) -> (std::sync::Arc<Vec<(RowId, Value)>>, Vec<u64>) {
     // Counted-vec for the typical few-distinct-values group; hash fallback
     // keeps high-cardinality groups O(members).
     const LINEAR_MAX: usize = 16;
@@ -593,7 +646,7 @@ fn decode_members(snap: &Snapshot, r: &Resolved, g: &Group) -> (Vec<(RowId, Valu
             }
         })
         .collect();
-    (members, own)
+    (std::sync::Arc::new(members), own)
 }
 
 /// Build an [`IncrementalDetector`] by seeding its per-CFD state from one

@@ -19,12 +19,20 @@
 //! * [`seed_incremental`] / [`build_incremental`] — bulk-seed the
 //!   incremental detector's group state from one columnar pass (the data
 //!   monitor's full-rescan fallback).
+//! * [`SnapshotCache`] / [`detect_cached`] — the epoch-versioned snapshot
+//!   lifecycle: one cached `Arc<Snapshot>` tagged with the table's mutation
+//!   epoch, returned for free while the epochs match and **incrementally
+//!   patched** (append / swap-remove / single-cell re-encode) when the
+//!   caller reports its deltas, with a delta-threshold fallback to full
+//!   re-encode. The steady-state engine under `QualityServer::detect`,
+//!   `DataMonitor` and `batch_repair`.
 
 #![warn(missing_docs)]
 
 pub mod column;
 pub mod detect;
 pub mod dictionary;
+pub mod lifecycle;
 pub mod snapshot;
 
 pub use self::column::{Column, ColumnBuilder};
@@ -32,4 +40,5 @@ pub use self::detect::{
     build_incremental, detect_columnar, detect_on_snapshot, detect_one_columnar, seed_incremental,
 };
 pub use self::dictionary::{Dictionary, NULL_CODE};
+pub use self::lifecycle::{detect_cached, SnapshotCache};
 pub use self::snapshot::Snapshot;

@@ -1,0 +1,731 @@
+//! Epoch-versioned snapshot lifecycle: cache + incremental maintenance.
+//!
+//! A [`SnapshotCache`] holds one `Arc<Snapshot>` tagged with the
+//! [`minidb::Table::epoch`] it was encoded at. [`SnapshotCache::snapshot`]
+//! answers from the cache when the epochs match (zero encode work for
+//! repeat detects over an unchanged table) and re-encodes otherwise. For
+//! callers that *know* their deltas — the data monitor's update stream, the
+//! repair loop's cell edits — the `note_*` methods patch the cached
+//! snapshot in lock-step with the table instead of re-encoding:
+//!
+//! * `note_insert` appends the encoded row, interning novel values into the
+//!   existing per-column dictionaries;
+//! * `note_delete` swap-removes the row's snapshot position (detection is
+//!   order-insensitive after `normalized()`);
+//! * `note_set_cell` re-encodes the single touched cell.
+//!
+//! Patches are cheap but monotone — dictionaries only grow, and a long
+//! patch history accumulates codes no live row references. Past a delta
+//! threshold (a fraction of the snapshot's rows) the cache drops the
+//! snapshot and the next access pays one full re-encode, resetting the
+//! bookkeeping. Every `note_*` verifies the table is exactly one epoch
+//! ahead of the snapshot (`note_set_cells` replays a batch of k edits
+//! against a k-epoch gap); any other gap — a mutation the caller didn't
+//! report — invalidates the cache, so it can never silently serve stale
+//! data.
+//!
+//! On top of the snapshot the cache keeps **per-column epochs** (when did
+//! this column's content last change? when did the row set last change?)
+//! and [`detect_cached`] memoizes each CFD's decoded detection result
+//! against them: a repeat detect re-evaluates only the CFDs whose columns
+//! were touched since their fragment was computed and replays the rest —
+//! so a monitoring loop that mutates one column re-scans one rule, not
+//! the whole constraint set.
+
+use std::sync::Arc;
+
+use cfd::{BoundCfd, Cfd, CfdResult};
+use detect::fxhash::FxHashMap;
+use detect::ViolationReport;
+use minidb::{RowId, Table};
+
+use crate::detect::{detect_constant, needed_columns, resolve, violating_groups, DecodedGroup};
+use crate::snapshot::Snapshot;
+
+/// Default fraction of snapshot rows that may be patched before the cache
+/// falls back to a full rebuild.
+const DEFAULT_DELTA_THRESHOLD: f64 = 0.25;
+/// Patch-count floor below which the threshold never triggers (tiny tables
+/// should not rebuild on every other update).
+const MIN_DELTA: usize = 256;
+
+/// The cached snapshot plus its maintenance bookkeeping.
+struct Cached {
+    snap: Arc<Snapshot>,
+    /// Table epoch the snapshot mirrors.
+    epoch: u64,
+    /// `RowId → snapshot position`, built lazily at the first patch and
+    /// maintained across swap-removes.
+    pos: Option<FxHashMap<RowId, u32>>,
+    /// Patches applied since the last full encode.
+    patched: usize,
+    /// Table epoch at which each column's *content* last changed (indexed
+    /// by schema position; conservatively "now" after a full encode). A
+    /// detect fragment computed at epoch `E` for a CFD over columns `C`
+    /// stays valid while `rows_epoch ≤ E` and `col_epochs[c] ≤ E` ∀ c ∈ C.
+    col_epochs: Vec<u64>,
+    /// Table epoch at which the live-row *membership* last changed
+    /// (inserts/deletes invalidate every CFD's fragment).
+    rows_epoch: u64,
+}
+
+impl Cached {
+    /// The position of `id`, building the index on first use.
+    fn position(&mut self, id: RowId) -> Option<u32> {
+        let index = self.pos.get_or_insert_with(|| {
+            self.snap
+                .row_ids()
+                .iter()
+                .enumerate()
+                .map(|(p, &r)| (r, p as u32))
+                .collect()
+        });
+        index.get(&id).copied()
+    }
+}
+
+/// An epoch-versioned cache of one table's columnar snapshot.
+///
+/// The cache observes a single table lineage (it remembers the table name
+/// and epoch); see [`minidb::Table::epoch`] for the clone caveat. It keeps
+/// the union of every projection ever requested, so alternating CFD sets
+/// converge on one snapshot instead of thrashing.
+pub struct SnapshotCache {
+    cached: Option<Cached>,
+    delta_threshold: f64,
+    encodes: u64,
+    patches: u64,
+    /// Per-CFD detect fragments memoized by [`detect_cached`], each tagged
+    /// with the epoch it was computed at. Entries survive snapshot rebuilds
+    /// (the epoch bookkeeping decides their freshness, not the rebuild).
+    memo: Vec<MemoEntry>,
+    fragments_computed: u64,
+    fragments_reused: u64,
+}
+
+impl Default for SnapshotCache {
+    fn default() -> SnapshotCache {
+        SnapshotCache::new()
+    }
+}
+
+impl SnapshotCache {
+    /// Empty cache with the default delta threshold.
+    pub fn new() -> SnapshotCache {
+        SnapshotCache {
+            cached: None,
+            delta_threshold: DEFAULT_DELTA_THRESHOLD,
+            encodes: 0,
+            patches: 0,
+            memo: Vec::new(),
+            fragments_computed: 0,
+            fragments_reused: 0,
+        }
+    }
+
+    /// Override the patched-rows fraction past which the cache rebuilds
+    /// instead of patching further (default 0.25). `0.0` disables patching
+    /// entirely — every mutation falls back to a full re-encode — which is
+    /// how the equivalence tests pin the fallback path.
+    pub fn with_delta_threshold(mut self, threshold: f64) -> SnapshotCache {
+        self.delta_threshold = threshold;
+        self
+    }
+
+    /// Full-column snapshot of `table`: cached when the epoch matches,
+    /// freshly encoded (and cached) otherwise.
+    pub fn snapshot(&mut self, table: &Table) -> Arc<Snapshot> {
+        self.snapshot_for(table, None)
+    }
+
+    /// Snapshot covering at least the columns in `cols` — the projected
+    /// variant the detector uses. A cached snapshot missing some of `cols`
+    /// is re-encoded with the union of its columns and `cols`.
+    pub fn snapshot_projected(&mut self, table: &Table, cols: &[usize]) -> Arc<Snapshot> {
+        self.snapshot_for(table, Some(cols))
+    }
+
+    fn snapshot_for(&mut self, table: &Table, cols: Option<&[usize]>) -> Arc<Snapshot> {
+        if let Some(c) = &self.cached {
+            if c.epoch == table.epoch() && c.snap.name() == table.name() && covers(&c.snap, cols) {
+                return Arc::clone(&c.snap);
+            }
+        }
+        // Fragment freshness is pure epoch arithmetic, so it can only be
+        // trusted across a re-encode that provably stays on the same table
+        // lineage moving forward (same name, epoch not regressed). Anything
+        // else — a different table handed to this cache, an epoch that went
+        // backwards, or a cache that was invalidated and lost its identity
+        // — drops the memo wholesale; a fragment whose epoch is ≥ the new
+        // table's epoch would otherwise replay another table's violations.
+        let same_lineage = self
+            .cached
+            .as_ref()
+            .is_some_and(|c| c.snap.name() == table.name() && table.epoch() >= c.epoch);
+        if !same_lineage {
+            self.memo.clear();
+        }
+        // Re-encode with the union of the requested and previously encoded
+        // columns, so the cached projection grows monotonically.
+        let snap = match cols {
+            None => Snapshot::of(table),
+            Some(cols) => {
+                let mut union: Vec<usize> = cols.to_vec();
+                if let Some(c) = &self.cached {
+                    if c.snap.name() == table.name() {
+                        union.extend(c.snap.encoded_columns().map(|(i, _)| i));
+                    }
+                }
+                union.sort_unstable();
+                union.dedup();
+                Snapshot::projected(table, &union)
+            }
+        };
+        self.encodes += 1;
+        let snap = Arc::new(snap);
+        // Column/row epochs restart at "changed now": any fragment computed
+        // strictly before this epoch is conservatively stale (we no longer
+        // know which columns stayed untouched across the gap).
+        self.cached = Some(Cached {
+            snap: Arc::clone(&snap),
+            epoch: table.epoch(),
+            pos: None,
+            patched: 0,
+            col_epochs: vec![table.epoch(); table.schema().arity()],
+            rows_epoch: table.epoch(),
+        });
+        snap
+    }
+
+    /// Epoch of the cached snapshot, if one is held.
+    pub fn epoch(&self) -> Option<u64> {
+        self.cached.as_ref().map(|c| c.epoch)
+    }
+
+    /// Number of full snapshot encodes performed so far — the probe the
+    /// steady-state regression tests watch.
+    pub fn encodes(&self) -> u64 {
+        self.encodes
+    }
+
+    /// Number of incremental patches applied so far.
+    pub fn patches(&self) -> u64 {
+        self.patches
+    }
+
+    /// Number of per-CFD detect fragments computed by [`detect_cached`].
+    pub fn fragments_computed(&self) -> u64 {
+        self.fragments_computed
+    }
+
+    /// Number of per-CFD detect fragments replayed from the memo (their
+    /// columns and the row set were untouched since they were computed).
+    pub fn fragments_reused(&self) -> u64 {
+        self.fragments_reused
+    }
+
+    /// Drop the cached snapshot and the detect memo; the next access pays
+    /// a full encode and a full detect.
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+        self.memo.clear();
+    }
+
+    /// Is a fragment computed at `epoch` for a CFD over `cols` still
+    /// current? True iff the live-row membership and every one of its
+    /// columns are unchanged since then.
+    fn fragment_fresh(&self, epoch: u64, cols: &[usize]) -> bool {
+        let Some(c) = &self.cached else {
+            return false;
+        };
+        c.rows_epoch <= epoch
+            && cols
+                .iter()
+                .all(|&col| c.col_epochs.get(col).is_some_and(|&e| e <= epoch))
+    }
+
+    /// Record that `id` was just inserted into `table` (call *after* the
+    /// insert): appends the encoded row to the cached snapshot.
+    pub fn note_insert(&mut self, table: &Table, id: RowId) {
+        let Some(c) = patchable(&mut self.cached, self.delta_threshold, table, 1) else {
+            return;
+        };
+        let Ok(row) = table.get(id) else {
+            self.cached = None;
+            return;
+        };
+        let pos = c.snap.n_rows() as u32;
+        Arc::make_mut(&mut c.snap).append_row(id, row);
+        if let Some(ix) = &mut c.pos {
+            ix.insert(id, pos);
+        }
+        c.epoch = table.epoch();
+        c.rows_epoch = table.epoch();
+        c.patched += 1;
+        self.patches += 1;
+    }
+
+    /// Record that `id` was just deleted from `table` (call *after* the
+    /// delete): swap-removes the row's snapshot position.
+    pub fn note_delete(&mut self, table: &Table, id: RowId) {
+        let Some(c) = patchable(&mut self.cached, self.delta_threshold, table, 1) else {
+            return;
+        };
+        let Some(pos) = c.position(id) else {
+            self.cached = None; // unknown row: the stream missed an insert
+            return;
+        };
+        let moved = Arc::make_mut(&mut c.snap).swap_remove_row(pos as usize);
+        let ix = c.pos.as_mut().expect("index built by position()");
+        ix.remove(&id);
+        if let Some(m) = moved {
+            ix.insert(m, pos);
+        }
+        c.epoch = table.epoch();
+        c.rows_epoch = table.epoch();
+        c.patched += 1;
+        self.patches += 1;
+    }
+
+    /// Record that cell (`id`, `col`) of `table` was just overwritten (call
+    /// *after* the update): re-encodes the one cell, interning a novel
+    /// value into the column's dictionary. Columns outside the cached
+    /// projection advance the epoch without patch work — the snapshot never
+    /// claimed to represent them.
+    pub fn note_set_cell(&mut self, table: &Table, id: RowId, col: usize) {
+        self.note_set_cells(table, &[(id, col)]);
+    }
+
+    /// Record a *batch* of cell overwrites applied since the snapshot was
+    /// last in sync — the replay path for a repair pass whose edits were
+    /// not reported one by one. The table must be exactly `cells.len()`
+    /// epochs ahead of the snapshot (one epoch per overwrite); any other
+    /// gap means unreported mutations and invalidates the cache.
+    pub fn note_set_cells(&mut self, table: &Table, cells: &[(RowId, usize)]) {
+        if cells.is_empty() {
+            return;
+        }
+        let steps = cells.len() as u64;
+        let Some(c) = patchable(&mut self.cached, self.delta_threshold, table, steps) else {
+            return;
+        };
+        for &(id, col) in cells {
+            let Some(pos) = c.position(id) else {
+                self.cached = None;
+                return;
+            };
+            if let Some(e) = c.col_epochs.get_mut(col) {
+                *e = table.epoch();
+            }
+            if c.snap.has_column(col) {
+                let Ok(value) = table.cell(id, col) else {
+                    self.cached = None;
+                    return;
+                };
+                Arc::make_mut(&mut c.snap).set_cell(pos as usize, col, value);
+                c.patched += 1;
+                self.patches += 1;
+            }
+        }
+        c.epoch = table.epoch();
+    }
+}
+
+/// Hand out the cached snapshot for patching when it is exactly `steps`
+/// epochs behind `table` and under the patch budget; otherwise invalidate
+/// and return `None` (the caller's mutation stream missed an update, or
+/// the threshold was crossed — either way the next access re-encodes).
+fn patchable<'a>(
+    cached: &'a mut Option<Cached>,
+    threshold: f64,
+    table: &Table,
+    steps: u64,
+) -> Option<&'a mut Cached> {
+    let Some(c) = cached else {
+        return None;
+    };
+    let in_step = c.epoch + steps == table.epoch() && c.snap.name() == table.name();
+    // Patch budget since the last full encode: a fraction of the rows,
+    // floored so tiny tables still amortize, zero when disabled.
+    let budget = if threshold <= 0.0 {
+        0
+    } else {
+        (((c.snap.n_rows() as f64) * threshold) as usize).max(MIN_DELTA)
+    };
+    if !in_step || c.patched + steps as usize > budget {
+        *cached = None;
+        return None;
+    }
+    cached.as_mut()
+}
+
+/// Does the snapshot hold every column the caller asked for (`None` = all)?
+fn covers(snap: &Snapshot, cols: Option<&[usize]>) -> bool {
+    match cols {
+        None => (0..snap.schema().arity()).all(|c| snap.has_column(c)),
+        Some(cols) => cols.iter().all(|&c| snap.has_column(c)),
+    }
+}
+
+/// One CFD's detection result, decoded and detached from any snapshot, plus
+/// the epoch it reflects. Replaying a fragment into a report is a clone of
+/// the decoded rows — no scan, no grouping, no decoding.
+struct MemoEntry {
+    cfd: Cfd,
+    /// Table epoch the fragment was computed at.
+    epoch: u64,
+    /// Violating rows of a constant-RHS CFD (sorted by row id).
+    singles: Vec<RowId>,
+    /// Violating groups of a variable CFD, with member multiplicities.
+    groups: Vec<DecodedGroup>,
+}
+
+impl MemoEntry {
+    fn compute(snap: &Snapshot, cfd: &Cfd, b: &BoundCfd, epoch: u64) -> MemoEntry {
+        let mut singles = Vec::new();
+        let mut groups = Vec::new();
+        if let Some(r) = resolve(snap, b) {
+            if b.cfd.rhs_pat.constant().is_some() {
+                let mut scratch = ViolationReport::default();
+                detect_constant(snap, 0, &r, &mut scratch);
+                singles = scratch.dirty_rows();
+            } else {
+                groups = violating_groups(snap, b, &r);
+            }
+        }
+        MemoEntry {
+            cfd: cfd.clone(),
+            epoch,
+            singles,
+            groups,
+        }
+    }
+
+    fn replay(&self, cfd_idx: usize, report: &mut ViolationReport) {
+        // One up-front reservation instead of doubling-growth churn while
+        // the per-member vio tallies stream in.
+        let members: usize = self.groups.iter().map(|(_, rows, _)| rows.len()).sum();
+        report.vio.reserve(self.singles.len() + members);
+        for &row in &self.singles {
+            report.push_single(cfd_idx, row);
+        }
+        for (key, rows, own) in &self.groups {
+            report.push_multi_shared(cfd_idx, key.clone(), Arc::clone(rows), own);
+        }
+    }
+}
+
+/// Detect all violations of `cfds` in `table` through the cache: repeat
+/// calls on an unchanged (or patched-in-step) table do zero encode work,
+/// and per-CFD results are memoized against the per-column epochs — a CFD
+/// whose columns (and the row set) are untouched since its last
+/// evaluation replays its memoized fragment instead of re-scanning.
+/// Output is `normalized()`-equal to [`crate::detect_columnar`] and
+/// [`detect::detect_native`].
+pub fn detect_cached(
+    cache: &mut SnapshotCache,
+    table: &Table,
+    cfds: &[Cfd],
+) -> CfdResult<ViolationReport> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(table.schema()))
+        .collect::<CfdResult<_>>()?;
+    let snap = cache.snapshot_projected(table, &needed_columns(&bound));
+    let epoch = table.epoch();
+    // The memo is rebuilt per call: fresh entries for this CFD set carry
+    // over, everything else (stale fragments, CFDs no longer checked) is
+    // dropped — memory stays bounded by one fragment per active CFD.
+    let mut old = std::mem::take(&mut cache.memo);
+    let mut report = ViolationReport::default();
+    for (idx, b) in bound.iter().enumerate() {
+        let cols: Vec<usize> = b.lhs_cols.iter().copied().chain([b.rhs_col]).collect();
+        let entry = match old
+            .iter()
+            .position(|e| e.cfd == cfds[idx] && cache.fragment_fresh(e.epoch, &cols))
+        {
+            Some(p) => {
+                cache.fragments_reused += 1;
+                old.swap_remove(p)
+            }
+            None => {
+                cache.fragments_computed += 1;
+                MemoEntry::compute(&snap, &cfds[idx], b, epoch)
+            }
+        };
+        entry.replay(idx, &mut report);
+        cache.memo.push(entry);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect_on_snapshot;
+    use cfd::parse::parse_cfds;
+    use detect::detect_native;
+    use minidb::{Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new("r", Schema::of_strings(&["A", "B", "C"]));
+        for (a, b, c) in [("x", "1", "p"), ("y", "2", "q"), ("x", "1", "p")] {
+            t.insert(vec![Value::str(a), Value::str(b), Value::str(c)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn repeat_snapshots_encode_once() {
+        let t = table();
+        let mut cache = SnapshotCache::new();
+        let s1 = cache.snapshot(&t);
+        let s2 = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 1);
+        assert!(Arc::ptr_eq(&s1, &s2), "cache hit returns the same Arc");
+    }
+
+    #[test]
+    fn mutation_without_note_invalidates() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        t.update_cell(RowId(0), 0, Value::str("z")).unwrap();
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 2, "unreported mutation forces re-encode");
+        assert_eq!(s.column(0).value_at(0), Value::str("z"));
+    }
+
+    #[test]
+    fn insert_patch_appends_and_interns() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        let id = t
+            .insert(vec![Value::str("novel"), Value::Null, Value::str("p")])
+            .unwrap();
+        cache.note_insert(&t, id);
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 1, "patched, not re-encoded");
+        assert_eq!(cache.patches(), 1);
+        assert_eq!(s.n_rows(), 4);
+        assert_eq!(s.row_id(3), id);
+        assert_eq!(s.column(0).value_at(3), Value::str("novel"));
+        assert!(s.column(1).is_null_at(3));
+    }
+
+    #[test]
+    fn delete_patch_swap_removes() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        t.delete(RowId(0)).unwrap();
+        cache.note_delete(&t, RowId(0));
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 1);
+        assert_eq!(s.n_rows(), 2);
+        // Last row swapped into position 0.
+        assert_eq!(s.row_id(0), RowId(2));
+        assert_eq!(s.row_id(1), RowId(1));
+        // Follow-up delete of the moved row still resolves its position.
+        t.delete(RowId(2)).unwrap();
+        cache.note_delete(&t, RowId(2));
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 1);
+        assert_eq!(s.row_ids(), &[RowId(1)]);
+    }
+
+    #[test]
+    fn set_cell_patch_reencodes_one_cell() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        t.update_cell(RowId(1), 2, Value::str("fresh")).unwrap();
+        cache.note_set_cell(&t, RowId(1), 2);
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 1);
+        assert_eq!(s.column(2).value_at(1), Value::str("fresh"));
+    }
+
+    #[test]
+    fn patches_do_not_disturb_handed_out_snapshots() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        let before = cache.snapshot(&t);
+        t.update_cell(RowId(0), 0, Value::str("after")).unwrap();
+        cache.note_set_cell(&t, RowId(0), 0);
+        assert_eq!(
+            before.column(0).value_at(0),
+            Value::str("x"),
+            "copy-on-write: the old Arc still sees the old value"
+        );
+        assert_eq!(
+            cache.snapshot(&t).column(0).value_at(0),
+            Value::str("after")
+        );
+    }
+
+    #[test]
+    fn zero_threshold_disables_patching() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new().with_delta_threshold(0.0);
+        cache.snapshot(&t);
+        let id = t
+            .insert(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+            .unwrap();
+        cache.note_insert(&t, id);
+        assert_eq!(cache.patches(), 0);
+        cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 2, "fallback path re-encodes");
+    }
+
+    #[test]
+    fn projection_grows_monotonically() {
+        let t = table();
+        let mut cache = SnapshotCache::new();
+        let s = cache.snapshot_projected(&t, &[0]);
+        assert!(s.has_column(0) && !s.has_column(2));
+        let s = cache.snapshot_projected(&t, &[2]);
+        assert_eq!(cache.encodes(), 2);
+        assert!(s.has_column(0) && s.has_column(2), "union of projections");
+        cache.snapshot_projected(&t, &[0, 2]);
+        assert_eq!(cache.encodes(), 2, "covered projection is a cache hit");
+    }
+
+    #[test]
+    fn detect_cached_matches_native_across_patches() {
+        let mut t = table();
+        let cfds = parse_cfds("r: [A] -> [B]\nr: [A='x'] -> [C='p']").unwrap();
+        let mut cache = SnapshotCache::new();
+        assert!(detect_cached(&mut cache, &t, &cfds).unwrap().is_empty());
+        // Violate both rules through patched mutations.
+        let id = t
+            .insert(vec![Value::str("x"), Value::str("9"), Value::str("zz")])
+            .unwrap();
+        cache.note_insert(&t, id);
+        let got = detect_cached(&mut cache, &t, &cfds).unwrap().normalized();
+        let want = detect_native(&t, &cfds).unwrap().normalized();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+        assert_eq!(cache.encodes(), 1, "detects rode the patched snapshot");
+    }
+
+    #[test]
+    fn untouched_cfds_replay_their_fragments() {
+        let mut t = table();
+        // Rule 1 over (A, B); rule 2 over (A, C); rule 3 constant over C.
+        let cfds = parse_cfds("r: [A] -> [B]\nr: [A] -> [C]\nr: [A='x'] -> [C='p']").unwrap();
+        let mut cache = SnapshotCache::new();
+        detect_cached(&mut cache, &t, &cfds).unwrap();
+        assert_eq!(cache.fragments_computed(), 3);
+        // Unchanged table: all three fragments replay.
+        detect_cached(&mut cache, &t, &cfds).unwrap();
+        assert_eq!(cache.fragments_computed(), 3);
+        assert_eq!(cache.fragments_reused(), 3);
+        // Touch column B: only the (A, B) rule recomputes.
+        t.update_cell(RowId(1), 1, Value::str("changed")).unwrap();
+        cache.note_set_cell(&t, RowId(1), 1);
+        let got = detect_cached(&mut cache, &t, &cfds).unwrap().normalized();
+        assert_eq!(cache.fragments_computed(), 4);
+        assert_eq!(cache.fragments_reused(), 5);
+        assert_eq!(got, detect_native(&t, &cfds).unwrap().normalized());
+        // An insert changes the row set: every fragment recomputes.
+        let id = t
+            .insert(vec![Value::str("x"), Value::str("1"), Value::str("q")])
+            .unwrap();
+        cache.note_insert(&t, id);
+        let got = detect_cached(&mut cache, &t, &cfds).unwrap().normalized();
+        assert_eq!(cache.fragments_computed(), 7);
+        assert_eq!(got, detect_native(&t, &cfds).unwrap().normalized());
+    }
+
+    #[test]
+    fn memo_survives_projection_growth_at_same_epoch() {
+        let t = table();
+        let ab = parse_cfds("r: [A] -> [B]").unwrap();
+        let abc = parse_cfds("r: [A] -> [B]\nr: [A] -> [C]").unwrap();
+        let mut cache = SnapshotCache::new();
+        detect_cached(&mut cache, &t, &ab).unwrap();
+        assert_eq!(cache.encodes(), 1);
+        // The wider CFD set forces a re-encode (column C was projected
+        // away) at the same epoch — the (A, B) fragment is still valid.
+        let got = detect_cached(&mut cache, &t, &abc).unwrap().normalized();
+        assert_eq!(cache.encodes(), 2);
+        assert_eq!(cache.fragments_reused(), 1);
+        assert_eq!(cache.fragments_computed(), 2);
+        assert_eq!(got, detect_native(&t, &abc).unwrap().normalized());
+    }
+
+    #[test]
+    fn memo_never_leaks_across_table_lineages() {
+        // Fragments memoized for one table must not replay into the report
+        // of a different table handed to the same cache — even when the new
+        // table's epoch is *lower* than the fragment's (the epoch-arithmetic
+        // blind spot the lineage check exists for).
+        let mut dirty = Table::new("r", Schema::of_strings(&["A", "B", "C"]));
+        for (a, c) in [("x", "p"), ("x", "q"), ("y", "p")] {
+            dirty
+                .insert(vec![Value::str(a), Value::str("1"), Value::str(c)])
+                .unwrap();
+        }
+        // Push the dirty table's epoch above the clean table's.
+        for _ in 0..8 {
+            let id = dirty
+                .insert(vec![Value::str("x"), Value::str("1"), Value::str("q")])
+                .unwrap();
+            dirty.delete(id).unwrap();
+        }
+        let cfds = parse_cfds("r: [A] -> [C]").unwrap();
+        let mut cache = SnapshotCache::new();
+        assert!(!detect_cached(&mut cache, &dirty, &cfds).unwrap().is_empty());
+        // Same name, same schema, lower epoch, clean data.
+        let mut clean = Table::new("r", Schema::of_strings(&["A", "B", "C"]));
+        clean
+            .insert(vec![Value::str("x"), Value::str("1"), Value::str("p")])
+            .unwrap();
+        assert!(clean.epoch() < dirty.epoch());
+        let report = detect_cached(&mut cache, &clean, &cfds).unwrap();
+        assert!(
+            report.is_empty(),
+            "stale fragment replayed into the clean table's report"
+        );
+    }
+
+    #[test]
+    fn unreported_mutation_invalidates_fragments() {
+        let mut t = table();
+        let cfds = parse_cfds("r: [A] -> [C]").unwrap();
+        let mut cache = SnapshotCache::new();
+        assert!(detect_cached(&mut cache, &t, &cfds).unwrap().is_empty());
+        // Mutate without note_*: the stale fragment must not be replayed.
+        t.update_cell(RowId(2), 2, Value::str("conflict")).unwrap();
+        let got = detect_cached(&mut cache, &t, &cfds).unwrap().normalized();
+        assert_eq!(got, detect_native(&t, &cfds).unwrap().normalized());
+        assert!(!got.is_empty());
+        assert_eq!(cache.fragments_reused(), 0);
+    }
+
+    #[test]
+    fn patched_and_rebuilt_snapshots_detect_identically() {
+        let mut t = table();
+        let cfds = parse_cfds("r: [A] -> [C]").unwrap();
+        let mut patched = SnapshotCache::new();
+        let mut rebuilt = SnapshotCache::new().with_delta_threshold(0.0);
+        for cache in [&mut patched, &mut rebuilt] {
+            cache.snapshot(&t);
+        }
+        t.update_cell(RowId(2), 2, Value::str("conflict")).unwrap();
+        for cache in [&mut patched, &mut rebuilt] {
+            cache.note_set_cell(&t, RowId(2), 2);
+        }
+        let a = detect_on_snapshot(&patched.snapshot(&t), &cfds)
+            .unwrap()
+            .normalized();
+        let b = detect_on_snapshot(&rebuilt.snapshot(&t), &cfds)
+            .unwrap()
+            .normalized();
+        assert_eq!(a, b);
+        assert!(patched.encodes() < rebuilt.encodes());
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use minidb::{RowId, Schema, Table};
+use minidb::{RowId, Schema, Table, Value};
 
 use crate::column::{Column, ColumnBuilder};
 
@@ -151,6 +151,44 @@ impl Snapshot {
     /// The stable row id at snapshot position `pos`.
     pub fn row_id(&self, pos: usize) -> RowId {
         self.row_ids[pos]
+    }
+
+    // Patch operations, used by `lifecycle::SnapshotCache` to keep a cached
+    // snapshot in lock-step with small table deltas instead of re-encoding.
+    // All are copy-on-write: shared row-id / code vectors are cloned (a
+    // memcpy) before the first in-place edit, so snapshots already handed
+    // out stay immutable.
+
+    /// Append one encoded row. Columns outside the projection stay absent.
+    pub(crate) fn append_row(&mut self, id: RowId, row: &[Value]) {
+        Arc::make_mut(&mut self.row_ids).push(id);
+        for (c, slot) in self.columns.iter_mut().enumerate() {
+            if let Some(col) = slot {
+                col.push_value(&row[c]);
+            }
+        }
+    }
+
+    /// Remove the row at snapshot position `pos` by swapping the last row
+    /// into its place; returns the row id that now occupies `pos` (if any).
+    /// Detection is row-order-insensitive after `normalized()`, which is
+    /// what makes swap-remove — O(columns), no shifting — safe here.
+    pub(crate) fn swap_remove_row(&mut self, pos: usize) -> Option<RowId> {
+        let ids = Arc::make_mut(&mut self.row_ids);
+        ids.swap_remove(pos);
+        for col in self.columns.iter_mut().flatten() {
+            col.swap_remove(pos);
+        }
+        ids.get(pos).copied()
+    }
+
+    /// Re-encode one cell in place, interning a novel value into the
+    /// column's existing dictionary (no-op for columns outside the
+    /// projection — they are not represented, so there is nothing stale).
+    pub(crate) fn set_cell(&mut self, pos: usize, col: usize, v: &Value) {
+        if let Some(c) = self.columns.get_mut(col).and_then(Option::as_mut) {
+            c.set_value(pos, v);
+        }
     }
 
     /// All row ids in snapshot order.

@@ -2,8 +2,17 @@
 //! degrading. Per the paper it "(1) invokes incremental detection … if the
 //! database has not been cleansed; or (2) invokes incremental repair …
 //! otherwise".
+//!
+//! Alongside the [`IncrementalDetector`] the monitor maintains a columnar
+//! snapshot of the relation in lock-step with the update stream (append on
+//! insert, swap-remove on delete, single-cell re-encode on set-cell), so
+//! [`DataMonitor::snapshot`] and [`DataMonitor::detect`] are always
+//! current without ever re-encoding the table in steady state.
+
+use std::sync::Arc;
 
 use cfd::{Cfd, CfdError, CfdResult};
+use colstore::{detect_cached, seed_incremental, Snapshot, SnapshotCache};
 use detect::{IncrementalDetector, ViolationReport};
 use minidb::{Database, DbError, RowId, Value};
 use repair::{incremental_repair, RepairConfig};
@@ -56,6 +65,9 @@ pub struct DataMonitor {
     relation: String,
     cfds: Vec<Cfd>,
     detector: IncrementalDetector,
+    /// Columnar snapshot of the relation, patched in lock-step with the
+    /// update stream (and with repair-on-arrival's edits).
+    snapshots: SnapshotCache,
     mode: MonitorMode,
     repair_cfg: RepairConfig,
 }
@@ -68,14 +80,18 @@ impl DataMonitor {
         cfds: Vec<Cfd>,
         mode: MonitorMode,
     ) -> CfdResult<DataMonitor> {
-        // Bulk-seed the incremental state with one columnar pass rather than
-        // the row-at-a-time insert loop — the same state, built vectorized.
-        let detector = colstore::build_incremental(db.table(relation).map_err(db_err)?, &cfds)?;
+        // One columnar encode seeds both the snapshot cache and the
+        // incremental detector's group state (bulk, not row-at-a-time) —
+        // from here on both are maintained under the update stream.
+        let mut snapshots = SnapshotCache::new();
+        let snap = snapshots.snapshot(db.table(relation).map_err(db_err)?);
+        let detector = seed_incremental(&snap, &cfds)?;
         Ok(DataMonitor {
             db,
             relation: relation.to_string(),
             cfds,
             detector,
+            snapshots,
             mode,
             repair_cfg: RepairConfig::default(),
         })
@@ -96,6 +112,33 @@ impl DataMonitor {
         self.detector.report()
     }
 
+    /// The current columnar snapshot of the monitored relation, maintained
+    /// in lock-step with the update stream — in steady state this is a
+    /// refcount bump, not an encode (it also serves as the shard-transfer
+    /// format). Falls back to one full encode if the database was mutated
+    /// behind the monitor's back.
+    pub fn snapshot(&mut self) -> CfdResult<Arc<Snapshot>> {
+        Ok(self
+            .snapshots
+            .snapshot(self.db.table(&self.relation).map_err(db_err)?))
+    }
+
+    /// Batch detection over the maintained snapshot (zero encode work in
+    /// steady state, and per-CFD fragments are replayed from the memo for
+    /// rules whose columns the update stream left untouched). Equal, after
+    /// `normalized()`, to [`Self::report`] — the monitor's two views can
+    /// be cross-checked at any time.
+    pub fn detect(&mut self) -> CfdResult<ViolationReport> {
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        detect_cached(&mut self.snapshots, table, &self.cfds)
+    }
+
+    /// Number of full snapshot encodes since monitoring began (1 after
+    /// construction; steady-state streams keep it there).
+    pub fn snapshot_encodes(&self) -> u64 {
+        self.snapshots.encodes()
+    }
+
     /// The monitored database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -106,17 +149,23 @@ impl DataMonitor {
         self.mode = mode;
     }
 
-    /// Apply one update; returns the effect on data quality.
+    /// Apply one update; returns the effect on data quality. Both derived
+    /// structures — the incremental detector and the columnar snapshot —
+    /// are maintained in lock-step with the mutation.
     pub fn apply(&mut self, update: Update) -> CfdResult<UpdateOutcome> {
         let affected = match update {
             Update::Insert(values) => {
                 let id = self.db.insert_row(&self.relation, values).map_err(db_err)?;
-                let row: Vec<Value> = self.row_values(id)?;
+                let table = self.db.table(&self.relation).map_err(db_err)?;
+                let row: Vec<Value> = table.get(id).map_err(db_err)?.to_vec();
+                self.snapshots.note_insert(table, id);
                 self.detector.insert(id, &row);
                 Some(id)
             }
             Update::Delete(id) => {
                 let old = self.db.delete_row(&self.relation, id).map_err(db_err)?;
+                let table = self.db.table(&self.relation).map_err(db_err)?;
+                self.snapshots.note_delete(table, id);
                 self.detector.delete(id, &old);
                 None
             }
@@ -125,7 +174,9 @@ impl DataMonitor {
                 self.db
                     .update_cell(&self.relation, row, col, value)
                     .map_err(db_err)?;
-                let after = self.row_values(row)?;
+                let table = self.db.table(&self.relation).map_err(db_err)?;
+                let after: Vec<Value> = table.get(row).map_err(db_err)?.to_vec();
+                self.snapshots.note_set_cell(table, row, col);
                 self.detector.update(row, &before, &after);
                 Some(row)
             }
@@ -143,6 +194,13 @@ impl DataMonitor {
                         &self.repair_cfg,
                     )?;
                     repairs = result.changes.len();
+                    // Replay the repair into the snapshot: one cell patch
+                    // per applied change (the table advanced exactly one
+                    // epoch per change).
+                    let cells: Vec<(RowId, usize)> =
+                        result.changes.iter().map(|c| (c.row, c.col)).collect();
+                    let table = self.db.table(&self.relation).map_err(db_err)?;
+                    self.snapshots.note_set_cells(table, &cells);
                     // Replay the repair into the detector: reconstruct each
                     // touched row's pre-repair state (earliest `old` per
                     // cell wins) and apply a single update per row.
@@ -252,6 +310,55 @@ mod tests {
             .unwrap();
         assert!(out.violations > 0);
         assert!(m.vio_of(ids[0]) > 0);
+    }
+
+    #[test]
+    fn snapshot_stays_in_lock_step_with_update_stream() {
+        let (db, cfds) = clean_db(60);
+        let ids = db.table("customer").unwrap().row_ids();
+        let mut m =
+            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::DetectOnly).unwrap();
+        assert_eq!(m.snapshot_encodes(), 1, "construction encodes once");
+        // A mixed stream: dirty insert, corrupting update, delete.
+        let row = dirty_insert(m.database());
+        let out = m.apply(Update::Insert(row)).unwrap();
+        m.apply(Update::SetCell {
+            row: ids[3],
+            col: 2,
+            value: Value::str("ELSEWHERE"),
+        })
+        .unwrap();
+        m.apply(Update::Delete(out.row.unwrap())).unwrap();
+        // Snapshot-backed detection agrees with the incremental state and
+        // with batch detection, with zero further encodes.
+        let snap_report = m.detect().unwrap().normalized();
+        assert_eq!(snap_report, m.report().normalized());
+        let batch = detect_native(m.database().table("customer").unwrap(), &cfds)
+            .unwrap()
+            .normalized();
+        assert_eq!(snap_report, batch);
+        assert_eq!(
+            m.snapshot_encodes(),
+            1,
+            "stream was patched, not re-encoded"
+        );
+    }
+
+    #[test]
+    fn repair_on_arrival_keeps_snapshot_synced() {
+        let (db, cfds) = clean_db(80);
+        let mut m =
+            DataMonitor::new(db, "customer", cfds.clone(), MonitorMode::RepairOnArrival).unwrap();
+        for _ in 0..3 {
+            let row = dirty_insert(m.database());
+            let out = m.apply(Update::Insert(row)).unwrap();
+            assert_eq!(out.violations, 0);
+            assert!(out.repairs > 0, "repair-on-arrival fixed the insert");
+        }
+        // The repair edits were replayed into the snapshot: detection over
+        // it is clean and never re-encoded.
+        assert!(m.detect().unwrap().is_empty());
+        assert_eq!(m.snapshot_encodes(), 1);
     }
 
     #[test]

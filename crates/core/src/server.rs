@@ -3,12 +3,12 @@
 
 use audit::{quality_map, quality_report, QualityMap, QualityReport};
 use cfd::{CfdError, CfdResult, Consistency};
-use colstore::detect_columnar;
+use colstore::{detect_cached, SnapshotCache};
 use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
 use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
 use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
 use minidb::{Database, DbError, RowId, Schema, Table};
-use repair::{batch_repair, RepairConfig, RepairResult};
+use repair::{batch_repair_with_cache, RepairConfig, RepairResult};
 
 use crate::engine::ConstraintEngine;
 
@@ -29,9 +29,10 @@ pub enum DetectorKind {
         /// Worker threads.
         threads: usize,
     },
-    /// Columnar detection: one dictionary-encoded snapshot per detect call,
-    /// every CFD evaluated over integer codes (the fastest engine at scale;
-    /// see `colstore`).
+    /// Columnar detection over a cached, epoch-versioned snapshot: the
+    /// first detect encodes, repeat detects on an unchanged table do zero
+    /// encode work, and a repair pass patches the snapshot in lock-step
+    /// (the fastest engine at scale; see `colstore::lifecycle`).
     Columnar,
 }
 
@@ -62,6 +63,9 @@ pub struct QualityServer {
     engine: ConstraintEngine,
     config: ServerConfig,
     last_report: Option<ViolationReport>,
+    /// Epoch-versioned columnar snapshot of the audited relation, shared by
+    /// `detect()` (under `DetectorKind::Columnar`) and `repair()`.
+    snapshots: SnapshotCache,
 }
 
 impl QualityServer {
@@ -74,6 +78,7 @@ impl QualityServer {
             engine: ConstraintEngine::new(),
             config: ServerConfig::default(),
             last_report: None,
+            snapshots: SnapshotCache::new(),
         })
     }
 
@@ -143,16 +148,33 @@ impl QualityServer {
     }
 
     /// Run the error detector; caches and returns the report.
+    ///
+    /// Under [`DetectorKind::Columnar`] the snapshot is cached across
+    /// calls, keyed by the table's mutation epoch: repeat detects on an
+    /// unchanged table perform zero snapshot encodes, and a `repair()`
+    /// in between patches the snapshot instead of invalidating it.
     pub fn detect(&mut self) -> CfdResult<ViolationReport> {
         let cfds = self.engine.cfds().to_vec();
         let report = match self.config.detector {
             DetectorKind::Sql => detect_sql(&mut self.db, &self.relation, &cfds)?,
             DetectorKind::Native => detect_native(self.table(), &cfds)?,
             DetectorKind::Parallel { threads } => detect_parallel(self.table(), &cfds, threads)?,
-            DetectorKind::Columnar => detect_columnar(self.table(), &cfds)?,
+            DetectorKind::Columnar => {
+                // Disjoint field borrows: the cache is written while the
+                // database is only read.
+                let table = self.db.table(&self.relation).map_err(db_err)?;
+                detect_cached(&mut self.snapshots, table, &cfds)?
+            }
         };
         self.last_report = Some(report.clone());
         Ok(report)
+    }
+
+    /// Number of full snapshot encodes the columnar path has performed —
+    /// the steady-state probe (repeat detects on an unchanged table must
+    /// not increase it).
+    pub fn snapshot_encodes(&self) -> u64 {
+        self.snapshots.encodes()
     }
 
     /// The cached detection report, if any.
@@ -204,10 +226,21 @@ impl QualityServer {
     }
 
     /// Data cleanser: run batch repair; invalidates the cached report.
+    ///
+    /// The repair loop shares the server's snapshot cache: its per-round
+    /// detection rides the patched snapshot, and on return the cache is
+    /// synced to the repaired table — a following columnar `detect()`
+    /// pays zero encode work.
     pub fn repair(&mut self) -> CfdResult<RepairResult> {
         let cfds = self.engine.cfds().to_vec();
         let cfg = self.config.repair.clone();
-        let result = batch_repair(&mut self.db, &self.relation, &cfds, &cfg)?;
+        let result = batch_repair_with_cache(
+            &mut self.db,
+            &self.relation,
+            &cfds,
+            &cfg,
+            &mut self.snapshots,
+        )?;
         self.last_report = None;
         Ok(result)
     }
@@ -291,6 +324,50 @@ mod tests {
         let a = s1.detect().unwrap().normalized();
         let b = s2.detect().unwrap().normalized();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeat_detects_on_unchanged_table_encode_one_snapshot() {
+        let mut s = server(200, 0.06, 78).with_config(ServerConfig {
+            detector: DetectorKind::Columnar,
+            ..ServerConfig::default()
+        });
+        let a = s.detect().unwrap().normalized();
+        assert_eq!(s.snapshot_encodes(), 1, "first detect pays the encode");
+        let b = s.detect().unwrap().normalized();
+        assert_eq!(
+            s.snapshot_encodes(),
+            1,
+            "second detect on an unchanged table must do zero encode work"
+        );
+        assert_eq!(a, b);
+        // Audit/map/inspect ride the cached report and stay encode-free too.
+        s.audit().unwrap();
+        s.map().unwrap();
+        assert_eq!(s.snapshot_encodes(), 1);
+    }
+
+    #[test]
+    fn repair_patches_the_server_snapshot_instead_of_invalidating() {
+        let mut s = server(200, 0.05, 79).with_config(ServerConfig {
+            detector: DetectorKind::Columnar,
+            ..ServerConfig::default()
+        });
+        assert!(!s.detect().unwrap().is_empty());
+        let encodes_before_repair = s.snapshot_encodes();
+        let repair = s.repair().unwrap();
+        assert!(repair.residual.is_empty());
+        assert_eq!(
+            s.snapshot_encodes(),
+            encodes_before_repair,
+            "repair rounds ride the patched snapshot"
+        );
+        assert!(s.detect().unwrap().is_empty());
+        assert_eq!(
+            s.snapshot_encodes(),
+            encodes_before_repair,
+            "post-repair detect reuses the repair-synced snapshot"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! non-NULL RHS values.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use minidb::{RowId, Value};
 
@@ -37,7 +38,11 @@ pub enum ViolationKind {
         /// LHS key shared by the group.
         key: Vec<Value>,
         /// Members with non-NULL RHS values, as `(row, rhs value)`.
-        rows: Vec<(RowId, Value)>,
+        /// `Arc`-shared: violating groups can run to the whole relation,
+        /// and the snapshot lifecycle replays memoized groups into fresh
+        /// reports — sharing makes that a refcount bump per group instead
+        /// of a clone per member.
+        rows: Arc<Vec<(RowId, Value)>>,
     },
 }
 
@@ -141,6 +146,19 @@ impl ViolationReport {
         rows: Vec<(RowId, Value)>,
         own: &[u64],
     ) {
+        self.push_multi_shared(cfd_idx, key, Arc::new(rows), own);
+    }
+
+    /// [`ViolationReport::push_multi_prepared`] over an already-shared
+    /// member list: the snapshot lifecycle's memo replays a fragment's
+    /// groups into each fresh report for one refcount bump per group.
+    pub fn push_multi_shared(
+        &mut self,
+        cfd_idx: usize,
+        key: Vec<Value>,
+        rows: Arc<Vec<(RowId, Value)>>,
+        own: &[u64],
+    ) {
         debug_assert_eq!(rows.len(), own.len(), "one multiplicity per member");
         let total = rows.len() as u64;
         for ((r, _), n) in rows.iter().zip(own) {
@@ -180,7 +198,10 @@ impl ViolationReport {
         for v in other.violations {
             match v.kind {
                 ViolationKind::SingleTuple { row } => self.push_single(v.cfd_idx, row),
-                ViolationKind::MultiTuple { key, rows } => self.push_multi(v.cfd_idx, key, rows),
+                ViolationKind::MultiTuple { key, rows } => {
+                    let rows = Arc::try_unwrap(rows).unwrap_or_else(|a| (*a).clone());
+                    self.push_multi(v.cfd_idx, key, rows);
+                }
             }
         }
     }
@@ -190,7 +211,11 @@ impl ViolationReport {
     pub fn normalized(mut self) -> ViolationReport {
         for v in &mut self.violations {
             if let ViolationKind::MultiTuple { rows, .. } = &mut v.kind {
-                rows.sort_by_key(|(r, _)| *r);
+                // Shared member lists are cloned only when actually out of
+                // order (memoized groups are often already row-sorted).
+                if !rows.windows(2).all(|w| w[0].0 <= w[1].0) {
+                    Arc::make_mut(rows).sort_by_key(|(r, _)| *r);
+                }
             }
         }
         self.violations.sort_by(|a, b| {

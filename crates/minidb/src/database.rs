@@ -109,6 +109,12 @@ impl Database {
         self.tables.contains_key(&key(name))
     }
 
+    /// The mutation epoch of a table (see [`Table::epoch`]) — the freshness
+    /// probe snapshot caches key on.
+    pub fn table_epoch(&self, name: &str) -> DbResult<u64> {
+        Ok(self.table(name)?.epoch())
+    }
+
     // ----------------------------------------------------------- writes
 
     /// Insert a row, maintaining indexes; returns the new row id.
@@ -556,6 +562,21 @@ mod tests {
         let n = db.execute("DELETE FROM customer WHERE cnt = 'UK'").unwrap();
         assert_eq!(n, ExecOutcome::Affected(2));
         assert_eq!(db.table("customer").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sql_statements_advance_the_table_epoch() {
+        let mut db = db();
+        let e0 = db.table_epoch("customer").unwrap();
+        db.execute("UPDATE customer SET city = 'BOS' WHERE zip = '01202'")
+            .unwrap();
+        let e1 = db.table_epoch("customer").unwrap();
+        assert_eq!(e1, e0 + 3, "one epoch bump per updated row");
+        db.execute("DELETE FROM customer WHERE cnt = 'UK'").unwrap();
+        assert_eq!(db.table_epoch("customer").unwrap(), e1 + 2);
+        // Reads leave the epoch alone.
+        db.query("SELECT * FROM customer").unwrap();
+        assert_eq!(db.table_epoch("customer").unwrap(), e1 + 2);
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! designates the same logical row or nothing). Stable ids are what lets the
 //! error detector attribute violations to tuples and the repair engine edit
 //! cells in place — mirroring how Semandaq keys violations by physical row.
+//!
+//! Every successful mutation bumps the table's **epoch**, a monotone
+//! counter that derived structures (columnar snapshots, detector caches)
+//! use for O(1) freshness checks: equal epochs mean the table content is
+//! bit-identical to when the structure was built. The epoch is a property
+//! of one table *lineage* — cloning copies the current value, so two
+//! clones mutated independently can reach the same epoch with different
+//! content; a cache must observe a single table instance.
 
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
@@ -28,6 +36,7 @@ pub struct Table {
     schema: Schema,
     rows: Vec<Option<Vec<Value>>>,
     live: usize,
+    epoch: u64,
 }
 
 impl Table {
@@ -38,7 +47,16 @@ impl Table {
             schema,
             rows: Vec::new(),
             live: 0,
+            epoch: 0,
         }
+    }
+
+    /// The mutation epoch: bumped by every successful `insert`, `delete`,
+    /// `update_cell` and `update_row`. Two reads of the same table instance
+    /// returning the same epoch are guaranteed to have seen identical
+    /// content (see the module docs for the clone caveat).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Table name.
@@ -72,6 +90,7 @@ impl Table {
         let id = RowId(self.rows.len() as u64);
         self.rows.push(Some(row));
         self.live += 1;
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -98,6 +117,7 @@ impl Table {
             .ok_or(DbError::BadRowId(id.0))?;
         let row = slot.take().ok_or(DbError::BadRowId(id.0))?;
         self.live -= 1;
+        self.epoch += 1;
         Ok(row)
     }
 
@@ -117,6 +137,7 @@ impl Table {
             .get_mut(id.index())
             .ok_or(DbError::BadRowId(id.0))?;
         let row = slot.as_mut().ok_or(DbError::BadRowId(id.0))?;
+        self.epoch += 1;
         Ok(std::mem::replace(&mut row[col], value))
     }
 
@@ -128,6 +149,7 @@ impl Table {
             .get_mut(id.index())
             .ok_or(DbError::BadRowId(id.0))?;
         let old = slot.as_mut().ok_or(DbError::BadRowId(id.0))?;
+        self.epoch += 1;
         Ok(std::mem::replace(old, row))
     }
 
@@ -205,6 +227,38 @@ mod tests {
         let old = t.update_cell(a, 1, Value::str("z")).unwrap();
         assert_eq!(old, Value::str("a"));
         assert_eq!(t.get(a).unwrap()[1], Value::str("z"));
+    }
+
+    #[test]
+    fn epoch_counts_successful_mutations_only() {
+        let mut t = t();
+        assert_eq!(t.epoch(), 0);
+        let a = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        assert_eq!(t.epoch(), 1);
+        t.update_cell(a, 1, Value::str("b")).unwrap();
+        assert_eq!(t.epoch(), 2);
+        // Failed mutations leave the epoch untouched.
+        assert!(t.update_cell(a, 0, Value::str("oops")).is_err());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t.delete(RowId(99)).is_err());
+        assert_eq!(t.epoch(), 2);
+        t.update_row(a, vec![Value::Int(2), Value::str("c")])
+            .unwrap();
+        assert_eq!(t.epoch(), 3);
+        t.delete(a).unwrap();
+        assert_eq!(t.epoch(), 4);
+        assert!(t.delete(a).is_err(), "double delete fails");
+        assert_eq!(t.epoch(), 4);
+    }
+
+    #[test]
+    fn clones_carry_the_epoch_forward() {
+        let mut t = t();
+        t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let c = t.clone();
+        assert_eq!(c.epoch(), t.epoch());
+        t.insert(vec![Value::Int(2), Value::str("b")]).unwrap();
+        assert_eq!(c.epoch() + 1, t.epoch());
     }
 
     #[test]

@@ -16,12 +16,21 @@
 //! reported honestly as `residual` (on consistent CFD sets and the
 //! workloads in this repository the loop converges in a handful of
 //! iterations — the integration tests assert empty residuals).
+//!
+//! The detect half of each round runs on a columnar [`SnapshotCache`]
+//! kept in lock-step with the loop's own cell edits: the first round pays
+//! one snapshot encode, every later round re-detects over the *patched*
+//! snapshot (each applied change re-encodes exactly one cell) instead of
+//! re-scanning the table from scratch. Reports are `normalized()`, so the
+//! resolution order — and therefore the repair output — is identical to
+//! the historical `detect_native`-per-round implementation.
 
 use std::collections::HashMap;
 
 use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
+use colstore::{detect_cached, SnapshotCache};
 use detect::violation::{ViolationKind, ViolationReport};
-use detect::{detect_native, IncrementalDetector};
+use detect::IncrementalDetector;
 use minidb::{Database, DbError, RowId, Value};
 
 use crate::cost::WeightModel;
@@ -123,12 +132,30 @@ impl Default for RepairConfig {
     }
 }
 
-/// Run BatchRepair on `db.relation` under `cfds`.
+/// Run BatchRepair on `db.relation` under `cfds` with a private snapshot
+/// cache (see [`batch_repair_with_cache`] to share one with a caller that
+/// also detects over the relation, e.g. `QualityServer`).
 pub fn batch_repair(
     db: &mut Database,
     relation: &str,
     cfds: &[Cfd],
     cfg: &RepairConfig,
+) -> CfdResult<RepairResult> {
+    let mut cache = SnapshotCache::new();
+    batch_repair_with_cache(db, relation, cfds, cfg, &mut cache)
+}
+
+/// [`batch_repair`] against a caller-owned [`SnapshotCache`]: each round's
+/// detection runs over the cached snapshot, patched cell-by-cell as the
+/// resolvers edit the table — `detect_native` is off the main path. On
+/// return the cache is synced to the repaired table, so a following
+/// columnar detect pays zero encode work.
+pub fn batch_repair_with_cache(
+    db: &mut Database,
+    relation: &str,
+    cfds: &[Cfd],
+    cfg: &RepairConfig,
+    cache: &mut SnapshotCache,
 ) -> CfdResult<RepairResult> {
     let schema = db.table(relation).map_err(db_err)?.schema().clone();
     let bound: Vec<BoundCfd> = cfds
@@ -142,8 +169,10 @@ pub fn batch_repair(
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
         // Normalized order makes the whole repair deterministic (hash maps
-        // inside detection would otherwise reorder resolutions).
-        let report = detect_native(db.table(relation).map_err(db_err)?, cfds)?.normalized();
+        // inside detection would otherwise reorder resolutions), and keeps
+        // the resolution sequence independent of snapshot row order — the
+        // patched snapshot swap-removes, a fresh encode scans arena order.
+        let report = detect_cached(cache, db.table(relation).map_err(db_err)?, cfds)?.normalized();
         if report.is_empty() {
             break;
         }
@@ -174,6 +203,7 @@ pub fn batch_repair(
                 &domains,
                 iter,
                 &mut changes,
+                cache,
             )?;
         }
         let mut var_progress = false;
@@ -192,6 +222,7 @@ pub fn batch_repair(
                     cfg,
                     iter,
                     &mut changes,
+                    cache,
                 )?;
             }
         }
@@ -200,7 +231,7 @@ pub fn batch_repair(
         }
     }
 
-    let residual = detect_native(db.table(relation).map_err(db_err)?, cfds)?;
+    let residual = detect_cached(cache, db.table(relation).map_err(db_err)?, cfds)?;
     let total_cost = changes.iter().map(|c| c.cost).sum();
     Ok(RepairResult {
         changes,
@@ -253,6 +284,22 @@ fn change_cost(cfg: &RepairConfig, row: RowId, col: usize, old: &Value, new: &Va
     }
 }
 
+/// Apply one cell edit and patch the snapshot cache in lock-step, so the
+/// next round's detection re-encodes exactly this cell instead of the
+/// whole table. Returns the previous value.
+fn update_cell_cached(
+    db: &mut Database,
+    relation: &str,
+    cache: &mut SnapshotCache,
+    row: RowId,
+    col: usize,
+    value: Value,
+) -> CfdResult<Value> {
+    let old = db.update_cell(relation, row, col, value).map_err(db_err)?;
+    cache.note_set_cell(db.table(relation).map_err(db_err)?, row, col);
+    Ok(old)
+}
+
 /// Would `row_vals` single-violate any constant CFD?
 fn const_violates(bound: &[BoundCfd], row_vals: &[Value]) -> bool {
     bound.iter().any(|b| b.single_tuple_violation(row_vals))
@@ -270,6 +317,7 @@ fn resolve_constant(
     domains: &HashMap<usize, Vec<Value>>,
     iter: usize,
     changes: &mut Vec<CellChange>,
+    cache: &mut SnapshotCache,
 ) -> CfdResult<bool> {
     let b = &bound[cfd_idx];
     let current: Vec<Value> = match db.table(relation).map_err(db_err)?.get(row) {
@@ -373,9 +421,7 @@ fn resolve_constant(
         }
     };
 
-    let old = db
-        .update_cell(relation, row, col, new_val.clone())
-        .map_err(db_err)?;
+    let old = update_cell_cached(db, relation, cache, row, col, new_val.clone())?;
     // Constant assignments pin the cell's *class* ([8]: everything that
     // must equal this cell inherits the forced value). Fresh sentinels are
     // detached first — an LHS break severs the equality links through the
@@ -415,6 +461,7 @@ fn resolve_variable(
     cfg: &RepairConfig,
     iter: usize,
     changes: &mut Vec<CellChange>,
+    cache: &mut SnapshotCache,
 ) -> CfdResult<bool> {
     let b = &bound[cfd_idx];
     // Re-verify the group against current data.
@@ -526,9 +573,7 @@ fn resolve_variable(
         let compatible = pin.as_ref().is_none_or(|p| p.strong_eq(&target));
         if compatible {
             let cost = change_cost(cfg, *row, b.rhs_col, val, &target);
-            let old = db
-                .update_cell(relation, *row, b.rhs_col, target.clone())
-                .map_err(db_err)?;
+            let old = update_cell_cached(db, relation, cache, *row, b.rhs_col, target.clone())?;
             changes.push(CellChange {
                 row: *row,
                 col: b.rhs_col,
@@ -553,9 +598,7 @@ fn resolve_variable(
             let col = b.lhs_cols[j];
             let fresh = fresh_value(*row, col);
             let cost = cfg.weights.weight(*row, col);
-            let old = db
-                .update_cell(relation, *row, col, fresh.clone())
-                .map_err(db_err)?;
+            let old = update_cell_cached(db, relation, cache, *row, col, fresh.clone())?;
             // Sentinel cells are detached from their class (the break
             // severs the equality links through this cell) and pinned so
             // later merges cannot overwrite "unknown, needs review".
@@ -605,6 +648,7 @@ pub fn repair_and_verify(
 mod tests {
     use super::*;
     use datagen::dirty_customers;
+    use detect::detect_native;
 
     #[test]
     fn repairs_dirty_customers_to_zero_violations() {

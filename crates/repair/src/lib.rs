@@ -22,7 +22,9 @@ pub mod incremental;
 pub mod quality;
 
 pub use alternatives::{alternatives_for, Alternative};
-pub use batch::{batch_repair, CellChange, ChangeReason, RepairConfig, RepairResult};
+pub use batch::{
+    batch_repair, batch_repair_with_cache, CellChange, ChangeReason, RepairConfig, RepairResult,
+};
 pub use cost::{damerau_levenshtein, normalized_distance, WeightModel};
 pub use eqclass::{CellRef, EqClasses};
 pub use incremental::incremental_repair;

@@ -1,0 +1,246 @@
+//! Property: an incrementally-patched columnar snapshot is indistinguishable
+//! from a fresh encode. For random update streams (inserts with novel
+//! values and all-NULL rows, deletes, cell overwrites incl. NULLing), the
+//! patched snapshot's `detect_on_snapshot` report equals a fresh
+//! `detect_native` after *every* step — and a zero-threshold cache, which
+//! re-encodes on every mutation (the delta-threshold fallback path),
+//! produces the identical report at every step too.
+
+mod common;
+
+use common::{arb_cfds, arb_table, COLS};
+use proptest::prelude::*;
+use semandaq::colstore::{detect_cached, detect_on_snapshot, SnapshotCache};
+use semandaq::detect::detect_native;
+use semandaq::minidb::{RowId, Schema, Table, Value};
+
+/// One step of a random update stream. Row/column choices are indexes
+/// reduced modulo the live population at apply time, so every generated
+/// stream is applicable to every generated table.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a row of domain values, NULLs, or novel (never-seen) values.
+    Insert(Vec<Cell>),
+    /// Insert an all-NULL row.
+    InsertAllNull,
+    /// Delete a live row.
+    Delete(usize),
+    /// Overwrite one cell.
+    SetCell { row: usize, col: usize, val: Cell },
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    /// A value from the small shared domain (collides with existing rows).
+    Domain(usize),
+    /// A fresh value absent from every dictionary (forces interning).
+    Novel,
+    Null,
+}
+
+impl Cell {
+    fn value(&self, col: usize, fresh: &mut u32) -> Value {
+        match self {
+            Cell::Domain(i) => Value::str(format!("{}{}", ["a", "b", "c", "d"][col], i % 3)),
+            Cell::Novel => {
+                *fresh += 1;
+                Value::str(format!("novel{fresh}"))
+            }
+            Cell::Null => Value::Null,
+        }
+    }
+}
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        5 => (0usize..3).prop_map(Cell::Domain),
+        2 => Just(Cell::Novel),
+        1 => Just(Cell::Null),
+    ]
+}
+
+fn arb_ops(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        3 => proptest::collection::vec(arb_cell(), 4).prop_map(Op::Insert),
+        1 => Just(Op::InsertAllNull),
+        2 => (0usize..64).prop_map(Op::Delete),
+        4 => ((0usize..64), (0usize..4), arb_cell())
+            .prop_map(|(row, col, val)| Op::SetCell { row, col, val }),
+    ];
+    proptest::collection::vec(op, 1..max_ops)
+}
+
+/// Apply `op` to `table`, reporting the mutation to every cache in
+/// `caches`. Returns `false` when the op was inapplicable (e.g. delete on
+/// an empty table) and was skipped.
+fn apply(table: &mut Table, caches: &mut [&mut SnapshotCache], op: &Op, fresh: &mut u32) -> bool {
+    match op {
+        Op::Insert(cells) => {
+            let row: Vec<Value> = cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| cell.value(c, fresh))
+                .collect();
+            let id = table.insert(row).unwrap();
+            for cache in caches {
+                cache.note_insert(table, id);
+            }
+        }
+        Op::InsertAllNull => {
+            let id = table.insert(vec![Value::Null; 4]).unwrap();
+            for cache in caches {
+                cache.note_insert(table, id);
+            }
+        }
+        Op::Delete(i) => {
+            let ids = table.row_ids();
+            if ids.is_empty() {
+                return false;
+            }
+            let id = ids[i % ids.len()];
+            table.delete(id).unwrap();
+            for cache in caches {
+                cache.note_delete(table, id);
+            }
+        }
+        Op::SetCell { row, col, val } => {
+            let ids = table.row_ids();
+            if ids.is_empty() {
+                return false;
+            }
+            let id = ids[row % ids.len()];
+            table.update_cell(id, *col, val.value(*col, fresh)).unwrap();
+            for cache in caches {
+                cache.note_set_cell(table, id, *col);
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every step of a random update stream, the patched snapshot
+    /// detects exactly what a fresh native scan detects — and so does the
+    /// zero-threshold cache that rides the full-rebuild fallback.
+    #[test]
+    fn patched_snapshot_equals_fresh_detect_after_every_step(
+        table in arb_table(24),
+        cfds in arb_cfds(),
+        ops in arb_ops(24),
+    ) {
+        let mut table = table;
+        let mut patched = SnapshotCache::new();
+        let mut rebuilt = SnapshotCache::new().with_delta_threshold(0.0);
+        let mut memoed = SnapshotCache::new();
+        patched.snapshot(&table);
+        rebuilt.snapshot(&table);
+        memoed.snapshot(&table);
+        let mut fresh = 0u32;
+        for op in &ops {
+            if !apply(
+                &mut table,
+                &mut [&mut patched, &mut rebuilt, &mut memoed],
+                op,
+                &mut fresh,
+            ) {
+                continue;
+            }
+            let want = detect_native(&table, &cfds).unwrap().normalized();
+            let got = detect_on_snapshot(&patched.snapshot(&table), &cfds)
+                .unwrap()
+                .normalized();
+            prop_assert_eq!(&got, &want, "patched snapshot diverged after {:?}", op);
+            let fallback = detect_on_snapshot(&rebuilt.snapshot(&table), &cfds)
+                .unwrap()
+                .normalized();
+            prop_assert_eq!(&fallback, &want, "threshold fallback diverged after {:?}", op);
+            // The memoized path (per-CFD fragments replayed while their
+            // columns are untouched) must agree at every step too.
+            let memo = detect_cached(&mut memoed, &table, &cfds).unwrap().normalized();
+            prop_assert_eq!(&memo, &want, "memoized detect diverged after {:?}", op);
+        }
+        // The caches took genuinely different paths to the same answers.
+        prop_assert_eq!(patched.encodes(), 1, "stream must ride the patch path");
+        prop_assert_eq!(rebuilt.patches(), 0, "zero threshold must never patch");
+    }
+
+    /// Snapshot row order is an implementation detail: a patched snapshot
+    /// (swap-removed, append-ordered) and a fresh arena-ordered encode
+    /// carry the same rows and values.
+    #[test]
+    fn patched_snapshot_content_matches_fresh_encode(
+        table in arb_table(16),
+        ops in arb_ops(16),
+    ) {
+        use semandaq::colstore::Snapshot;
+        let mut table = table;
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&table);
+        let mut fresh = 0u32;
+        for op in &ops {
+            apply(&mut table, &mut [&mut cache], op, &mut fresh);
+        }
+        let patched = cache.snapshot(&table);
+        let reference = Snapshot::of(&table);
+        prop_assert_eq!(patched.n_rows(), reference.n_rows());
+        let mut patched_rows: Vec<(RowId, Vec<Value>)> = (0..patched.n_rows())
+            .map(|p| (patched.row_id(p), (0..4).map(|c| patched.column(c).value_at(p)).collect()))
+            .collect();
+        patched_rows.sort_by_key(|(id, _)| *id);
+        let reference_rows: Vec<(RowId, Vec<Value>)> = (0..reference.n_rows())
+            .map(|p| (reference.row_id(p), (0..4).map(|c| reference.column(c).value_at(p)).collect()))
+            .collect();
+        prop_assert_eq!(patched_rows, reference_rows);
+    }
+}
+
+/// Long-stream determinism: past the delta threshold the cache rebuilds
+/// (full re-encode) and keeps answering correctly — the crossover is
+/// invisible to the consumer.
+#[test]
+fn threshold_crossing_rebuilds_and_stays_correct() {
+    use semandaq::cfd::parse::parse_cfds;
+    let mut table = Table::new("r", Schema::of_strings(&COLS));
+    for i in 0..40 {
+        table
+            .insert(vec![
+                Value::str(format!("a{}", i % 3)),
+                Value::str(format!("b{}", i % 4)),
+                Value::str(format!("c{}", i % 2)),
+                Value::str(format!("d{}", i % 5)),
+            ])
+            .unwrap();
+    }
+    let cfds = parse_cfds("r: [A] -> [B]\nr: [A='a0'] -> [C='c0']\nr: [B, C] -> [D]").unwrap();
+    let mut cache = SnapshotCache::new();
+    cache.snapshot(&table);
+    // 600 single-cell mutations: far beyond the 256-patch floor, so the
+    // cache must cross the threshold and rebuild at least once.
+    for step in 0..600usize {
+        let ids = table.row_ids();
+        let id = ids[step % ids.len()];
+        let col = step % 4;
+        let val = Value::str(format!("{}{}", ["a", "b", "c", "d"][col], step % 6));
+        table.update_cell(id, col, val).unwrap();
+        cache.note_set_cell(&table, id, col);
+        if step % 97 == 0 {
+            let got = detect_on_snapshot(&cache.snapshot(&table), &cfds)
+                .unwrap()
+                .normalized();
+            let want = detect_native(&table, &cfds).unwrap().normalized();
+            assert_eq!(got, want, "diverged at step {step}");
+        }
+    }
+    let got = detect_on_snapshot(&cache.snapshot(&table), &cfds)
+        .unwrap()
+        .normalized();
+    let want = detect_native(&table, &cfds).unwrap().normalized();
+    assert_eq!(got, want);
+    assert!(
+        cache.encodes() >= 2,
+        "600 patches must cross the delta threshold at least once"
+    );
+    assert!(cache.patches() > 0, "and still patch between rebuilds");
+}
