@@ -45,7 +45,7 @@ pub fn violation_stats(report: &ViolationReport) -> ViolationStats {
             }
         }
     }
-    let vios: Vec<u64> = report.vio.values().copied().filter(|&v| v > 0).collect();
+    let vios: Vec<u64> = report.vio.values().collect();
     let dirty_tuples = vios.len();
     let max_vio = vios.iter().copied().max().unwrap_or(0);
     let min_vio = vios.iter().copied().min().unwrap_or(0);

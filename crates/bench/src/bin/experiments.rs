@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E8 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E9 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -6,14 +6,17 @@
 //! cargo run --release --bin experiments -- e1 e5  # a subset
 //! ```
 //!
-//! E8 additionally writes `BENCH_detection.json`, a machine-readable
-//! detection baseline (`rows`, `engine`, `ns_per_op`) for regression
-//! tracking.
+//! E8 (detection engines) and E9 (sharded cluster) additionally record a
+//! machine-readable baseline (`rows`, `engine`, `ns_per_op`) into
+//! `BENCH_detection.json` for regression tracking. The file is merged,
+//! not overwritten: re-running one experiment updates its own entries and
+//! leaves the other's in place.
 
 use std::time::Instant;
 
 use cfd::satisfiability::check_consistency;
 use cfd::DomainSpec;
+use cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
 use colstore::{detect_cached, detect_columnar, detect_on_snapshot, Snapshot, SnapshotCache};
 use detect::{
     detect_native, detect_parallel, detect_sql, detect_sql_per_pattern, IncrementalDetector,
@@ -41,7 +44,7 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 
 /// Render the detection baseline as JSON by hand (no serializer in the
 /// tree): `[{"rows": n, "engine": "...", "ns_per_op": x}, ...]`.
-fn render_baseline_json(entries: &[(usize, &str, f64)]) -> String {
+fn render_baseline_json(entries: &[(usize, String, f64)]) -> String {
     let mut out = String::from("[\n");
     for (i, (rows, engine, ns)) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -51,6 +54,46 @@ fn render_baseline_json(entries: &[(usize, &str, f64)]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// Parse the flat baseline format [`render_baseline_json`] writes (one
+/// entry per line) so a partial re-run can merge instead of clobber.
+fn parse_baseline_json(text: &str) -> Vec<(usize, String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rows = field(line, "\"rows\":")?.parse().ok()?;
+            let engine = field(line, "\"engine\":")?;
+            let ns = field(line, "\"ns_per_op\":")?.parse().ok()?;
+            Some((rows, engine, ns))
+        })
+        .collect()
+}
+
+/// Merge this run's entries over the existing file (same `(rows, engine)`
+/// replaces, new entries append) and write it back.
+fn write_baseline(measured: Vec<(usize, String, f64)>) {
+    const PATH: &str = "BENCH_detection.json";
+    let mut merged = std::fs::read_to_string(PATH)
+        .map(|t| parse_baseline_json(&t))
+        .unwrap_or_default();
+    for (rows, engine, ns) in measured {
+        match merged
+            .iter_mut()
+            .find(|(r, e, _)| *r == rows && *e == engine)
+        {
+            Some(slot) => slot.2 = ns,
+            None => merged.push((rows, engine, ns)),
+        }
+    }
+    let json = render_baseline_json(&merged);
+    std::fs::write(PATH, &json).expect("write BENCH_detection.json");
+    println!("wrote {PATH} ({} entries)\n", merged.len());
 }
 
 fn main() {
@@ -260,13 +303,14 @@ fn main() {
         println!();
     }
 
+    let mut baseline: Vec<(usize, String, f64)> = Vec::new();
+
     if wanted("e8") {
         println!("== E8: columnar vs row detection (customer workload, 5% noise) ==");
         println!(
             "{:>8} {:>13} {:>13} {:>13} {:>13} {:>9}",
             "rows", "native (ms)", "par4 (ms)", "columnar(ms)", "snapshot(ms)", "col/nat"
         );
-        let mut baseline: Vec<(usize, &str, f64)> = Vec::new();
         for rows in [1_000usize, 10_000, 100_000] {
             let w = workload(rows, 0.05, 11);
             let t = w.db.table("customer").unwrap();
@@ -297,10 +341,10 @@ fn main() {
                 n_reuse / 1e6,
                 n_native / n_col
             );
-            baseline.push((rows, "native", n_native));
-            baseline.push((rows, "parallel4", n_par));
-            baseline.push((rows, "columnar", n_col));
-            baseline.push((rows, "columnar_reuse", n_reuse));
+            baseline.push((rows, "native".into(), n_native));
+            baseline.push((rows, "parallel4".into(), n_par));
+            baseline.push((rows, "columnar".into(), n_col));
+            baseline.push((rows, "columnar_reuse".into(), n_reuse));
         }
         // E8b: steady-state detection — repeated detects with k row
         // mutations between each (the monitoring scenario: a mostly-clean
@@ -399,8 +443,8 @@ fn main() {
             } else {
                 "steady_cached_patched_0p1pct"
             };
-            baseline.push((rows, label, full_ns));
-            baseline.push((rows, cached_label, cached_ns));
+            baseline.push((rows, label.into(), full_ns));
+            baseline.push((rows, cached_label.into(), cached_ns));
         }
 
         // E8c: batch_repair round metrics — the detect half of every round
@@ -425,13 +469,98 @@ fn main() {
                 per_round / 1e6,
                 r.changes.len()
             );
-            baseline.push((rows, "repair_batch_total", total_ns));
-            baseline.push((rows, "repair_batch_per_round", per_round));
+            baseline.push((rows, "repair_batch_total".into(), total_ns));
+            baseline.push((rows, "repair_batch_per_round".into(), per_round));
         }
+    }
 
-        let json = render_baseline_json(&baseline);
-        std::fs::write("BENCH_detection.json", &json).expect("write BENCH_detection.json");
-        println!("wrote BENCH_detection.json ({} entries)\n", baseline.len());
+    if wanted("e9") {
+        println!("== E9: sharded scatter/gather detection (100k rows, 5% noise) ==");
+        let rows = 100_000usize;
+        let w = workload(rows, 0.05, 11);
+        let t = w.db.table("customer").unwrap();
+        let iters = 5u32;
+        // Single-node columnar full detect is the speedup reference.
+        let n_single = time_ns(iters, || {
+            detect_columnar(t, &w.cfds).unwrap();
+        });
+        let reference = detect_columnar(t, &w.cfds).unwrap().normalized();
+        println!("single-node columnar: {:>8.1} ms", n_single / 1e6);
+        baseline.push((rows, "sharded_baseline_columnar".into(), n_single));
+        println!(
+            "{:>7} {:>12} {:>10} {:>10} {:>12} {:>11} {:>9} {:>8}",
+            "shards",
+            "router",
+            "cold (ms)",
+            "warm (ms)",
+            "touched (ms)",
+            "merge (ms)",
+            "members",
+            "speedup"
+        );
+        // Round-robin is the worst case for exchange volume (every group
+        // splits); the hash run keyed on CNT keeps [CNT, ZIP] groups
+        // shard-local for contrast.
+        let configs: Vec<(usize, Box<dyn ShardRouter>, &str)> = vec![
+            (1, Box::new(RoundRobinRouter::default()), "rr"),
+            (2, Box::new(RoundRobinRouter::default()), "rr"),
+            (4, Box::new(RoundRobinRouter::default()), "rr"),
+            (8, Box::new(RoundRobinRouter::default()), "rr"),
+            (4, Box::new(HashRouter::new(vec![1])), "hash"),
+        ];
+        for (n, router, rname) in configs {
+            let mut c = ShardedQualityServer::partition(t, n, router).unwrap();
+            c.register_cfds(w.cfds.clone()).unwrap();
+            // Cold: first detect pays every shard's snapshot encode.
+            let t0 = Instant::now();
+            let first = c.detect().unwrap();
+            let cold_ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(first.normalized(), reference.clone(), "sharded == single");
+            // Warm: unchanged shards replay their memoized partials.
+            let warm_ns = time_ns(iters, || {
+                c.detect().unwrap();
+            });
+            // Touched: one routed cell update per shard between detects —
+            // the steady monitoring load with every shard's memo dirtied.
+            let picks: Vec<minidb::RowId> = (0..n)
+                .filter_map(|s| c.shard_table(s).iter().next().map(|(id, _)| id))
+                .collect();
+            let cities: Vec<Value> = vec![Value::str("EDI"), Value::str("NYC")];
+            let rounds = 5;
+            let mut touched_ns = 0f64;
+            for round in 0..rounds {
+                let t0 = Instant::now();
+                for &id in &picks {
+                    c.update_cell(id, 2, cities[round % 2].clone()).unwrap();
+                }
+                c.detect().unwrap();
+                touched_ns += t0.elapsed().as_nanos() as f64;
+            }
+            touched_ns /= rounds as f64;
+            let stats = c.last_detect_stats();
+            println!(
+                "{n:>7} {rname:>12} {:>10.1} {:>10.1} {:>12.1} {:>11.1} {:>9} {:>7.1}x",
+                cold_ns / 1e6,
+                warm_ns / 1e6,
+                touched_ns / 1e6,
+                stats.merge_ns as f64 / 1e6,
+                stats.exported_members,
+                n_single / touched_ns
+            );
+            baseline.push((rows, format!("sharded_cold_s{n}_{rname}"), cold_ns));
+            baseline.push((rows, format!("sharded_warm_s{n}_{rname}"), warm_ns));
+            baseline.push((rows, format!("sharded_touched_s{n}_{rname}"), touched_ns));
+            baseline.push((
+                rows,
+                format!("sharded_merge_s{n}_{rname}"),
+                stats.merge_ns as f64,
+            ));
+        }
+        println!();
+    }
+
+    if !baseline.is_empty() {
+        write_baseline(baseline);
     }
 
     if wanted("a1") {

@@ -1,0 +1,29 @@
+//! # cluster — the sharded quality cluster
+//!
+//! Scale-out for the Semandaq quality server: one relation partitioned
+//! across N colstore-backed shards, with exact scatter/gather CFD
+//! detection.
+//!
+//! * [`ShardRouter`] — pluggable placement: [`HashRouter`] (deterministic
+//!   FxHash over chosen key columns) or [`RoundRobinRouter`] (perfect
+//!   balance, value-blind). Placement is a performance knob, never a
+//!   correctness one.
+//! * [`ShardedQualityServer`] — routes `insert` / `delete` / `update_cell`
+//!   to the owning shard, keeping each shard's epoch-versioned
+//!   [`colstore::SnapshotCache`] patched in lock-step; `detect()` scatters
+//!   per-CFD partial export across shards (`crossbeam` scoped threads,
+//!   per-shard memoization against column epochs) and gathers with the
+//!   partial-group merge of [`detect::exchange`].
+//!
+//! The merged report is `normalized()`-equal to single-node columnar
+//! detection on every instance, router and shard count — constant CFDs are
+//! embarrassingly parallel per row, and variable CFDs only conflict within
+//! an LHS group, so per-group partial aggregation loses nothing.
+
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod server;
+
+pub use router::{HashRouter, RoundRobinRouter, ShardRouter};
+pub use server::{DetectStats, ShardedQualityServer};

@@ -1,0 +1,483 @@
+//! The sharded quality server: scatter/gather CFD detection over
+//! partitioned colstore shards.
+//!
+//! A [`ShardedQualityServer`] hash- or round-robin-partitions one relation
+//! across N shards. Each shard owns a [`minidb::Table`] holding its rows
+//! **under their global row ids** (via [`Table::insert_at`] — no id
+//! translation anywhere) plus its own epoch-versioned
+//! [`colstore::SnapshotCache`], so routed mutations patch each shard's
+//! dictionary-encoded snapshot incrementally exactly like a single-node
+//! server's.
+//!
+//! Detection is scatter/gather:
+//!
+//! 1. **Scatter** — every shard (fanned out over `crossbeam` scoped
+//!    threads) exports one [`CfdPartial`] per CFD from its cached
+//!    snapshot: constant CFDs resolve fully shard-local; variable CFDs
+//!    export the per-group partial state of `detect::exchange`. Exports
+//!    are memoized per shard per CFD against the cache's per-column
+//!    epochs — a shard whose rows and relevant columns are untouched
+//!    since the last detect ships the same `Arc` again.
+//! 2. **Gather** — the coordinator merges the partials
+//!    ([`merge_cfd_partials`]): singles concatenate, groups union by LHS
+//!    key, and any merged group with ≥ 2 distinct RHS values becomes a
+//!    violation — whether the disagreement sat inside one shard or only
+//!    exists across shards.
+//!
+//! The merged [`ViolationReport`] is `normalized()`-equal to single-node
+//! [`colstore::detect_columnar`] over the union of the rows, for every
+//! router and shard count (`tests/sharded_cluster.rs` pins this by
+//! property).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfd::{BoundCfd, Cfd, CfdError, CfdResult};
+use colstore::{cfd_partial_one, SnapshotCache};
+use detect::exchange::{merge_cfd_partials, CfdPartial};
+use detect::fxhash::FxHashMap;
+use detect::ViolationReport;
+use minidb::{DbError, RowId, Schema, Table, Value};
+
+use crate::router::ShardRouter;
+
+fn db_err(e: DbError) -> CfdError {
+    CfdError::Malformed(e.to_string())
+}
+
+/// One shard: its slice of the relation plus derived columnar state.
+struct Shard {
+    table: Table,
+    cache: SnapshotCache,
+    /// Per-CFD memoized partial export, tagged with the table epoch it was
+    /// computed at; freshness is decided by the cache's per-column epoch
+    /// bookkeeping ([`SnapshotCache::fragment_fresh`]).
+    memo: Vec<Option<(u64, Arc<CfdPartial>)>>,
+}
+
+/// What one shard hands back from the scatter phase.
+struct ShardExport {
+    partials: Vec<Arc<CfdPartial>>,
+    computed: u64,
+    reused: u64,
+}
+
+impl Shard {
+    fn new(relation: &str, schema: Schema, n_cfds: usize) -> Shard {
+        Shard {
+            table: Table::new(relation, schema),
+            cache: SnapshotCache::new(),
+            memo: vec![None; n_cfds],
+        }
+    }
+
+    /// The scatter phase on one shard: snapshot (cached / patched /
+    /// re-encoded as the epoch dictates) and per-CFD partial export.
+    fn export(&mut self, bound: &[BoundCfd], cols: &[Vec<usize>], needed: &[usize]) -> ShardExport {
+        let snap = self.cache.snapshot_projected(&self.table, needed);
+        let epoch = self.table.epoch();
+        let mut out = ShardExport {
+            partials: Vec::with_capacity(bound.len()),
+            computed: 0,
+            reused: 0,
+        };
+        for (i, b) in bound.iter().enumerate() {
+            match &self.memo[i] {
+                Some((e, p)) if self.cache.fragment_fresh(*e, &cols[i]) => {
+                    out.reused += 1;
+                    out.partials.push(Arc::clone(p));
+                }
+                _ => {
+                    out.computed += 1;
+                    let p = Arc::new(cfd_partial_one(&snap, b));
+                    self.memo[i] = Some((epoch, Arc::clone(&p)));
+                    out.partials.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Telemetry of the most recent [`ShardedQualityServer::detect`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectStats {
+    /// Wall time of the scatter phase (snapshot + partial export, all
+    /// shards, including thread fan-out overhead).
+    pub scatter_ns: u64,
+    /// Wall time of the coordinator merge.
+    pub merge_ns: u64,
+    /// LHS groups shipped across the exchange.
+    pub exported_groups: u64,
+    /// Per-row entries shipped (group members + constant violators) — the
+    /// dominant term of the exchange volume.
+    pub exported_members: u64,
+    /// Partials recomputed this detect.
+    pub partials_computed: u64,
+    /// Partials replayed from a shard memo (rows and columns untouched).
+    pub partials_reused: u64,
+}
+
+/// A quality server whose relation is partitioned across N shards.
+pub struct ShardedQualityServer {
+    relation: String,
+    schema: Schema,
+    cfds: Vec<Cfd>,
+    router: Box<dyn ShardRouter>,
+    shards: Vec<Shard>,
+    /// Global row id → owning shard.
+    shard_of: FxHashMap<RowId, u32>,
+    /// Next global row id — the same sequence a single-node table would
+    /// have assigned, which is what makes sharded reports id-compatible.
+    next_row: u64,
+    stats: DetectStats,
+}
+
+impl ShardedQualityServer {
+    /// An empty cluster over `n_shards` shards (clamped to ≥ 1).
+    pub fn new(
+        relation: &str,
+        schema: Schema,
+        n_shards: usize,
+        router: Box<dyn ShardRouter>,
+    ) -> ShardedQualityServer {
+        let n = n_shards.max(1);
+        ShardedQualityServer {
+            relation: relation.to_string(),
+            schema: schema.clone(),
+            cfds: Vec::new(),
+            router,
+            shards: (0..n)
+                .map(|_| Shard::new(relation, schema.clone(), 0))
+                .collect(),
+            shard_of: FxHashMap::default(),
+            next_row: 0,
+            stats: DetectStats::default(),
+        }
+    }
+
+    /// Partition an existing table across `n_shards` shards, preserving
+    /// every row's id (the columnar snapshot of each shard is built lazily
+    /// at the first detect).
+    pub fn partition(
+        table: &Table,
+        n_shards: usize,
+        router: Box<dyn ShardRouter>,
+    ) -> CfdResult<ShardedQualityServer> {
+        let mut me =
+            ShardedQualityServer::new(table.name(), table.schema().clone(), n_shards, router);
+        let n = me.shards.len();
+        for (id, row) in table.iter() {
+            let sid = me.router.route(row, n);
+            me.shards[sid]
+                .table
+                .insert_at(id, row.to_vec())
+                .map_err(db_err)?;
+            me.shard_of.insert(id, sid as u32);
+        }
+        me.next_row = table.arena_size() as u64;
+        Ok(me)
+    }
+
+    /// Register the CFD set to detect (bound-checked against the schema
+    /// now, so a later `detect` cannot fail on a bad rule). Replaces any
+    /// previous set and drops every shard's partial memo.
+    pub fn register_cfds(&mut self, cfds: Vec<Cfd>) -> CfdResult<()> {
+        for c in &cfds {
+            c.bind(&self.schema)?;
+        }
+        for s in &mut self.shards {
+            s.memo = vec![None; cfds.len()];
+        }
+        self.cfds = cfds;
+        Ok(())
+    }
+
+    /// The audited relation.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The registered CFDs.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live rows per shard — the placement balance.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.table.len()).collect()
+    }
+
+    /// Total live rows across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// True when no shard holds a live row.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read access to one shard's table (rows live under global ids).
+    pub fn shard_table(&self, shard: usize) -> &Table {
+        &self.shards[shard].table
+    }
+
+    /// The shard owning a row, if the row is live.
+    pub fn shard_of(&self, id: RowId) -> Option<usize> {
+        self.shard_of.get(&id).map(|&s| s as usize)
+    }
+
+    /// Total full snapshot encodes across shards (the steady-state probe:
+    /// a detect→mutate→detect loop must keep this at one per shard).
+    pub fn snapshot_encodes(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.encodes()).sum()
+    }
+
+    /// Telemetry of the most recent `detect` call.
+    pub fn last_detect_stats(&self) -> DetectStats {
+        self.stats
+    }
+
+    // ---------------------------------------------------------- mutations
+
+    /// Insert a row: the router picks the shard, the cluster assigns the
+    /// next global id, and the shard's snapshot cache patches in lock-step.
+    pub fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        let sid = self.router.route(&row, self.shards.len());
+        let id = RowId(self.next_row);
+        let shard = &mut self.shards[sid];
+        shard.table.insert_at(id, row).map_err(db_err)?;
+        shard.cache.note_insert(&shard.table, id);
+        self.shard_of.insert(id, sid as u32);
+        self.next_row += 1;
+        Ok(id)
+    }
+
+    /// Delete a row by global id; returns its values.
+    pub fn delete(&mut self, id: RowId) -> CfdResult<Vec<Value>> {
+        let sid = self.owning_shard(id)?;
+        let shard = &mut self.shards[sid];
+        let old = shard.table.delete(id).map_err(db_err)?;
+        shard.cache.note_delete(&shard.table, id);
+        self.shard_of.remove(&id);
+        Ok(old)
+    }
+
+    /// Overwrite one cell by global id; returns the previous value.
+    pub fn update_cell(&mut self, id: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        let sid = self.owning_shard(id)?;
+        let shard = &mut self.shards[sid];
+        let old = shard.table.update_cell(id, col, value).map_err(db_err)?;
+        shard.cache.note_set_cell(&shard.table, id, col);
+        Ok(old)
+    }
+
+    fn owning_shard(&self, id: RowId) -> CfdResult<usize> {
+        self.shard_of
+            .get(&id)
+            .map(|&s| s as usize)
+            .ok_or_else(|| db_err(DbError::BadRowId(id.0)))
+    }
+
+    // ---------------------------------------------------------- detection
+
+    /// Scatter/gather detection: shard-local partial export (parallel
+    /// across shards) followed by the coordinator merge. The result is
+    /// `normalized()`-equal to single-node columnar detection over the
+    /// union of the shards' rows.
+    pub fn detect(&mut self) -> CfdResult<ViolationReport> {
+        let bound: Vec<BoundCfd> = self
+            .cfds
+            .iter()
+            .map(|c| c.bind(&self.schema))
+            .collect::<CfdResult<_>>()?;
+        let cols: Vec<Vec<usize>> = bound
+            .iter()
+            .map(|b| b.lhs_cols.iter().copied().chain([b.rhs_col]).collect())
+            .collect();
+        let mut needed: Vec<usize> = cols.iter().flatten().copied().collect();
+        needed.sort_unstable();
+        needed.dedup();
+
+        // Scatter: one export per shard; real fan-out only when there is
+        // more than one shard (the scope spawn is pure overhead otherwise).
+        let t0 = Instant::now();
+        let exports: Vec<ShardExport> = if self.shards.len() == 1 {
+            vec![self.shards[0].export(&bound, &cols, &needed)]
+        } else {
+            let (bound, cols, needed) = (&bound, &cols, &needed);
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|sh| s.spawn(move |_| sh.export(bound, cols, needed)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard export does not panic"))
+                    .collect::<Vec<ShardExport>>()
+            })
+            .expect("shard workers do not panic")
+        };
+        let scatter_ns = t0.elapsed().as_nanos() as u64;
+
+        // Gather: merge per CFD across shards.
+        let t1 = Instant::now();
+        let mut report = ViolationReport::default();
+        for idx in 0..bound.len() {
+            merge_cfd_partials(
+                idx,
+                exports.iter().map(|e| e.partials[idx].as_ref()),
+                &mut report,
+            );
+        }
+        self.stats = DetectStats {
+            scatter_ns,
+            merge_ns: t1.elapsed().as_nanos() as u64,
+            exported_groups: exports
+                .iter()
+                .flat_map(|e| &e.partials)
+                .map(|p| p.n_groups() as u64)
+                .sum(),
+            exported_members: exports
+                .iter()
+                .flat_map(|e| &e.partials)
+                .map(|p| p.n_members() as u64)
+                .sum(),
+            partials_computed: exports.iter().map(|e| e.computed).sum(),
+            partials_reused: exports.iter().map(|e| e.reused).sum(),
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{HashRouter, RoundRobinRouter};
+    use colstore::detect_columnar;
+    use datagen::dirty_customers;
+
+    fn single_node(rows: usize, noise: f64, seed: u64) -> (Table, Vec<Cfd>) {
+        let d = dirty_customers(rows, noise, seed);
+        (d.db.table("customer").unwrap().clone(), d.cfds)
+    }
+
+    fn assert_cluster_matches(table: &Table, cfds: &[Cfd], mut c: ShardedQualityServer) {
+        c.register_cfds(cfds.to_vec()).unwrap();
+        let sharded = c.detect().unwrap().normalized();
+        let single = detect_columnar(table, cfds).unwrap().normalized();
+        assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn partitioned_detection_matches_single_node() {
+        let (t, cfds) = single_node(400, 0.06, 41);
+        for n in [1usize, 2, 4, 7] {
+            let c = ShardedQualityServer::partition(&t, n, Box::new(RoundRobinRouter::default()))
+                .unwrap();
+            assert_eq!(c.len(), t.len());
+            assert_cluster_matches(&t, &cfds, c);
+        }
+    }
+
+    #[test]
+    fn hash_router_matches_too() {
+        let (t, cfds) = single_node(300, 0.08, 42);
+        // Key on CNT (column 1): variable-CFD groups over [CNT, ZIP] split
+        // less, constant rules unaffected.
+        let c = ShardedQualityServer::partition(&t, 4, Box::new(HashRouter::new(vec![1]))).unwrap();
+        assert_cluster_matches(&t, &cfds, c);
+    }
+
+    #[test]
+    fn routed_updates_keep_cluster_exact() {
+        let (mut t, cfds) = single_node(200, 0.05, 43);
+        let mut c =
+            ShardedQualityServer::partition(&t, 3, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(cfds.clone()).unwrap();
+        // Warm the shard snapshots, then stream identical mutations into
+        // both the cluster and the reference table.
+        c.detect().unwrap();
+        let encodes = c.snapshot_encodes();
+        assert_eq!(encodes, 3, "one encode per shard");
+        let ids = t.row_ids();
+        for (i, &id) in ids.iter().take(12).enumerate() {
+            let v = Value::str(format!("CITY{i}"));
+            t.update_cell(id, 2, v.clone()).unwrap();
+            c.update_cell(id, 2, v).unwrap();
+        }
+        let victim = ids[20];
+        t.delete(victim).unwrap();
+        c.delete(victim).unwrap();
+        let donor: Vec<Value> = t.iter().next().unwrap().1.to_vec();
+        let id_t = t.insert(donor.clone()).unwrap();
+        let id_c = c.insert(donor).unwrap();
+        assert_eq!(id_t, id_c, "global id allocation mirrors single-node");
+        let sharded = c.detect().unwrap().normalized();
+        let single = detect_columnar(&t, &cfds).unwrap().normalized();
+        assert_eq!(sharded, single);
+        assert_eq!(
+            c.snapshot_encodes(),
+            encodes,
+            "routed mutations patch shard snapshots, never re-encode"
+        );
+    }
+
+    #[test]
+    fn unchanged_shards_reuse_their_partials() {
+        let (t, cfds) = single_node(150, 0.05, 44);
+        let mut c =
+            ShardedQualityServer::partition(&t, 2, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(cfds.clone()).unwrap();
+        c.detect().unwrap();
+        let first = c.last_detect_stats();
+        assert_eq!(first.partials_computed, 2 * cfds.len() as u64);
+        c.detect().unwrap();
+        let second = c.last_detect_stats();
+        assert_eq!(second.partials_computed, 0, "nothing changed");
+        assert_eq!(second.partials_reused, 2 * cfds.len() as u64);
+        // Touch one cell on one shard: only that shard's affected CFDs
+        // recompute.
+        let id = c.shard_table(0).iter().next().unwrap().0;
+        let old = c.shard_table(0).get(id).unwrap()[2].clone();
+        c.update_cell(id, 2, Value::str("ELSEWHERE")).unwrap();
+        c.update_cell(id, 2, old).unwrap();
+        c.detect().unwrap();
+        let third = c.last_detect_stats();
+        assert!(
+            third.partials_reused >= cfds.len() as u64,
+            "shard 1 untouched"
+        );
+        assert!(third.partials_computed < 2 * cfds.len() as u64);
+    }
+
+    #[test]
+    fn unknown_row_errors() {
+        let (t, _) = single_node(50, 0.0, 45);
+        let mut c =
+            ShardedQualityServer::partition(&t, 2, Box::new(RoundRobinRouter::default())).unwrap();
+        assert!(c.delete(RowId(9_999)).is_err());
+        assert!(c.update_cell(RowId(9_999), 0, Value::Null).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_detects_nothing() {
+        let (t, cfds) = single_node(10, 0.0, 46);
+        let mut c = ShardedQualityServer::new(
+            "customer",
+            t.schema().clone(),
+            4,
+            Box::new(HashRouter::default()),
+        );
+        c.register_cfds(cfds).unwrap();
+        assert!(c.is_empty());
+        assert!(c.detect().unwrap().is_empty());
+    }
+}

@@ -18,13 +18,14 @@
 //! `tests/detector_equivalence.rs` pin this.
 
 use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
+use detect::exchange::{CfdPartial, GroupPartial};
 use detect::incremental::CfdSeed;
 use detect::{IncrementalDetector, ViolationReport};
 use minidb::{RowId, Table, Value};
 
 use crate::dictionary::NULL_CODE;
 use crate::snapshot::Snapshot;
-use detect::fxhash::FxHashMap;
+use detect::fxhash::{DistinctCounter, FxHashMap};
 
 /// The columns a CFD set touches — the snapshot projection the detector
 /// needs. High-cardinality columns outside every rule (free-text names,
@@ -606,47 +607,89 @@ fn decode_members(
     r: &Resolved,
     g: &Group,
 ) -> (std::sync::Arc<Vec<(RowId, Value)>>, Vec<u64>) {
-    // Counted-vec for the typical few-distinct-values group; hash fallback
-    // keeps high-cardinality groups O(members).
-    const LINEAR_MAX: usize = 16;
     let dict = snap.column(r.rhs_col).dictionary();
-    let mut counts: Vec<(u32, u64)> = Vec::new();
-    let mut hashed: Option<FxHashMap<u32, u64>> = None;
-    for &(_, code) in &g.rows {
-        if let Some(map) = &mut hashed {
-            *map.entry(code).or_default() += 1;
-            continue;
-        }
-        match counts.iter().position(|(c, _)| *c == code) {
-            Some(i) => counts[i].1 += 1,
-            None if counts.len() < LINEAR_MAX => counts.push((code, 1)),
-            None => {
-                let mut map: FxHashMap<u32, u64> = counts.drain(..).collect();
-                *map.entry(code).or_default() += 1;
-                hashed = Some(map);
-            }
-        }
-    }
+    let mut counter: DistinctCounter<u32> = DistinctCounter::new();
+    let idxs: Vec<u32> = g.rows.iter().map(|&(_, code)| counter.add(code)).collect();
     let members = g
         .rows
         .iter()
         .map(|&(pos, code)| (snap.row_id(pos as usize), dict.decode(code)))
         .collect();
-    let own = g
-        .rows
-        .iter()
-        .map(|&(_, code)| match &hashed {
-            Some(map) => map[&code],
-            None => {
-                counts
-                    .iter()
-                    .find(|(c, _)| *c == code)
-                    .expect("every member was counted")
-                    .1
-            }
-        })
-        .collect();
+    let own = idxs.into_iter().map(|i| counter.count_at(i)).collect();
     (std::sync::Arc::new(members), own)
+}
+
+/// Export the partial detection state of every CFD over `snap` — the
+/// scatter half of sharded detection (see [`detect::exchange`]): constant
+/// CFDs resolve to their shard-local violators, variable CFDs to one
+/// [`GroupPartial`] per non-empty LHS group (clean groups included — a
+/// locally clean group can conflict with another shard's portion). All
+/// state is decoded off the dictionaries, so the partials are
+/// self-contained and snapshot-independent.
+pub fn cfd_partials(snap: &Snapshot, cfds: &[Cfd]) -> CfdResult<Vec<CfdPartial>> {
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(snap.schema()))
+        .collect::<CfdResult<_>>()?;
+    Ok(bound.iter().map(|b| cfd_partial_one(snap, b)).collect())
+}
+
+/// The partial state of one bound CFD (see [`cfd_partials`]).
+pub fn cfd_partial_one(snap: &Snapshot, b: &BoundCfd) -> CfdPartial {
+    let empty = || {
+        if b.cfd.rhs_pat.is_wild() {
+            CfdPartial::Variable { groups: Vec::new() }
+        } else {
+            CfdPartial::Constant {
+                violating: Vec::new(),
+            }
+        }
+    };
+    let Some(r) = resolve(snap, b) else {
+        return empty(); // some LHS constant matches no row on this shard
+    };
+    if b.cfd.rhs_pat.constant().is_some() {
+        let mut scratch = ViolationReport::default();
+        detect_constant(snap, 0, &r, &mut scratch);
+        CfdPartial::Constant {
+            violating: scratch.dirty_rows(),
+        }
+    } else {
+        let groups = group_by_codes(snap, &r)
+            .into_iter()
+            .map(|(key, g)| export_partial(snap, b, &r, &key, &g))
+            .collect();
+        CfdPartial::Variable { groups }
+    }
+}
+
+/// Turn one code-keyed group into its wire-format partial: distinct RHS
+/// codes counted once ([`DistinctCounter`]), each decoded once; members
+/// carried as `(row id, value index)` — no `Value` per member.
+fn export_partial(
+    snap: &Snapshot,
+    b: &BoundCfd,
+    r: &Resolved,
+    key: &Key,
+    g: &Group,
+) -> GroupPartial {
+    let mut counter: DistinctCounter<u32> = DistinctCounter::new();
+    let member_idx: Vec<u32> = g.rows.iter().map(|&(_, code)| counter.add(code)).collect();
+    let dict = snap.column(r.rhs_col).dictionary();
+    GroupPartial {
+        key: decode_key(snap, b, r, key),
+        values: counter
+            .into_counts()
+            .into_iter()
+            .map(|(c, n)| (dict.decode(c), n))
+            .collect(),
+        members: g
+            .rows
+            .iter()
+            .map(|&(pos, _)| snap.row_id(pos as usize))
+            .zip(member_idx)
+            .collect(),
+    }
 }
 
 /// Build an [`IncrementalDetector`] by seeding its per-CFD state from one
@@ -836,6 +879,49 @@ mod tests {
         let r = detect_columnar(&t, &cfds).unwrap();
         assert_eq!(r.len(), 47, "every i % 3 == 0 group conflicts");
         assert_equivalent(&t, &cfds);
+    }
+
+    #[test]
+    fn partial_export_merge_equals_single_node() {
+        // Partition the customer table into 3 interleaved "shards", export
+        // partials per shard, merge — must equal single-node detection.
+        use detect::exchange::merge_cfd_partials;
+        let d = dirty_customers(400, 0.06, 26);
+        let t = d.db.table("customer").unwrap();
+        let mut shards: Vec<Table> = (0..3)
+            .map(|_| Table::new("customer", t.schema().clone()))
+            .collect();
+        for (i, (id, row)) in t.iter().enumerate() {
+            shards[i % 3].insert_at(id, row.to_vec()).unwrap();
+        }
+        let partials: Vec<Vec<CfdPartial>> = shards
+            .iter()
+            .map(|s| cfd_partials(&Snapshot::of(s), &d.cfds).unwrap())
+            .collect();
+        let mut merged = ViolationReport::default();
+        for idx in 0..d.cfds.len() {
+            merge_cfd_partials(idx, partials.iter().map(|p| &p[idx]), &mut merged);
+        }
+        let single = detect_columnar(t, &d.cfds).unwrap().normalized();
+        assert!(!single.is_empty());
+        assert_eq!(merged.normalized(), single);
+    }
+
+    #[test]
+    fn partial_export_of_one_shard_merges_to_local_detection() {
+        // Degenerate cluster of one shard: the exchange must be lossless.
+        use detect::exchange::merge_cfd_partials;
+        let d = dirty_customers(250, 0.05, 27);
+        let t = d.db.table("customer").unwrap();
+        let partials = cfd_partials(&Snapshot::of(t), &d.cfds).unwrap();
+        let mut merged = ViolationReport::default();
+        for (idx, p) in partials.iter().enumerate() {
+            merge_cfd_partials(idx, [p], &mut merged);
+        }
+        assert_eq!(
+            merged.normalized(),
+            detect_columnar(t, &d.cfds).unwrap().normalized()
+        );
     }
 
     #[test]

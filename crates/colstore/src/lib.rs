@@ -37,7 +37,8 @@ pub mod snapshot;
 
 pub use self::column::{Column, ColumnBuilder};
 pub use self::detect::{
-    build_incremental, detect_columnar, detect_on_snapshot, detect_one_columnar, seed_incremental,
+    build_incremental, cfd_partial_one, cfd_partials, detect_columnar, detect_on_snapshot,
+    detect_one_columnar, seed_incremental,
 };
 pub use self::dictionary::{Dictionary, NULL_CODE};
 pub use self::lifecycle::{detect_cached, SnapshotCache};

@@ -231,10 +231,13 @@ impl SnapshotCache {
         self.memo.clear();
     }
 
-    /// Is a fragment computed at `epoch` for a CFD over `cols` still
-    /// current? True iff the live-row membership and every one of its
-    /// columns are unchanged since then.
-    fn fragment_fresh(&self, epoch: u64, cols: &[usize]) -> bool {
+    /// Is a result computed at `epoch` over columns `cols` (schema
+    /// positions) still current? True iff the live-row membership and every
+    /// one of those columns are unchanged since then — the freshness probe
+    /// behind [`detect_cached`]'s memo, public so external per-CFD caches
+    /// (a cluster shard's partial-export memo) can ride the same epoch
+    /// bookkeeping.
+    pub fn fragment_fresh(&self, epoch: u64, cols: &[usize]) -> bool {
         let Some(c) = &self.cached else {
             return false;
         };
@@ -402,10 +405,6 @@ impl MemoEntry {
     }
 
     fn replay(&self, cfd_idx: usize, report: &mut ViolationReport) {
-        // One up-front reservation instead of doubling-growth churn while
-        // the per-member vio tallies stream in.
-        let members: usize = self.groups.iter().map(|(_, rows, _)| rows.len()).sum();
-        report.vio.reserve(self.singles.len() + members);
         for &row in &self.singles {
             report.push_single(cfd_idx, row);
         }

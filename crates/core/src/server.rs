@@ -422,7 +422,7 @@ mod tests {
     fn inspect_explains_a_dirty_tuple() {
         let mut s = server(150, 0.08, 74);
         let report = s.detect().unwrap();
-        let dirty_row = *report.vio.keys().next().expect("some dirty tuple");
+        let dirty_row = report.vio.rows().next().expect("some dirty tuple");
         let rel = s.inspect(dirty_row).unwrap();
         assert!(rel.iter().any(|r| r.violated));
     }

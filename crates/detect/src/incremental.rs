@@ -389,7 +389,7 @@ mod tests {
         let inc = det.report().normalized();
         assert_eq!(batch, inc);
         assert_eq!(batch.len() as u64, det.total_violations());
-        for (&row, &v) in &batch.vio {
+        for (row, v) in batch.vio.iter() {
             assert_eq!(det.vio_of(row), v, "vio mismatch on {row:?}");
         }
     }

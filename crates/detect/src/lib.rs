@@ -12,10 +12,15 @@
 //!
 //! Plus [`parallel::detect_parallel`], which fans per-CFD native detection
 //! across threads — mirroring Semandaq's claim that its quality servers
-//! "run independently in a distributed way".
+//! "run independently in a distributed way" — and [`exchange`], the
+//! partial-aggregation wire format and coordinator merge that let a
+//! *sharded* cluster of quality servers reproduce single-node detection
+//! exactly (constant CFDs shard-local, variable CFDs via per-group
+//! partial states).
 
 #![warn(missing_docs)]
 
+pub mod exchange;
 pub mod fxhash;
 pub mod incremental;
 pub mod native;
@@ -24,8 +29,9 @@ pub mod sql_detector;
 pub mod sqlgen;
 pub mod violation;
 
+pub use exchange::{merge_cfd_partials, CfdPartial, GroupPartial};
 pub use incremental::{CfdSeed, IncrementalDetector};
 pub use native::detect_native;
 pub use parallel::detect_parallel;
 pub use sql_detector::{detect_sql, detect_sql_per_pattern};
-pub use violation::{Violation, ViolationKind, ViolationReport};
+pub use violation::{VioTally, Violation, ViolationKind, ViolationReport};

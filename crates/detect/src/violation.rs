@@ -17,13 +17,88 @@ use std::sync::Arc;
 
 use minidb::{RowId, Value};
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{DistinctCounter, FxHashMap, FxHasher};
 
-/// The per-row `vio(t)` tally map. Keys are row ids — sequential integers,
-/// the classic case where SipHash is pure overhead; detection pushes one
-/// `vio` update per violating tuple, so this map is on the hot path of
-/// every engine.
-pub type VioMap = FxHashMap<RowId, u64>;
+/// The per-row `vio(t)` tally, stored **dense**: row ids are arena slot
+/// indices (small sequential integers), so a flat `Vec<u64>` indexed by
+/// `RowId` replaces the hash map that used to sit on the per-member hot
+/// path of every detection engine — one bounds check and an add per
+/// violating member, no hashing, no probing. Rows with zero violations
+/// occupy (or imply) a zero slot and are invisible to iteration, length
+/// and equality, so the map-of-dirty-rows reading of `vio` is preserved.
+#[derive(Debug, Clone, Default)]
+pub struct VioTally {
+    /// `vio(t)` by arena slot; trailing rows may be absent (= 0).
+    dense: Vec<u64>,
+    /// Number of rows with `vio(t) > 0`.
+    nonzero: usize,
+}
+
+impl VioTally {
+    /// Add `delta` to `vio(row)`. Zero deltas are ignored (they would
+    /// otherwise force slot growth for a clean row).
+    pub fn add(&mut self, row: RowId, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let i = row.index();
+        if i >= self.dense.len() {
+            self.dense.resize(i + 1, 0);
+        }
+        let slot = &mut self.dense[i];
+        if *slot == 0 {
+            self.nonzero += 1;
+        }
+        *slot += delta;
+    }
+
+    /// `vio(row)`, zero when clean.
+    pub fn get(&self, row: RowId) -> u64 {
+        self.dense.get(row.index()).copied().unwrap_or(0)
+    }
+
+    /// True iff `vio(row) > 0`.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.get(row) > 0
+    }
+
+    /// Number of rows with a non-zero tally.
+    pub fn len(&self) -> usize {
+        self.nonzero
+    }
+
+    /// True iff every row is clean.
+    pub fn is_empty(&self) -> bool {
+        self.nonzero == 0
+    }
+
+    /// `(row, vio)` pairs with `vio > 0`, in ascending row order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, &v)| (RowId(i as u64), v))
+    }
+
+    /// Rows with a non-zero tally, ascending.
+    pub fn rows(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.iter().map(|(r, _)| r)
+    }
+
+    /// Non-zero tallies, in ascending row order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for VioTally {
+    fn eq(&self, other: &VioTally) -> bool {
+        // Dense vectors of different lengths (trailing zeros) must still
+        // compare equal when the non-zero entries agree.
+        self.nonzero == other.nonzero && self.iter().eq(other.iter())
+    }
+}
 
 /// The kind of a violation.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +147,7 @@ pub struct ViolationReport {
     /// All violations, ordered by CFD index then discovery order.
     pub violations: Vec<Violation>,
     /// `vio(t)` per row (rows with zero violations are absent).
-    pub vio: VioMap,
+    pub vio: VioTally,
     /// Number of violations per CFD index.
     pub per_cfd: HashMap<usize, usize>,
 }
@@ -80,7 +155,7 @@ pub struct ViolationReport {
 impl ViolationReport {
     /// Add a single-tuple violation.
     pub fn push_single(&mut self, cfd_idx: usize, row: RowId) {
-        *self.vio.entry(row).or_default() += 1;
+        self.vio.add(row, 1);
         *self.per_cfd.entry(cfd_idx).or_default() += 1;
         self.violations.push(Violation {
             cfd_idx,
@@ -92,46 +167,13 @@ impl ViolationReport {
     /// partners. `rows` must hold non-NULL RHS values with ≥ 2 distinct.
     pub fn push_multi(&mut self, cfd_idx: usize, key: Vec<Value>, rows: Vec<(RowId, Value)>) {
         debug_assert!(rows.len() >= 2, "multi-tuple violation needs >= 2 rows");
-        // Groups usually disagree on a handful of distinct RHS values, where
-        // a linear counted-vec beats a HashMap (no Value hashing per
-        // member); past a small threshold fall back to hashing so
-        // high-cardinality groups stay O(members).
-        const LINEAR_MAX: usize = 16;
-        let mut counts: Vec<(&Value, u64)> = Vec::new();
-        let mut hashed: Option<FxHashMap<&Value, u64>> = None;
-        for (_, v) in &rows {
-            if let Some(map) = &mut hashed {
-                *map.entry(v).or_default() += 1;
-                continue;
-            }
-            match counts.iter().position(|(u, _)| u.strong_eq(v)) {
-                Some(i) => counts[i].1 += 1,
-                None if counts.len() < LINEAR_MAX => counts.push((v, 1)),
-                None => {
-                    let mut map: FxHashMap<&Value, u64> = counts.drain(..).collect();
-                    *map.entry(v).or_default() += 1;
-                    hashed = Some(map);
-                }
-            }
-        }
-        let own: Vec<u64> = match &hashed {
-            Some(map) => {
-                debug_assert!(map.len() >= 2, "group must disagree on RHS");
-                rows.iter().map(|(_, v)| map[v]).collect()
-            }
-            None => {
-                debug_assert!(counts.len() >= 2, "group must disagree on RHS");
-                rows.iter()
-                    .map(|(_, v)| {
-                        counts
-                            .iter()
-                            .find(|(u, _)| u.strong_eq(v))
-                            .expect("every member was counted")
-                            .1
-                    })
-                    .collect()
-            }
-        };
+        // Per-member value multiplicities, counted by reference (Value's
+        // Eq/Hash are strong_eq-consistent, so counting slots group
+        // exactly like the detection engines do).
+        let mut counter: DistinctCounter<&Value> = DistinctCounter::new();
+        let idxs: Vec<u32> = rows.iter().map(|(_, v)| counter.add(v)).collect();
+        debug_assert!(counter.distinct() >= 2, "group must disagree on RHS");
+        let own: Vec<u64> = idxs.into_iter().map(|i| counter.count_at(i)).collect();
         self.push_multi_prepared(cfd_idx, key, rows, &own);
     }
 
@@ -162,7 +204,7 @@ impl ViolationReport {
         debug_assert_eq!(rows.len(), own.len(), "one multiplicity per member");
         let total = rows.len() as u64;
         for ((r, _), n) in rows.iter().zip(own) {
-            *self.vio.entry(*r).or_default() += total - n;
+            self.vio.add(*r, total - n);
         }
         *self.per_cfd.entry(cfd_idx).or_default() += 1;
         self.violations.push(Violation {
@@ -173,7 +215,7 @@ impl ViolationReport {
 
     /// `vio(t)` for a row (0 when clean).
     pub fn vio_of(&self, row: RowId) -> u64 {
-        self.vio.get(&row).copied().unwrap_or(0)
+        self.vio.get(row)
     }
 
     /// Total number of violations (records, not tuples).
@@ -186,22 +228,61 @@ impl ViolationReport {
         self.violations.is_empty()
     }
 
-    /// All rows involved in at least one violation.
+    /// All rows involved in at least one violation, ascending.
     pub fn dirty_rows(&self) -> Vec<RowId> {
-        let mut rows: Vec<RowId> = self.vio.keys().copied().collect();
-        rows.sort();
-        rows
+        self.vio.rows().collect()
     }
 
-    /// Merge another report into this one (used by the parallel detector).
+    /// Merge another report into this one — the parallel detector's
+    /// per-CFD parts, or a cluster coordinator folding per-replica
+    /// reports together.
+    ///
+    /// Violations this report already contains — same CFD and same row
+    /// (single-tuple), or same key and member *set* (multi-tuple,
+    /// order-insensitive) — are **skipped**, not double-counted: when two
+    /// shards observe the same group, the merged report must hold the
+    /// group once, with each member's `vio(t)` contribution counted once.
     pub fn merge(&mut self, other: ViolationReport) {
+        // Every fingerprint includes the CFD index, so reports over
+        // disjoint CFD sets — the parallel detector's per-CFD parts —
+        // cannot contain duplicates; skip the dedupe bookkeeping entirely
+        // rather than re-index the growing receiver on every part.
+        if other.per_cfd.keys().all(|k| !self.per_cfd.contains_key(k)) {
+            for v in other.violations {
+                self.absorb(v);
+            }
+            return;
+        }
+        // Fingerprint index over the violations already present; exact
+        // equality is re-verified on fingerprint hits, so a hash collision
+        // can never drop a genuine violation.
+        let mut seen: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        for (i, v) in self.violations.iter().enumerate() {
+            seen.entry(fingerprint(v)).or_default().push(i);
+        }
         for v in other.violations {
-            match v.kind {
-                ViolationKind::SingleTuple { row } => self.push_single(v.cfd_idx, row),
-                ViolationKind::MultiTuple { key, rows } => {
-                    let rows = Arc::try_unwrap(rows).unwrap_or_else(|a| (*a).clone());
-                    self.push_multi(v.cfd_idx, key, rows);
+            let fp = fingerprint(&v);
+            if let Some(idxs) = seen.get(&fp) {
+                if idxs
+                    .iter()
+                    .any(|&i| same_violation(&self.violations[i], &v))
+                {
+                    continue; // duplicate observation of one violation
                 }
+            }
+            let idx = self.violations.len();
+            self.absorb(v);
+            seen.entry(fp).or_default().push(idx);
+        }
+    }
+
+    /// Append a violation taken from another report, recomputing tallies.
+    fn absorb(&mut self, v: Violation) {
+        match v.kind {
+            ViolationKind::SingleTuple { row } => self.push_single(v.cfd_idx, row),
+            ViolationKind::MultiTuple { key, rows } => {
+                let rows = Arc::try_unwrap(rows).unwrap_or_else(|a| (*a).clone());
+                self.push_multi(v.cfd_idx, key, rows);
             }
         }
     }
@@ -224,6 +305,63 @@ impl ViolationReport {
             ka.cmp(&kb)
         });
         self
+    }
+}
+
+/// Order-insensitive digest of a violation, used by [`ViolationReport::merge`]
+/// to index candidates for deduplication. Multi-tuple member order is
+/// folded commutatively (two shards may have scanned the group in
+/// different orders); collisions are resolved by [`same_violation`].
+fn fingerprint(v: &Violation) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    h.write_usize(v.cfd_idx);
+    match &v.kind {
+        ViolationKind::SingleTuple { row } => {
+            h.write_u8(0);
+            h.write_u64(row.0);
+        }
+        ViolationKind::MultiTuple { key, rows } => {
+            h.write_u8(1);
+            h.write_usize(key.len());
+            h.write_usize(rows.len());
+            let digest = rows
+                .iter()
+                .map(|(r, _)| (r.0 ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .fold(0u64, u64::wrapping_add);
+            h.write_u64(digest);
+        }
+    }
+    h.finish()
+}
+
+/// Exact duplicate check behind [`fingerprint`]: same CFD and same row
+/// (single-tuple) or same key and member multiset (multi-tuple; member
+/// values compare by `strong_eq` through `Value`'s `PartialEq`).
+fn same_violation(a: &Violation, b: &Violation) -> bool {
+    if a.cfd_idx != b.cfd_idx {
+        return false;
+    }
+    match (&a.kind, &b.kind) {
+        (ViolationKind::SingleTuple { row: x }, ViolationKind::SingleTuple { row: y }) => x == y,
+        (
+            ViolationKind::MultiTuple { key: ka, rows: ra },
+            ViolationKind::MultiTuple { key: kb, rows: rb },
+        ) => {
+            if ka != kb || ra.len() != rb.len() {
+                return false;
+            }
+            if Arc::ptr_eq(ra, rb) {
+                return true;
+            }
+            fn sorted(rows: &[(RowId, Value)]) -> Vec<&(RowId, Value)> {
+                let mut m: Vec<&(RowId, Value)> = rows.iter().collect();
+                m.sort_by_key(|(r, _)| *r);
+                m
+            }
+            sorted(ra) == sorted(rb)
+        }
+        _ => false,
     }
 }
 
@@ -293,6 +431,98 @@ mod tests {
         b.push_single(0, RowId(2));
         b.push_single(0, RowId(1));
         assert_eq!(a.normalized(), b.normalized());
+    }
+
+    fn multi(cfd_idx: usize, members: &[(u64, &str)]) -> ViolationReport {
+        let mut r = ViolationReport::default();
+        r.push_multi(
+            cfd_idx,
+            vec![Value::str("UK")],
+            members
+                .iter()
+                .map(|&(id, v)| (RowId(id), Value::str(v)))
+                .collect(),
+        );
+        r
+    }
+
+    #[test]
+    fn merge_dedupes_identical_group_from_two_shards() {
+        // Two replicas (or overlapping shards) observe the *same* group:
+        // the merged report must hold it once, tallies counted once.
+        let group = [(1u64, "a"), (2, "a"), (3, "b")];
+        let mut a = multi(0, &group);
+        let expect = a.clone().normalized();
+        a.merge(multi(0, &group));
+        assert_eq!(a.len(), 1, "duplicate group must not be re-added");
+        assert_eq!(a.vio_of(RowId(1)), 1);
+        assert_eq!(a.vio_of(RowId(3)), 2);
+        assert_eq!(a.normalized(), expect);
+    }
+
+    #[test]
+    fn merge_dedupes_order_insensitively() {
+        // A shard that scanned the group in a different member order still
+        // reports the same violation.
+        let mut a = multi(0, &[(1, "a"), (2, "a"), (3, "b")]);
+        a.merge(multi(0, &[(3, "b"), (1, "a"), (2, "a")]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.vio_of(RowId(2)), 1);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_groups_and_cfds() {
+        // Same members under a different CFD index, and a genuinely
+        // different group under the same CFD: both survive the merge.
+        let mut a = multi(0, &[(1, "a"), (3, "b")]);
+        a.merge(multi(1, &[(1, "a"), (3, "b")]));
+        a.merge(multi(0, &[(5, "x"), (6, "y")]));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.vio_of(RowId(1)), 2, "one partner per CFD");
+        // Same key/members but a *different RHS assignment* is a different
+        // violation (values participate in the member comparison).
+        a.merge(multi(0, &[(5, "y"), (6, "x")]));
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn merge_dedupes_duplicate_singles() {
+        let mut a = ViolationReport::default();
+        a.push_single(0, RowId(7));
+        let mut b = ViolationReport::default();
+        b.push_single(0, RowId(7));
+        b.push_single(1, RowId(7));
+        a.merge(b);
+        assert_eq!(a.len(), 2, "same (cfd, row) single collapses");
+        assert_eq!(a.vio_of(RowId(7)), 2);
+    }
+
+    #[test]
+    fn normalized_equal_regardless_of_shard_arrival_order() {
+        let g1 = [(1u64, "a"), (4, "b")];
+        let g2 = [(2u64, "x"), (3, "y")];
+        let mut ab = multi(0, &g1);
+        ab.merge(multi(0, &g2));
+        let mut ba = multi(0, &g2);
+        ba.merge(multi(0, &g1));
+        assert_eq!(ab.normalized(), ba.normalized());
+    }
+
+    #[test]
+    fn dense_tally_ignores_arena_width() {
+        // Reports over the same rows compare equal even when one tally's
+        // dense vector stretches further (trailing zero slots).
+        let mut a = ViolationReport::default();
+        a.push_single(0, RowId(1));
+        let mut b = ViolationReport::default();
+        b.push_single(0, RowId(1));
+        b.vio.add(RowId(900), 3);
+        assert_ne!(a.vio, b.vio);
+        let mut c = ViolationReport::default();
+        c.push_single(0, RowId(1));
+        assert_eq!(a.vio, c.vio);
+        assert_eq!(b.vio.len(), 2);
+        assert_eq!(b.vio.rows().collect::<Vec<_>>(), vec![RowId(1), RowId(900)]);
     }
 
     #[test]

@@ -94,6 +94,27 @@ impl Table {
         Ok(id)
     }
 
+    /// Insert a row at a *chosen* arena slot, which must lie at or beyond
+    /// the current arena end (slots skipped over become permanent
+    /// tombstones). This is how a shard table of a partitioned cluster
+    /// stores rows under their **global** row ids: every shard allocates
+    /// from one shared, monotonically growing id space, so violation
+    /// reports assembled across shards carry the same ids a single-node
+    /// table would have assigned — no translation layer.
+    pub fn insert_at(&mut self, id: RowId, row: Vec<Value>) -> DbResult<()> {
+        let row = self.schema.check_row(row)?;
+        if id.index() < self.rows.len() {
+            // Reusing an existing slot — live or tombstoned — would break
+            // row-id stability; ids move strictly forward.
+            return Err(DbError::BadRowId(id.0));
+        }
+        self.rows.resize(id.index(), None);
+        self.rows.push(Some(row));
+        self.live += 1;
+        self.epoch += 1;
+        Ok(())
+    }
+
     /// Fetch a live row.
     pub fn get(&self, id: RowId) -> DbResult<&[Value]> {
         self.rows
@@ -209,6 +230,35 @@ mod tests {
         // New inserts never reuse a tombstoned id.
         let d = t.insert(vec![Value::Int(4), Value::str("d")]).unwrap();
         assert_ne!(d, b);
+    }
+
+    #[test]
+    fn insert_at_skips_slots_and_rejects_reuse() {
+        let mut t = t();
+        t.insert_at(RowId(3), vec![Value::Int(1), Value::str("a")])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.arena_size(), 4);
+        assert_eq!(t.get(RowId(3)).unwrap()[0], Value::Int(1));
+        assert_eq!(t.epoch(), 1);
+        // Skipped slots are tombstones, invisible to iteration.
+        assert_eq!(t.iter().count(), 1);
+        assert!(t.get(RowId(1)).is_err());
+        // Occupied and tombstoned slots both reject reuse; a failed
+        // insert_at leaves the epoch untouched.
+        assert!(t
+            .insert_at(RowId(3), vec![Value::Int(2), Value::str("b")])
+            .is_err());
+        assert!(t
+            .insert_at(RowId(1), vec![Value::Int(2), Value::str("b")])
+            .is_err());
+        assert_eq!(t.epoch(), 1);
+        // Plain insert continues from the arena end.
+        let id = t.insert(vec![Value::Int(2), Value::str("b")]).unwrap();
+        assert_eq!(id, RowId(4));
+        // Schema violations are rejected before any slot is claimed.
+        assert!(t.insert_at(RowId(9), vec![Value::Int(3)]).is_err());
+        assert_eq!(t.arena_size(), 5);
     }
 
     #[test]

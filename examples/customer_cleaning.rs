@@ -48,7 +48,7 @@ fn main() {
     }
 
     // Reverse exploration: why is this tuple dirty?
-    if let Some(&row) = report.vio.keys().min() {
+    if let Some(row) = report.vio.rows().next() {
         println!("\n-- reverse exploration of row {} --", row.0);
         let rel = inspect_tuple(table, &w.cfds, &report, row).unwrap();
         print!("{}", render_inspection(&rel));

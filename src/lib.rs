@@ -11,6 +11,8 @@
 //! * [`explore`] — drill-down navigation, tuple inspection, cleansing review.
 //! * [`colstore`] — columnar snapshot store: dictionary-encoded columns and
 //!   vectorized CFD detection.
+//! * [`cluster`] — sharded quality cluster: partitioned colstore shards
+//!   with scatter/gather CFD detection and report merge.
 //! * [`discovery`] — FD/CFD discovery from reference data.
 //! * [`datagen`] — seeded workload generators.
 //! * [`system`] (re-export of `semandaq-core`) — the assembled system:
@@ -18,6 +20,7 @@
 
 pub use audit;
 pub use cfd;
+pub use cluster;
 pub use colstore;
 pub use datagen;
 pub use detect;

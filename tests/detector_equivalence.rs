@@ -86,7 +86,7 @@ proptest! {
                 involved.insert(r);
             }
         }
-        for (&row, &vio) in &report.vio {
+        for (row, vio) in report.vio.iter() {
             prop_assert_eq!(vio > 0, involved.contains(&row));
         }
         for r in &involved {

@@ -76,12 +76,12 @@ proptest! {
         let inc = det.report().normalized();
         prop_assert_eq!(&batch, &inc);
         prop_assert_eq!(batch.len() as u64, det.total_violations());
-        for (row, vio) in &batch.vio {
-            prop_assert_eq!(det.vio_of(*row), *vio);
+        for (row, vio) in batch.vio.iter() {
+            prop_assert_eq!(det.vio_of(row), vio);
         }
         // Rows the batch does not mention have vio 0.
         for id in table.row_ids() {
-            if !batch.vio.contains_key(&id) {
+            if !batch.vio.contains(id) {
                 prop_assert_eq!(det.vio_of(id), 0);
             }
         }

@@ -1,0 +1,198 @@
+//! Property: the sharded quality cluster computes exactly single-node
+//! columnar detection — for every table, CFD set (constant + variable,
+//! all-NULL and single-group edges included), router, shard count 1–8,
+//! and any routed update stream applied after partitioning.
+
+mod common;
+
+use common::{arb_cfds, arb_table, cfd_pool, COLS};
+use proptest::prelude::*;
+use semandaq::cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
+use semandaq::colstore::detect_columnar;
+use semandaq::minidb::{Schema, Table, Value};
+
+fn router(kind: usize) -> Box<dyn ShardRouter> {
+    match kind % 3 {
+        0 => Box::new(RoundRobinRouter::default()),
+        1 => Box::new(HashRouter::default()), // whole-row hash
+        _ => Box::new(HashRouter::new(vec![0])), // keyed on column A
+    }
+}
+
+/// One update against both the reference table and the cluster. Row and
+/// column picks are indices into the *current* live-row list, so a
+/// generated stream stays applicable whatever the interleaving did to the
+/// table; `digit == 3` writes NULL.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Set { row: usize, col: usize, digit: u8 },
+}
+
+fn cell(col: usize, digit: u8) -> Value {
+    if digit == 3 {
+        Value::Null
+    } else {
+        Value::str(format!("{}{digit}", ["a", "b", "c", "d"][col]))
+    }
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        2 => proptest::collection::vec(0u8..4, 4).prop_map(Op::Insert),
+        1 => (0usize..1024).prop_map(Op::Delete),
+        4 => ((0usize..1024), 0usize..4, 0u8..4)
+            .prop_map(|(row, col, digit)| Op::Set { row, col, digit }),
+    ];
+    proptest::collection::vec(op, 0..max)
+}
+
+/// Apply `op` identically to the single-node table and the cluster; the
+/// global row ids the two sides assign must stay in lock-step.
+fn apply(single: &mut Table, cluster: &mut ShardedQualityServer, op: &Op) {
+    let ids = single.row_ids();
+    match op {
+        Op::Insert(digits) => {
+            let row: Vec<Value> = digits
+                .iter()
+                .enumerate()
+                .map(|(c, &d)| cell(c, d))
+                .collect();
+            let a = single.insert(row.clone()).expect("row fits schema");
+            let b = cluster.insert(row).expect("cluster insert");
+            assert_eq!(a, b, "global id allocation must mirror single-node");
+        }
+        Op::Delete(k) => {
+            if let Some(&id) = ids.get(k % ids.len().max(1)) {
+                single.delete(id).expect("live row");
+                cluster.delete(id).expect("cluster delete");
+            }
+        }
+        Op::Set { row, col, digit } => {
+            if let Some(&id) = ids.get(row % ids.len().max(1)) {
+                let v = cell(*col, *digit);
+                single.update_cell(id, *col, v.clone()).expect("live row");
+                cluster.update_cell(id, *col, v).expect("cluster update");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_equals_single_node_under_update_streams(
+        table in arb_table(40),
+        cfds in arb_cfds(),
+        shards in 1usize..=8,
+        router_kind in 0usize..3,
+        ops in arb_ops(30),
+    ) {
+        let mut single = table.clone();
+        let mut cluster =
+            ShardedQualityServer::partition(&table, shards, router(router_kind)).unwrap();
+        cluster.register_cfds(cfds.clone()).unwrap();
+        prop_assert_eq!(cluster.len(), single.len());
+
+        // Fresh partition detects like single-node.
+        let sharded = cluster.detect().unwrap().normalized();
+        let reference = detect_columnar(&single, &cfds).unwrap().normalized();
+        prop_assert_eq!(sharded, reference);
+
+        // ... and stays exact under a routed post-partition update stream.
+        for op in &ops {
+            apply(&mut single, &mut cluster, op);
+        }
+        let sharded = cluster.detect().unwrap().normalized();
+        let reference = detect_columnar(&single, &cfds).unwrap().normalized();
+        prop_assert_eq!(sharded, reference);
+
+        // Steady state: a repeat detect with no interleaved mutation does
+        // zero encode work and replays every shard's partials.
+        let encodes = cluster.snapshot_encodes();
+        let again = cluster.detect().unwrap().normalized();
+        let reference = detect_columnar(&single, &cfds).unwrap().normalized();
+        prop_assert_eq!(again, reference);
+        prop_assert_eq!(cluster.snapshot_encodes(), encodes);
+        prop_assert_eq!(cluster.last_detect_stats().partials_computed, 0);
+    }
+}
+
+#[test]
+fn all_null_instance_is_clean_on_every_shard_count() {
+    let mut t = Table::new("r", Schema::of_strings(&COLS));
+    for _ in 0..12 {
+        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+    }
+    let cfds = cfd_pool();
+    for shards in [1usize, 3, 8] {
+        let mut c =
+            ShardedQualityServer::partition(&t, shards, Box::new(RoundRobinRouter::default()))
+                .unwrap();
+        c.register_cfds(cfds.clone()).unwrap();
+        let r = c.detect().unwrap();
+        assert!(
+            r.is_empty(),
+            "all-NULL data cannot violate ({shards} shards)"
+        );
+    }
+}
+
+#[test]
+fn single_group_split_across_every_shard() {
+    // The whole table is one LHS group; round-robin over 4 shards splits
+    // it maximally — every conflict is cross-shard, none local.
+    let cfds = semandaq::cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+    let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+    for v in ["v", "v", "v", "w"] {
+        t.insert(vec![Value::str("k"), Value::str(v)]).unwrap();
+    }
+    let mut c =
+        ShardedQualityServer::partition(&t, 4, Box::new(RoundRobinRouter::default())).unwrap();
+    c.register_cfds(cfds.clone()).unwrap();
+    let sharded = c.detect().unwrap().normalized();
+    let single = detect_columnar(&t, &cfds).unwrap().normalized();
+    assert_eq!(sharded.len(), 1, "one merged group violation");
+    assert_eq!(sharded, single);
+    // Each shard was locally clean: the violation only exists merged.
+    for s in 0..4 {
+        let local = detect_columnar(c.shard_table(s), &cfds).unwrap();
+        assert!(local.is_empty(), "shard {s} is clean in isolation");
+    }
+}
+
+#[test]
+fn more_shards_than_rows() {
+    let cfds = semandaq::cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+    let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+    t.insert(vec![Value::str("k"), Value::str("x")]).unwrap();
+    t.insert(vec![Value::str("k"), Value::str("y")]).unwrap();
+    let mut c =
+        ShardedQualityServer::partition(&t, 8, Box::new(RoundRobinRouter::default())).unwrap();
+    c.register_cfds(cfds.clone()).unwrap();
+    assert_eq!(
+        c.detect().unwrap().normalized(),
+        detect_columnar(&t, &cfds).unwrap().normalized()
+    );
+}
+
+#[test]
+fn customers_equivalence_at_scale() {
+    let d = semandaq::datagen::dirty_customers(2_000, 0.05, 47);
+    let t = d.db.table("customer").unwrap();
+    let reference = detect_columnar(t, &d.cfds).unwrap().normalized();
+    assert!(!reference.is_empty());
+    for (shards, key_cols) in [(2usize, vec![]), (5, vec![1]), (8, vec![1, 3])] {
+        let mut c = ShardedQualityServer::partition(t, shards, Box::new(HashRouter::new(key_cols)))
+            .unwrap();
+        c.register_cfds(d.cfds.clone()).unwrap();
+        assert_eq!(
+            c.detect().unwrap().normalized(),
+            reference,
+            "{shards} shards"
+        );
+    }
+}
