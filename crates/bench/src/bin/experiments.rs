@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E9 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E10 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -6,14 +6,16 @@
 //! cargo run --release --bin experiments -- e1 e5  # a subset
 //! ```
 //!
-//! E8 (detection engines) and E9 (sharded cluster) additionally record a
-//! machine-readable baseline (`rows`, `engine`, `ns_per_op`) into
-//! `BENCH_detection.json` for regression tracking. The file is merged,
-//! not overwritten: re-running one experiment updates its own entries and
-//! leaves the other's in place.
+//! E8 (detection engines), E9 (sharded cluster) and E10 (batched vs
+//! per-row ingest) additionally record a machine-readable baseline
+//! (`rows`, `engine`, `ns_per_op`) into `BENCH_detection.json` for
+//! regression tracking. The file is merged, not overwritten: re-running
+//! one experiment updates its own entries and leaves the others' in
+//! place.
 
 use std::time::Instant;
 
+use api::{Mutation, MutationBatch, QualityBackend};
 use cfd::satisfiability::check_consistency;
 use cfd::DomainSpec;
 use cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
@@ -555,6 +557,143 @@ fn main() {
                 format!("sharded_merge_s{n}_{rname}"),
                 stats.merge_ns as f64,
             ));
+        }
+        println!();
+    }
+
+    if wanted("e10") {
+        println!("== E10: batched vs per-row ingest (100k rows, warm snapshots) ==");
+        let rows = 100_000usize;
+        let w = workload(rows, 0.05, 11);
+        let t = w.db.table("customer").unwrap();
+        // One fixed mixed-ingest script: a routed update + delete stream
+        // followed by the bulk of the inserts (updates and deletes target
+        // disjoint row ranges so the same script is valid in both arms).
+        // 10k mutations keeps every shard inside its snapshot patch
+        // budget, so both arms stay on the incremental path throughout.
+        let ids = t.row_ids();
+        let donors: Vec<Vec<minidb::Value>> = t.iter().take(64).map(|(_, r)| r.to_vec()).collect();
+        let cities: Vec<Value> = {
+            let mut seen = std::collections::HashSet::new();
+            t.iter()
+                .map(|(_, row)| row[2].clone())
+                .filter(|v| seen.insert(v.render()))
+                .take(64)
+                .collect()
+        };
+        let mut mutations: Vec<Mutation> = Vec::new();
+        for i in 0..1_000 {
+            mutations.push(Mutation::SetCell {
+                row: ids[i * 7],
+                col: 2,
+                value: cities[i % cities.len()].clone(),
+            });
+        }
+        for i in 0..1_000 {
+            mutations.push(Mutation::Delete(ids[50_000 + i * 3]));
+        }
+        for i in 0..8_000 {
+            mutations.push(Mutation::Insert(donors[i % donors.len()].clone()));
+        }
+        let batch = MutationBatch {
+            mutations: mutations.clone(),
+        };
+
+        /// Time one arm, min-of-`iters` (the container's scheduler is
+        /// noisy; the minimum is the honest cost of the code path): fresh
+        /// backend per iteration (built by `make`, CFDs registered,
+        /// snapshots warmed by one detect), then the ingest script —
+        /// per-row through the unified mutation surface, or as one
+        /// `apply_batch`.
+        fn time_arm(
+            iters: u32,
+            mut make: impl FnMut() -> Box<dyn QualityBackend>,
+            mutations: &[Mutation],
+            batched: Option<&MutationBatch>,
+        ) -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let mut b = make();
+                b.detect().expect("warm detect");
+                // The script is cloned *outside* the timed region in both
+                // arms — what's measured is application, not cloning.
+                match batched {
+                    Some(batch) => {
+                        let batch = batch.clone();
+                        let t0 = Instant::now();
+                        b.apply_batch(batch).expect("batch applies");
+                        best = best.min(t0.elapsed().as_nanos() as f64);
+                    }
+                    None => {
+                        let muts = mutations.to_vec();
+                        let t0 = Instant::now();
+                        for m in muts {
+                            api::apply_mutation(b.as_mut(), m).expect("mutation applies");
+                        }
+                        best = best.min(t0.elapsed().as_nanos() as f64);
+                    }
+                }
+            }
+            best
+        }
+
+        println!(
+            "{:>10} {:>7} {:>8} {:>14} {:>14} {:>9}  ({} mutations: 1k upd / 1k del / 8k ins)",
+            "backend",
+            "router",
+            "shards",
+            "per-row (ms)",
+            "batched (ms)",
+            "speedup",
+            mutations.len()
+        );
+        let iters = 7u32;
+        // Single-node server, columnar cache.
+        let make_single = || -> Box<dyn QualityBackend> {
+            let mut s = semandaq_core::QualityServer::new(w.db.clone(), "customer").unwrap();
+            s.register_cfds(datagen::customer::CANONICAL_CFDS).unwrap();
+            Box::new(s)
+        };
+        let single_perrow = time_arm(iters, make_single, &mutations, None);
+        let single_batched = time_arm(iters, make_single, &mutations, Some(&batch));
+        println!(
+            "{:>10} {:>7} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+            "single",
+            "-",
+            1,
+            single_perrow / 1e6,
+            single_batched / 1e6,
+            single_perrow / single_batched
+        );
+        baseline.push((rows, "e10_single_perrow".into(), single_perrow));
+        baseline.push((rows, "e10_single_batched".into(), single_batched));
+        // Sharded cluster: one routing pass, per-shard application with
+        // bulk insert runs, one snapshot patch per touched shard.
+        type RouterFactory = fn() -> Box<dyn ShardRouter>;
+        let configs: Vec<(usize, RouterFactory, &str)> = vec![
+            (4, || Box::new(RoundRobinRouter::default()), "rr"),
+            (8, || Box::new(RoundRobinRouter::default()), "rr"),
+            (4, || Box::new(HashRouter::new(vec![1])), "hash"),
+        ];
+        for (n, router, rname) in configs {
+            let make_sharded = || -> Box<dyn QualityBackend> {
+                let mut c = ShardedQualityServer::partition(t, n, router()).unwrap();
+                c.register_cfds(w.cfds.clone()).unwrap();
+                Box::new(c)
+            };
+            let perrow = time_arm(iters, make_sharded, &mutations, None);
+            let batched = time_arm(iters, make_sharded, &mutations, Some(&batch));
+            println!(
+                "{:>10} {:>7} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+                "sharded",
+                rname,
+                n,
+                perrow / 1e6,
+                batched / 1e6,
+                perrow / batched
+            );
+            baseline.push((rows, format!("e10_sharded_perrow_s{n}_{rname}"), perrow));
+            baseline.push((rows, format!("e10_sharded_batched_s{n}_{rname}"), batched));
         }
         println!();
     }

@@ -21,6 +21,9 @@ pub enum CfdError {
     /// Static analysis exceeded its search budget (the underlying problems
     /// are NP-/coNP-complete); raise the budget or shrink the input.
     Budget,
+    /// The operation is not supported by the backend it was addressed to
+    /// (e.g. `repair` on a backend whose capabilities do not include it).
+    Unsupported(String),
 }
 
 impl fmt::Display for CfdError {
@@ -33,6 +36,7 @@ impl fmt::Display for CfdError {
                 write!(f, "CFD is declared on {expected}, applied to {found}")
             }
             CfdError::Budget => write!(f, "static analysis search budget exceeded"),
+            CfdError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }
 }

@@ -32,10 +32,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend};
+use audit::{quality_report, QualityReport};
+use cfd::parse::parse_cfds;
 use cfd::{BoundCfd, Cfd, CfdError, CfdResult};
-use colstore::{cfd_partial_one, SnapshotCache};
+use colstore::{cfd_partial_one, SnapshotCache, TableDelta};
 use detect::exchange::{merge_cfd_partials, CfdPartial};
-use detect::fxhash::FxHashMap;
 use detect::ViolationReport;
 use minidb::{DbError, RowId, Schema, Table, Value};
 
@@ -118,6 +120,9 @@ pub struct DetectStats {
     pub partials_reused: u64,
 }
 
+/// Sentinel in the dense owner map: this arena slot holds no live row.
+const NO_SHARD: u32 = u32::MAX;
+
 /// A quality server whose relation is partitioned across N shards.
 pub struct ShardedQualityServer {
     relation: String,
@@ -125,12 +130,17 @@ pub struct ShardedQualityServer {
     cfds: Vec<Cfd>,
     router: Box<dyn ShardRouter>,
     shards: Vec<Shard>,
-    /// Global row id → owning shard.
-    shard_of: FxHashMap<RowId, u32>,
+    /// Global row id → owning shard, dense by arena slot ([`NO_SHARD`] =
+    /// not live). Row ids are small sequential integers, so a flat vector
+    /// replaces the hash map that used to sit on every routed mutation —
+    /// the same idiom as detect's dense `VioTally`.
+    shard_of: Vec<u32>,
     /// Next global row id — the same sequence a single-node table would
     /// have assigned, which is what makes sharded reports id-compatible.
     next_row: u64,
     stats: DetectStats,
+    /// The most recent scatter/gather report; dropped by any mutation.
+    last_report: Option<ViolationReport>,
 }
 
 impl ShardedQualityServer {
@@ -150,9 +160,10 @@ impl ShardedQualityServer {
             shards: (0..n)
                 .map(|_| Shard::new(relation, schema.clone(), 0))
                 .collect(),
-            shard_of: FxHashMap::default(),
+            shard_of: Vec::new(),
             next_row: 0,
             stats: DetectStats::default(),
+            last_report: None,
         }
     }
 
@@ -167,13 +178,14 @@ impl ShardedQualityServer {
         let mut me =
             ShardedQualityServer::new(table.name(), table.schema().clone(), n_shards, router);
         let n = me.shards.len();
+        me.shard_of = vec![NO_SHARD; table.arena_size()];
         for (id, row) in table.iter() {
             let sid = me.router.route(row, n);
             me.shards[sid]
                 .table
                 .insert_at(id, row.to_vec())
                 .map_err(db_err)?;
-            me.shard_of.insert(id, sid as u32);
+            me.shard_of[id.index()] = sid as u32;
         }
         me.next_row = table.arena_size() as u64;
         Ok(me)
@@ -190,6 +202,7 @@ impl ShardedQualityServer {
             s.memo = vec![None; cfds.len()];
         }
         self.cfds = cfds;
+        self.last_report = None;
         Ok(())
     }
 
@@ -230,7 +243,26 @@ impl ShardedQualityServer {
 
     /// The shard owning a row, if the row is live.
     pub fn shard_of(&self, id: RowId) -> Option<usize> {
-        self.shard_of.get(&id).map(|&s| s as usize)
+        self.shard_of
+            .get(id.index())
+            .filter(|&&s| s != NO_SHARD)
+            .map(|&s| s as usize)
+    }
+
+    /// Record `id` as owned by `sid`, growing the dense map as ids move
+    /// forward.
+    fn set_shard(&mut self, id: RowId, sid: usize) {
+        if id.index() >= self.shard_of.len() {
+            self.shard_of.resize(id.index() + 1, NO_SHARD);
+        }
+        self.shard_of[id.index()] = sid as u32;
+    }
+
+    /// Record `id` as no longer live.
+    fn clear_shard(&mut self, id: RowId) {
+        if let Some(slot) = self.shard_of.get_mut(id.index()) {
+            *slot = NO_SHARD;
+        }
     }
 
     /// Total full snapshot encodes across shards (the steady-state probe:
@@ -254,8 +286,9 @@ impl ShardedQualityServer {
         let shard = &mut self.shards[sid];
         shard.table.insert_at(id, row).map_err(db_err)?;
         shard.cache.note_insert(&shard.table, id);
-        self.shard_of.insert(id, sid as u32);
+        self.set_shard(id, sid);
         self.next_row += 1;
+        self.last_report = None;
         Ok(id)
     }
 
@@ -265,7 +298,8 @@ impl ShardedQualityServer {
         let shard = &mut self.shards[sid];
         let old = shard.table.delete(id).map_err(db_err)?;
         shard.cache.note_delete(&shard.table, id);
-        self.shard_of.remove(&id);
+        self.clear_shard(id);
+        self.last_report = None;
         Ok(old)
     }
 
@@ -275,13 +309,166 @@ impl ShardedQualityServer {
         let shard = &mut self.shards[sid];
         let old = shard.table.update_cell(id, col, value).map_err(db_err)?;
         shard.cache.note_set_cell(&shard.table, id, col);
+        self.last_report = None;
         Ok(old)
     }
 
-    fn owning_shard(&self, id: RowId) -> CfdResult<usize> {
+    /// Apply a whole mutation batch — the cluster's high-throughput
+    /// ingest path (experiment `e10`):
+    ///
+    /// 1. **One routing pass** assigns global ids, resolves owners, and
+    ///    groups the mutations into per-shard op lists.
+    /// 2. **Per-shard application** replays each shard's list against its
+    ///    table in one tight loop — runs of inserts go through the bulk
+    ///    [`Table::insert_at_many`] (validate-then-write, one arena
+    ///    extension) — and then patches that shard's snapshot exactly
+    ///    once ([`SnapshotCache::note_batch`]).
+    ///
+    /// Per-shard order is exactly batch order (later entries may
+    /// reference earlier inserts); cross-shard order is immaterial, since
+    /// every mutation touches exactly one shard — which is also what lets
+    /// the per-shard phase fan out across cores. Failure granularity is
+    /// per shard: a bad mutation stops *its shard's* remaining work (a
+    /// routing failure additionally stops planning of later mutations),
+    /// sibling shards complete, every applied op is patched, and the
+    /// first error is returned.
+    pub fn apply_batch(&mut self, batch: MutationBatch) -> CfdResult<BatchOutcome> {
+        enum ShardOp {
+            Insert(RowId, Vec<Value>),
+            Delete(RowId),
+            Set(RowId, usize, Value),
+        }
+
+        let n = self.shards.len();
+        let mut outcome = BatchOutcome::default();
+        // Route: one pass, no table work. The id map is updated
+        // optimistically and reconciled below for ops a shard rejects.
+        let inserts = batch
+            .mutations
+            .iter()
+            .filter(|m| matches!(m, Mutation::Insert(_)))
+            .count();
+        outcome.inserted.reserve(inserts);
         self.shard_of
-            .get(&id)
-            .map(|&s| s as usize)
+            .resize(self.next_row as usize + inserts, NO_SHARD);
+        let mut plans: Vec<Vec<ShardOp>> = (0..n)
+            .map(|_| Vec::with_capacity(batch.len() / n + 1))
+            .collect();
+        let mut failed: Option<CfdError> = None;
+        for m in batch.mutations {
+            match m {
+                Mutation::Insert(row) => {
+                    let sid = self.router.route(&row, n);
+                    let id = RowId(self.next_row);
+                    self.next_row += 1;
+                    self.shard_of[id.index()] = sid as u32;
+                    outcome.inserted.push(id);
+                    plans[sid].push(ShardOp::Insert(id, row));
+                }
+                Mutation::Delete(id) => match self.owning_shard(id) {
+                    Ok(sid) => {
+                        self.shard_of[id.index()] = NO_SHARD;
+                        plans[sid].push(ShardOp::Delete(id));
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                },
+                Mutation::SetCell { row, col, value } => match self.owning_shard(row) {
+                    Ok(sid) => plans[sid].push(ShardOp::Set(row, col, value)),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                },
+            }
+        }
+
+        // Apply per shard: table ops in plan order, then one snapshot
+        // patch per touched shard.
+        for (sid, (shard, plan)) in self.shards.iter_mut().zip(plans).enumerate() {
+            let mut deltas: Vec<TableDelta> = Vec::with_capacity(plan.len());
+            let mut err: Option<DbError> = None;
+            let mut ops = plan.into_iter().peekable();
+            'shard: while let Some(op) = ops.next() {
+                match op {
+                    ShardOp::Insert(id, row) => {
+                        // Collect the maximal insert run for the bulk path.
+                        let mut run = vec![(id, row)];
+                        while let Some(ShardOp::Insert(..)) = ops.peek() {
+                            let Some(ShardOp::Insert(id, row)) = ops.next() else {
+                                unreachable!("peeked an insert");
+                            };
+                            run.push((id, row));
+                        }
+                        let ids: Vec<RowId> = run.iter().map(|(id, _)| *id).collect();
+                        match shard.table.insert_at_many(run) {
+                            Ok(()) => deltas.extend(ids.into_iter().map(TableDelta::Inserted)),
+                            Err(e) => {
+                                // The run is rejected as a unit (validate-
+                                // then-write); un-map its ids.
+                                for id in ids {
+                                    self.shard_of[id.index()] = NO_SHARD;
+                                }
+                                err = Some(e);
+                                break 'shard;
+                            }
+                        }
+                    }
+                    ShardOp::Delete(id) => match shard.table.delete(id) {
+                        Ok(_) => deltas.push(TableDelta::Deleted(id)),
+                        Err(e) => {
+                            err = Some(e);
+                            break 'shard;
+                        }
+                    },
+                    ShardOp::Set(id, col, value) => match shard.table.update_cell(id, col, value) {
+                        Ok(_) => deltas.push(TableDelta::CellSet(id, col)),
+                        Err(e) => {
+                            err = Some(e);
+                            break 'shard;
+                        }
+                    },
+                }
+            }
+            if err.is_some() {
+                // Reconcile the optimistic id map for this shard's
+                // unapplied suffix: planned inserts never landed, planned
+                // deletes never removed their row.
+                for op in ops {
+                    match op {
+                        ShardOp::Insert(id, _) => {
+                            self.shard_of[id.index()] = NO_SHARD;
+                        }
+                        ShardOp::Delete(id) => {
+                            // Restore only rows that actually exist — a
+                            // delete of a row whose own insert was in the
+                            // rejected part of this batch must not
+                            // resurrect a ghost owner mapping.
+                            if shard.table.contains(id) {
+                                self.shard_of[id.index()] = sid as u32;
+                            }
+                        }
+                        ShardOp::Set(..) => {}
+                    }
+                }
+            }
+            outcome.applied += deltas.len();
+            shard.cache.note_batch(&shard.table, &deltas);
+            if let (Some(e), None) = (err, &failed) {
+                failed = Some(db_err(e));
+            }
+        }
+        self.last_report = None;
+        match failed {
+            None => Ok(outcome),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn owning_shard(&self, id: RowId) -> CfdResult<usize> {
+        self.shard_of(id)
             .ok_or_else(|| db_err(DbError::BadRowId(id.0)))
     }
 
@@ -353,7 +540,96 @@ impl ShardedQualityServer {
             partials_computed: exports.iter().map(|e| e.computed).sum(),
             partials_reused: exports.iter().map(|e| e.reused).sum(),
         };
+        self.last_report = Some(report.clone());
         Ok(report)
+    }
+
+    /// The most recent scatter/gather report, if no mutation has landed
+    /// since it was computed.
+    pub fn last_report(&self) -> Option<&ViolationReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Data auditor over the sharded relation: the Fig. 4 quality report,
+    /// built on the merged scatter/gather detection report (runs a detect
+    /// first if no report is cached) over the materialized union of the
+    /// shards — `normalized()`-identical inputs to the single-node
+    /// auditor, so dirty fractions agree exactly.
+    pub fn audit(&mut self) -> CfdResult<QualityReport> {
+        let report = match &self.last_report {
+            Some(r) => r.clone(),
+            None => self.detect()?,
+        };
+        let merged = self.merged_table()?;
+        quality_report(&merged, &self.cfds, &report)
+    }
+
+    /// Materialize the union of the shards as one table, every row under
+    /// its global id — exactly the table a single-node server over the
+    /// same data would hold. O(rows); used by the auditor and by
+    /// conformance checks, not by detection (which exchanges compact
+    /// per-group partials instead).
+    pub fn merged_table(&self) -> CfdResult<Table> {
+        let mut rows: Vec<(RowId, &[Value])> =
+            self.shards.iter().flat_map(|s| s.table.iter()).collect();
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        let mut merged = Table::new(&self.relation, self.schema.clone());
+        for (id, row) in rows {
+            merged.insert_at(id, row.to_vec()).map_err(db_err)?;
+        }
+        Ok(merged)
+    }
+}
+
+/// The unified-API view of the cluster. Repair is not yet a cluster
+/// capability (the exchange's per-group partials are the natural unit for
+/// cross-shard equivalence classes — see ROADMAP), so
+/// `QualityBackend::repair` answers `Unsupported` via the default.
+impl QualityBackend for ShardedQualityServer {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            backend: "sharded-cluster".into(),
+            repair: false,
+            streaming: false,
+            shards: self.shards.len(),
+        }
+    }
+
+    fn register_cfds(&mut self, text: &str) -> CfdResult<usize> {
+        ShardedQualityServer::register_cfds(self, parse_cfds(text)?)?;
+        Ok(self.cfds.len())
+    }
+
+    fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        ShardedQualityServer::insert(self, row)
+    }
+
+    fn delete(&mut self, row: RowId) -> CfdResult<Vec<Value>> {
+        ShardedQualityServer::delete(self, row)
+    }
+
+    fn update_cell(&mut self, row: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        ShardedQualityServer::update_cell(self, row, col, value)
+    }
+
+    fn apply_batch(&mut self, batch: MutationBatch) -> CfdResult<BatchOutcome> {
+        ShardedQualityServer::apply_batch(self, batch)
+    }
+
+    fn detect(&mut self) -> CfdResult<ViolationReport> {
+        ShardedQualityServer::detect(self)
+    }
+
+    fn audit(&mut self) -> CfdResult<QualityReport> {
+        ShardedQualityServer::audit(self)
+    }
+
+    fn last_report(&self) -> Option<ViolationReport> {
+        self.last_report.clone()
+    }
+
+    fn len(&self) -> usize {
+        ShardedQualityServer::len(self)
     }
 }
 
@@ -456,6 +732,152 @@ mod tests {
             "shard 1 untouched"
         );
         assert!(third.partials_computed < 2 * cfds.len() as u64);
+    }
+
+    #[test]
+    fn apply_batch_matches_per_row_application() {
+        let (t, cfds) = single_node(300, 0.05, 48);
+        let mut batched =
+            ShardedQualityServer::partition(&t, 3, Box::new(RoundRobinRouter::default())).unwrap();
+        let mut stepped =
+            ShardedQualityServer::partition(&t, 3, Box::new(RoundRobinRouter::default())).unwrap();
+        batched.register_cfds(cfds.clone()).unwrap();
+        stepped.register_cfds(cfds.clone()).unwrap();
+        // Warm both so the batch lands on cached shard snapshots.
+        batched.detect().unwrap();
+        stepped.detect().unwrap();
+        let encodes = batched.snapshot_encodes();
+        let ids = t.row_ids();
+        let donor: Vec<Value> = t.iter().next().unwrap().1.to_vec();
+        let muts = vec![
+            Mutation::Insert(donor.clone()),
+            Mutation::SetCell {
+                row: ids[5],
+                col: 2,
+                value: Value::str("BATCHCITY"),
+            },
+            Mutation::Delete(ids[9]),
+            Mutation::Insert(donor),
+            Mutation::SetCell {
+                row: ids[11],
+                col: 1,
+                value: Value::str("ZZ"),
+            },
+        ];
+        for m in muts.clone() {
+            api::apply_mutation(&mut stepped, m).unwrap();
+        }
+        let out = batched
+            .apply_batch(MutationBatch { mutations: muts })
+            .unwrap();
+        assert_eq!(out.applied, 5);
+        assert_eq!(out.inserted.len(), 2);
+        assert_eq!(
+            batched.detect().unwrap().normalized(),
+            stepped.detect().unwrap().normalized()
+        );
+        assert_eq!(
+            batched.snapshot_encodes(),
+            encodes,
+            "the batch patched shard snapshots, never re-encoded"
+        );
+    }
+
+    #[test]
+    fn failed_batch_keeps_prefix_and_stays_coherent() {
+        let (t, cfds) = single_node(60, 0.05, 49);
+        let mut c =
+            ShardedQualityServer::partition(&t, 2, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(cfds.clone()).unwrap();
+        c.detect().unwrap();
+        let donor: Vec<Value> = t.iter().next().unwrap().1.to_vec();
+        let err = c.apply_batch(MutationBatch {
+            mutations: vec![
+                Mutation::Insert(donor),
+                Mutation::Delete(RowId(9_999)), // fails
+                Mutation::Delete(RowId(0)),     // never reached
+            ],
+        });
+        assert!(err.is_err());
+        assert_eq!(c.len(), t.len() + 1, "prefix applied, suffix not");
+        assert!(
+            c.shard_of(RowId(0)).is_some(),
+            "unreached delete not applied"
+        );
+        // Derived state is still coherent: detect equals single-node over
+        // the actual (prefix-mutated) data.
+        let mut reference = t.clone();
+        let first: Vec<Value> = reference.iter().next().unwrap().1.to_vec();
+        let id = reference.insert(first).unwrap();
+        assert_eq!(id, RowId(t.arena_size() as u64));
+        assert_eq!(
+            c.detect().unwrap().normalized(),
+            detect_columnar(&reference, &cfds).unwrap().normalized()
+        );
+    }
+
+    #[test]
+    fn rejected_insert_run_leaves_no_ghost_mapping() {
+        // An insert whose run is rejected at apply time, followed in the
+        // same batch by a delete of that id: the reconcile pass must not
+        // resurrect an owner mapping for a row that never existed.
+        let (t, cfds) = single_node(40, 0.0, 52);
+        let mut c =
+            ShardedQualityServer::partition(&t, 2, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(cfds).unwrap();
+        let ghost = RowId(t.arena_size() as u64);
+        let err = c.apply_batch(MutationBatch {
+            mutations: vec![
+                Mutation::Insert(vec![Value::str("wrong-arity")]),
+                Mutation::Delete(ghost),
+            ],
+        });
+        assert!(err.is_err());
+        assert!(
+            c.shard_of(ghost).is_none(),
+            "rejected insert must not leave an owner mapping"
+        );
+        assert!(c.delete(ghost).is_err(), "ghost row is not addressable");
+        assert_eq!(c.len(), t.len());
+        // Derived state is untouched: detection still matches single-node
+        // over the original data.
+        let cfds = c.cfds().to_vec();
+        assert_eq!(
+            c.detect().unwrap().normalized(),
+            detect_columnar(&t, &cfds).unwrap().normalized()
+        );
+    }
+
+    #[test]
+    fn audit_matches_single_node_dirty_fraction() {
+        let d = datagen::dirty_customers(400, 0.06, 50);
+        let t = d.db.table("customer").unwrap();
+        let mut c =
+            ShardedQualityServer::partition(t, 4, Box::new(HashRouter::new(vec![1]))).unwrap();
+        c.register_cfds(d.cfds.clone()).unwrap();
+        let sharded = c.audit().unwrap();
+        let single =
+            audit::quality_report(t, &d.cfds, &detect_columnar(t, &d.cfds).unwrap()).unwrap();
+        assert_eq!(sharded.tuples, single.tuples);
+        assert_eq!(sharded.tuple_classes, single.tuple_classes);
+        assert_eq!(sharded.dirty_fraction(), single.dirty_fraction());
+    }
+
+    #[test]
+    fn last_report_tracks_mutations() {
+        let (t, cfds) = single_node(50, 0.05, 51);
+        let mut c =
+            ShardedQualityServer::partition(&t, 2, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(cfds).unwrap();
+        assert!(c.last_report().is_none());
+        c.detect().unwrap();
+        assert!(c.last_report().is_some());
+        let donor: Vec<Value> = t.iter().next().unwrap().1.to_vec();
+        c.insert(donor).unwrap();
+        assert!(
+            c.last_report().is_none(),
+            "mutation drops the cached report"
+        );
     }
 
     #[test]

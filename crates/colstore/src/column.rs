@@ -83,6 +83,18 @@ impl Column {
     pub(crate) fn swap_remove(&mut self, pos: usize) {
         Arc::make_mut(&mut self.codes).swap_remove(pos);
     }
+
+    /// Unshare the code vector and dictionary once and hand both out for
+    /// a whole batch of edits — the per-cell [`Column::push_value`] /
+    /// [`Column::set_value`] pay the copy-on-write checks on every call;
+    /// a bulk path pays them here, once, and reserves the append run up
+    /// front.
+    pub(crate) fn parts_mut(&mut self, reserve: usize) -> (&mut Vec<u32>, &mut Dictionary) {
+        let dict = Arc::make_mut(&mut self.dict);
+        let codes = Arc::make_mut(&mut self.codes);
+        codes.reserve(reserve);
+        (codes, dict)
+    }
 }
 
 /// Incremental builder used while scanning a table once.

@@ -41,5 +41,5 @@ pub use self::detect::{
     detect_one_columnar, seed_incremental,
 };
 pub use self::dictionary::{Dictionary, NULL_CODE};
-pub use self::lifecycle::{detect_cached, SnapshotCache};
+pub use self::lifecycle::{detect_cached, SnapshotCache, TableDelta};
 pub use self::snapshot::Snapshot;

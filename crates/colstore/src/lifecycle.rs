@@ -37,10 +37,24 @@ use std::sync::Arc;
 use cfd::{BoundCfd, Cfd, CfdResult};
 use detect::fxhash::FxHashMap;
 use detect::ViolationReport;
-use minidb::{RowId, Table};
+use minidb::{RowId, Table, Value};
 
 use crate::detect::{detect_constant, needed_columns, resolve, violating_groups, DecodedGroup};
 use crate::snapshot::Snapshot;
+
+/// One reported mutation of the observed table — the unit of
+/// [`SnapshotCache::note_batch`]. Mirrors the `note_insert` /
+/// `note_delete` / `note_set_cell` calls, but carried as data so a whole
+/// ingest batch can be replayed in one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableDelta {
+    /// A row was inserted.
+    Inserted(RowId),
+    /// A row was deleted.
+    Deleted(RowId),
+    /// Cell `(row, col)` was overwritten.
+    CellSet(RowId, usize),
+}
 
 /// Default fraction of snapshot rows that may be patched before the cache
 /// falls back to a full rebuild.
@@ -331,6 +345,164 @@ impl SnapshotCache {
             }
         }
         c.epoch = table.epoch();
+    }
+
+    /// Replay a whole mutation batch against the cached snapshot in one
+    /// pass — the batch-ingest entry point behind
+    /// `QualityBackend::apply_batch`.
+    ///
+    /// Semantically equal to calling the per-mutation `note_*` methods in
+    /// `deltas` order (the table must be exactly `deltas.len()` epochs
+    /// ahead of the snapshot), but the bookkeeping is amortized:
+    ///
+    /// * one epoch-gap check for the whole batch;
+    /// * insert runs appended with one copy-on-write unsharing and one
+    ///   reservation per column ([`Snapshot::append_rows`]);
+    /// * **batch-local position resolution**: the batch knows every row
+    ///   it touches up front, so when the cache's persistent `RowId → pos`
+    ///   index was never built, the targets are resolved in a single scan
+    ///   of the snapshot's row ids instead of building (and then
+    ///   maintaining) the full index — per-row application cannot do
+    ///   this, because it never sees past its current mutation.
+    ///
+    /// The replay reads the table's *current* values. A row inserted and
+    /// deleted within the same batch leaves no value to read, so that
+    /// (rare) shape invalidates the cache and the next access re-encodes
+    /// — never a correctness hazard, exactly the unreported-mutation
+    /// fallback.
+    pub fn note_batch(&mut self, table: &Table, deltas: &[TableDelta]) {
+        if deltas.is_empty() {
+            return;
+        }
+        let steps = deltas.len() as u64;
+        let Some(c) = patchable(&mut self.cached, self.delta_threshold, table, steps) else {
+            return;
+        };
+        let epoch = table.epoch();
+
+        // Where does each targeted row sit? Ride (and maintain) the
+        // persistent index when it exists; otherwise resolve exactly the
+        // batch's targets in one scan. `u32::MAX` marks a target not in
+        // the pre-batch snapshot — it must be appended by an earlier
+        // insert of this batch, or the stream missed a mutation.
+        const UNRESOLVED: u32 = u32::MAX;
+        let use_shared = c.pos.is_some();
+        let mut local: FxHashMap<RowId, u32> = FxHashMap::default();
+        if !use_shared {
+            for d in deltas {
+                if let TableDelta::Deleted(id) | TableDelta::CellSet(id, _) = d {
+                    local.insert(*id, UNRESOLVED);
+                }
+            }
+            if !local.is_empty() {
+                for (p, id) in c.snap.row_ids().iter().enumerate() {
+                    if let Some(slot) = local.get_mut(id) {
+                        *slot = p as u32;
+                    }
+                }
+            }
+        }
+
+        let mut i = 0;
+        while i < deltas.len() {
+            match deltas[i] {
+                TableDelta::Inserted(_) => {
+                    // Maximal insert run → one bulk append.
+                    let start = i;
+                    while let Some(TableDelta::Inserted(_)) = deltas.get(i) {
+                        i += 1;
+                    }
+                    let mut rows: Vec<(RowId, &[Value])> = Vec::with_capacity(i - start);
+                    for d in &deltas[start..i] {
+                        let TableDelta::Inserted(id) = *d else {
+                            unreachable!("run holds only inserts");
+                        };
+                        let Ok(row) = table.get(id) else {
+                            // Inserted and deleted within one batch: the
+                            // values are unrecoverable, fall back.
+                            self.cached = None;
+                            return;
+                        };
+                        rows.push((id, row));
+                    }
+                    let base = c.snap.n_rows() as u32;
+                    if use_shared {
+                        let ix = c.pos.as_mut().expect("use_shared checked");
+                        for (off, (id, _)) in rows.iter().enumerate() {
+                            ix.insert(*id, base + off as u32);
+                        }
+                    } else if !local.is_empty() {
+                        // A later delta may target a row this run appends.
+                        for (off, (id, _)) in rows.iter().enumerate() {
+                            if let Some(slot) = local.get_mut(id) {
+                                *slot = base + off as u32;
+                            }
+                        }
+                    }
+                    Arc::make_mut(&mut c.snap).append_rows(&rows);
+                    c.rows_epoch = epoch;
+                    c.patched += rows.len();
+                    self.patches += rows.len() as u64;
+                }
+                TableDelta::Deleted(id) => {
+                    i += 1;
+                    let pos = if use_shared {
+                        c.position(id)
+                    } else {
+                        local.get(&id).copied().filter(|&p| p != UNRESOLVED)
+                    };
+                    let Some(pos) = pos else {
+                        self.cached = None;
+                        return;
+                    };
+                    let moved = Arc::make_mut(&mut c.snap).swap_remove_row(pos as usize);
+                    // Only the swapped-in last row changes position;
+                    // track it in whichever resolver is active.
+                    if use_shared {
+                        let ix = c.pos.as_mut().expect("use_shared checked");
+                        ix.remove(&id);
+                        if let Some(m) = moved {
+                            ix.insert(m, pos);
+                        }
+                    } else {
+                        local.insert(id, UNRESOLVED);
+                        if let Some(m) = moved {
+                            if let Some(slot) = local.get_mut(&m) {
+                                *slot = pos;
+                            }
+                        }
+                    }
+                    c.rows_epoch = epoch;
+                    c.patched += 1;
+                    self.patches += 1;
+                }
+                TableDelta::CellSet(id, col) => {
+                    i += 1;
+                    let pos = if use_shared {
+                        c.position(id)
+                    } else {
+                        local.get(&id).copied().filter(|&p| p != UNRESOLVED)
+                    };
+                    let Some(pos) = pos else {
+                        self.cached = None;
+                        return;
+                    };
+                    if let Some(e) = c.col_epochs.get_mut(col) {
+                        *e = epoch;
+                    }
+                    if c.snap.has_column(col) {
+                        let Ok(value) = table.cell(id, col) else {
+                            self.cached = None;
+                            return;
+                        };
+                        Arc::make_mut(&mut c.snap).set_cell(pos as usize, col, value);
+                        c.patched += 1;
+                        self.patches += 1;
+                    }
+                }
+            }
+        }
+        c.epoch = epoch;
     }
 }
 
@@ -703,6 +875,107 @@ mod tests {
         assert_eq!(got, detect_native(&t, &cfds).unwrap().normalized());
         assert!(!got.is_empty());
         assert_eq!(cache.fragments_reused(), 0);
+    }
+
+    #[test]
+    fn note_batch_equals_per_mutation_notes() {
+        // One batch of mixed mutations, replayed in one pass, must leave
+        // the same snapshot a per-mutation note_* stream leaves.
+        let mut t_batch = table();
+        let mut t_steps = t_batch.clone();
+        let mut batched = SnapshotCache::new();
+        let mut stepped = SnapshotCache::new();
+        batched.snapshot(&t_batch);
+        stepped.snapshot(&t_steps);
+
+        // Apply: two inserts, one cell set, one delete. The stepped arm
+        // notes each mutation as it lands (lock-step); the batched arm
+        // applies everything first and replays one batch.
+        let mut deltas = Vec::new();
+        for (a, b, c) in [("p", "7", "x"), ("q", "8", "y")] {
+            let row = vec![Value::str(a), Value::str(b), Value::str(c)];
+            let id = t_batch.insert(row.clone()).unwrap();
+            deltas.push(TableDelta::Inserted(id));
+            let id = t_steps.insert(row).unwrap();
+            stepped.note_insert(&t_steps, id);
+        }
+        t_batch.update_cell(RowId(0), 1, Value::str("set")).unwrap();
+        deltas.push(TableDelta::CellSet(RowId(0), 1));
+        t_steps.update_cell(RowId(0), 1, Value::str("set")).unwrap();
+        stepped.note_set_cell(&t_steps, RowId(0), 1);
+        t_batch.delete(RowId(2)).unwrap();
+        deltas.push(TableDelta::Deleted(RowId(2)));
+        t_steps.delete(RowId(2)).unwrap();
+        stepped.note_delete(&t_steps, RowId(2));
+
+        batched.note_batch(&t_batch, &deltas);
+
+        let a = batched.snapshot(&t_batch);
+        let b = stepped.snapshot(&t_steps);
+        assert_eq!(batched.encodes(), 1, "batch was patched, not re-encoded");
+        assert_eq!(a.row_ids(), b.row_ids());
+        for col in 0..3 {
+            for pos in 0..a.n_rows() {
+                assert_eq!(
+                    a.column(col).value_at(pos),
+                    b.column(col).value_at(pos),
+                    "cell ({pos}, {col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn note_batch_detects_like_native_across_runs() {
+        let mut t = table();
+        let cfds = parse_cfds("r: [A] -> [B]\nr: [A='x'] -> [C='p']").unwrap();
+        let mut cache = SnapshotCache::new();
+        assert!(detect_cached(&mut cache, &t, &cfds).unwrap().is_empty());
+        let mut deltas = Vec::new();
+        let id = t
+            .insert(vec![Value::str("x"), Value::str("9"), Value::str("zz")])
+            .unwrap();
+        deltas.push(TableDelta::Inserted(id));
+        t.update_cell(RowId(1), 0, Value::str("x")).unwrap();
+        deltas.push(TableDelta::CellSet(RowId(1), 0));
+        cache.note_batch(&t, &deltas);
+        let got = detect_cached(&mut cache, &t, &cfds).unwrap().normalized();
+        let want = detect_native(&t, &cfds).unwrap().normalized();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+        assert_eq!(cache.encodes(), 1, "detect rode the batch-patched snapshot");
+    }
+
+    #[test]
+    fn note_batch_insert_then_delete_same_row_falls_back() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        let id = t
+            .insert(vec![Value::str("gone"), Value::Null, Value::Null])
+            .unwrap();
+        t.delete(id).unwrap();
+        cache.note_batch(&t, &[TableDelta::Inserted(id), TableDelta::Deleted(id)]);
+        // Unrecoverable replay → invalidated → next access re-encodes and
+        // is correct.
+        let s = cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 2);
+        assert_eq!(s.n_rows(), 3);
+    }
+
+    #[test]
+    fn note_batch_epoch_gap_invalidates() {
+        let mut t = table();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&t);
+        let id = t
+            .insert(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+            .unwrap();
+        t.update_cell(id, 0, Value::str("unreported")).unwrap();
+        // Batch reports only the insert; the table is 2 epochs ahead.
+        cache.note_batch(&t, &[TableDelta::Inserted(id)]);
+        cache.snapshot(&t);
+        assert_eq!(cache.encodes(), 2, "partial report forces re-encode");
     }
 
     #[test]

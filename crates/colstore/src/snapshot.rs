@@ -169,6 +169,29 @@ impl Snapshot {
         }
     }
 
+    /// Append a run of encoded rows in one pass — the bulk-ingest
+    /// counterpart of [`Snapshot::append_row`]. Each encoded column
+    /// unshares and reserves **once** for the whole run
+    /// ([`Column::parts_mut`]); the rows themselves are walked in a
+    /// single interleaved pass (row-major, like the serial encoder: every
+    /// row is dereferenced once, not once per column).
+    pub(crate) fn append_rows(&mut self, rows: &[(RowId, &[Value])]) {
+        let ids = Arc::make_mut(&mut self.row_ids);
+        ids.reserve(rows.len());
+        ids.extend(rows.iter().map(|(id, _)| *id));
+        let mut cols: Vec<(usize, (&mut Vec<u32>, &mut crate::Dictionary))> = self
+            .columns
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_mut().map(|c| (i, c.parts_mut(rows.len()))))
+            .collect();
+        for (_, row) in rows {
+            for (i, (codes, dict)) in cols.iter_mut() {
+                codes.push(dict.intern(&row[*i]));
+            }
+        }
+    }
+
     /// Remove the row at snapshot position `pos` by swapping the last row
     /// into its place; returns the row id that now occupies `pos` (if any).
     /// Detection is row-order-insensitive after `normalized()`, which is

@@ -11,6 +11,9 @@
 
 use std::sync::Arc;
 
+use api::{Capabilities, Mutation, QualityBackend};
+use audit::{quality_report, QualityReport};
+use cfd::parse::parse_cfds;
 use cfd::{Cfd, CfdError, CfdResult};
 use colstore::{detect_cached, seed_incremental, Snapshot, SnapshotCache};
 use detect::{IncrementalDetector, ViolationReport};
@@ -21,6 +24,10 @@ fn db_err(e: DbError) -> CfdError {
     CfdError::Malformed(e.to_string())
 }
 
+/// The monitor's historical name for the shared mutation type: an update
+/// against the monitored relation is exactly an [`api::Mutation`].
+pub type Update = Mutation;
+
 /// Monitoring mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonitorMode {
@@ -28,24 +35,6 @@ pub enum MonitorMode {
     DetectOnly,
     /// Database was cleansed: repair incoming deltas on arrival.
     RepairOnArrival,
-}
-
-/// An update against the monitored relation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Update {
-    /// Insert a new tuple.
-    Insert(Vec<Value>),
-    /// Delete a tuple.
-    Delete(RowId),
-    /// Overwrite one cell.
-    SetCell {
-        /// Target row.
-        row: RowId,
-        /// Target column.
-        col: usize,
-        /// New value.
-        value: Value,
-    },
 }
 
 /// Outcome of applying one update.
@@ -149,10 +138,27 @@ impl DataMonitor {
         self.mode = mode;
     }
 
+    /// The monitored CFD set.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Replace the monitored CFD set, re-seeding the incremental detector
+    /// from the maintained snapshot (one bulk pass, no re-encode in
+    /// steady state).
+    pub fn set_cfds(&mut self, cfds: Vec<Cfd>) -> CfdResult<()> {
+        let snap = self
+            .snapshots
+            .snapshot(self.db.table(&self.relation).map_err(db_err)?);
+        self.detector = seed_incremental(&snap, &cfds)?;
+        self.cfds = cfds;
+        Ok(())
+    }
+
     /// Apply one update; returns the effect on data quality. Both derived
     /// structures — the incremental detector and the columnar snapshot —
     /// are maintained in lock-step with the mutation.
-    pub fn apply(&mut self, update: Update) -> CfdResult<UpdateOutcome> {
+    pub fn apply(&mut self, update: Mutation) -> CfdResult<UpdateOutcome> {
         let affected = match update {
             Update::Insert(values) => {
                 let id = self.db.insert_row(&self.relation, values).map_err(db_err)?;
@@ -233,6 +239,74 @@ impl DataMonitor {
             .get(id)
             .map_err(db_err)?
             .to_vec())
+    }
+}
+
+/// The unified-API view of the streaming monitor: every trait mutation is
+/// one [`DataMonitor::apply`], so incremental detection (and, in
+/// [`MonitorMode::RepairOnArrival`], on-arrival repair) runs per update —
+/// the batch entry point deliberately keeps the per-update semantics and
+/// uses the trait's one-by-one loop.
+impl QualityBackend for DataMonitor {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            backend: "data-monitor".into(),
+            repair: false,
+            streaming: true,
+            shards: 1,
+        }
+    }
+
+    fn register_cfds(&mut self, text: &str) -> CfdResult<usize> {
+        self.set_cfds(parse_cfds(text)?)?;
+        Ok(self.cfds.len())
+    }
+
+    fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        let out = self.apply(Mutation::Insert(row))?;
+        out.row
+            .ok_or_else(|| CfdError::Malformed("insert did not yield a row".into()))
+    }
+
+    fn delete(&mut self, row: RowId) -> CfdResult<Vec<Value>> {
+        let old = self.row_values(row)?;
+        self.apply(Mutation::Delete(row))?;
+        Ok(old)
+    }
+
+    fn update_cell(&mut self, row: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        let old = self
+            .db
+            .table(&self.relation)
+            .map_err(db_err)?
+            .cell(row, col)
+            .map_err(db_err)?
+            .clone();
+        self.apply(Mutation::SetCell { row, col, value })?;
+        Ok(old)
+    }
+
+    fn detect(&mut self) -> CfdResult<ViolationReport> {
+        DataMonitor::detect(self)
+    }
+
+    fn audit(&mut self) -> CfdResult<QualityReport> {
+        let report = self.detector.report();
+        quality_report(
+            self.db.table(&self.relation).map_err(db_err)?,
+            &self.cfds,
+            &report,
+        )
+    }
+
+    fn last_report(&self) -> Option<ViolationReport> {
+        // The incremental state is always current: the monitor's report
+        // *is* its live view.
+        Some(self.detector.report())
+    }
+
+    fn len(&self) -> usize {
+        self.db.table(&self.relation).map(|t| t.len()).unwrap_or(0)
     }
 }
 

@@ -1,13 +1,14 @@
 //! The data quality server: one facade wiring the six components of Fig. 1
 //! over a [`minidb::Database`].
 
+use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend, RepairSummary};
 use audit::{quality_map, quality_report, QualityMap, QualityReport};
 use cfd::{CfdError, CfdResult, Consistency};
-use colstore::{detect_cached, SnapshotCache};
+use colstore::{detect_cached, SnapshotCache, TableDelta};
 use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
 use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
 use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
-use minidb::{Database, DbError, RowId, Schema, Table};
+use minidb::{Database, DbError, RowId, Schema, Table, Value};
 use repair::{batch_repair_with_cache, RepairConfig, RepairResult};
 
 use crate::engine::ConstraintEngine;
@@ -48,7 +49,10 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            detector: DetectorKind::Sql,
+            // Columnar is the fastest engine at every measured scale
+            // (BENCH_detection.json); the paper's SQL path stays one
+            // `with_config` away.
+            detector: DetectorKind::Columnar,
             repair: RepairConfig::default(),
         }
     }
@@ -117,14 +121,96 @@ impl QualityServer {
     }
 
     /// The audited table.
-    pub fn table(&self) -> &Table {
-        self.db.table(&self.relation).expect("relation exists")
+    pub fn table(&self) -> CfdResult<&Table> {
+        self.db.table(&self.relation).map_err(db_err)
     }
 
     /// Register CFDs (textual notation); rejected if inconsistent.
     pub fn register_cfds(&mut self, text: &str) -> CfdResult<Consistency> {
         self.last_report = None;
         self.engine.register_text(text)
+    }
+
+    // --------------------------------------------------------- mutations
+    //
+    // The server's first-class mutation surface. Every write patches the
+    // snapshot cache in lock-step with the table — mutating through these
+    // methods (rather than behind the server's back via a database handle)
+    // is what keeps the columnar detect path encode-free in steady state.
+
+    /// Insert a row into the audited relation; returns its id. The cached
+    /// snapshot is patched, not invalidated.
+    pub fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        let id = self.db.insert_row(&self.relation, row).map_err(db_err)?;
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        self.snapshots.note_insert(table, id);
+        self.last_report = None;
+        Ok(id)
+    }
+
+    /// Delete a row from the audited relation; returns its former values.
+    pub fn delete(&mut self, id: RowId) -> CfdResult<Vec<Value>> {
+        let old = self.db.delete_row(&self.relation, id).map_err(db_err)?;
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        self.snapshots.note_delete(table, id);
+        self.last_report = None;
+        Ok(old)
+    }
+
+    /// Overwrite one cell of the audited relation; returns the previous
+    /// value.
+    pub fn update_cell(&mut self, id: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        let old = self
+            .db
+            .update_cell(&self.relation, id, col, value)
+            .map_err(db_err)?;
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        self.snapshots.note_set_cell(table, id, col);
+        self.last_report = None;
+        Ok(old)
+    }
+
+    /// Apply a whole mutation batch in one pass: the table mutations are
+    /// applied in order, then the snapshot cache replays them as a single
+    /// batch ([`SnapshotCache::note_batch`]) — one epoch-gap check and one
+    /// copy-on-write pass per touched column instead of per-row
+    /// bookkeeping. On a failed mutation the applied prefix stays applied
+    /// (and stays patched); the error is returned.
+    pub fn apply_batch(&mut self, batch: MutationBatch) -> CfdResult<BatchOutcome> {
+        let mut outcome = BatchOutcome::default();
+        let mut deltas: Vec<TableDelta> = Vec::with_capacity(batch.len());
+        let mut failed: Option<CfdError> = None;
+        for m in batch.mutations {
+            let applied = match m {
+                Mutation::Insert(row) => self.db.insert_row(&self.relation, row).map(|id| {
+                    outcome.inserted.push(id);
+                    deltas.push(TableDelta::Inserted(id));
+                }),
+                Mutation::Delete(id) => self.db.delete_row(&self.relation, id).map(|_| {
+                    deltas.push(TableDelta::Deleted(id));
+                }),
+                Mutation::SetCell { row, col, value } => self
+                    .db
+                    .update_cell(&self.relation, row, col, value)
+                    .map(|_| {
+                        deltas.push(TableDelta::CellSet(row, col));
+                    }),
+            };
+            match applied {
+                Ok(()) => outcome.applied += 1,
+                Err(e) => {
+                    failed = Some(db_err(e));
+                    break;
+                }
+            }
+        }
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        self.snapshots.note_batch(table, &deltas);
+        self.last_report = None;
+        match failed {
+            None => Ok(outcome),
+            Some(e) => Err(e),
+        }
     }
 
     /// Discover constraints from the current data (treated as reference
@@ -135,7 +221,7 @@ impl QualityServer {
         miner: &MinerConfig,
         ctane: &CtaneConfig,
     ) -> CfdResult<usize> {
-        let table = self.table();
+        let table = self.table()?;
         let mut rules: Vec<cfd::Cfd> = mine_constant_cfds(table, miner)
             .into_iter()
             .map(|d| d.cfd)
@@ -157,8 +243,8 @@ impl QualityServer {
         let cfds = self.engine.cfds().to_vec();
         let report = match self.config.detector {
             DetectorKind::Sql => detect_sql(&mut self.db, &self.relation, &cfds)?,
-            DetectorKind::Native => detect_native(self.table(), &cfds)?,
-            DetectorKind::Parallel { threads } => detect_parallel(self.table(), &cfds, threads)?,
+            DetectorKind::Native => detect_native(self.table()?, &cfds)?,
+            DetectorKind::Parallel { threads } => detect_parallel(self.table()?, &cfds, threads)?,
             DetectorKind::Columnar => {
                 // Disjoint field borrows: the cache is written while the
                 // database is only read.
@@ -192,13 +278,13 @@ impl QualityServer {
     /// Data auditor: the Fig. 4 quality report.
     pub fn audit(&mut self) -> CfdResult<QualityReport> {
         let report = self.require_report()?;
-        quality_report(self.table(), self.engine.cfds(), &report)
+        quality_report(self.table()?, self.engine.cfds(), &report)
     }
 
     /// Data auditor: the Fig. 3 quality map.
     pub fn map(&mut self) -> CfdResult<QualityMap> {
         let report = self.require_report()?;
-        Ok(quality_map(self.table(), &report))
+        Ok(quality_map(self.table()?, &report))
     }
 
     /// Data explorer: open the Fig. 2 navigation over the cached report.
@@ -222,7 +308,7 @@ impl QualityServer {
     /// Data explorer: reverse inspection of one tuple.
     pub fn inspect(&mut self, row: RowId) -> CfdResult<Vec<CfdRelevance>> {
         let report = self.require_report()?;
-        inspect_tuple(self.table(), self.engine.cfds(), &report, row)
+        inspect_tuple(self.table()?, self.engine.cfds(), &report, row)
     }
 
     /// Data cleanser: run batch repair; invalidates the cached report.
@@ -266,6 +352,74 @@ impl QualityServer {
     /// Hand the server's parts to a [`crate::monitor::DataMonitor`].
     pub fn into_parts(self) -> (Database, String, Vec<cfd::Cfd>) {
         (self.db, self.relation, self.engine.cfds().to_vec())
+    }
+}
+
+/// The unified-API view of the single-node server. Inherent methods with
+/// richer return types (the [`Consistency`] verdict of `register_cfds`,
+/// the borrowed `last_report`, the full [`RepairResult`] of `repair`)
+/// stay available on the concrete type; `dyn QualityBackend` callers get
+/// the wire-friendly forms.
+impl QualityBackend for QualityServer {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            backend: "quality-server".into(),
+            repair: true,
+            streaming: false,
+            shards: 1,
+        }
+    }
+
+    fn register_cfds(&mut self, text: &str) -> CfdResult<usize> {
+        let verdict = QualityServer::register_cfds(self, text)?;
+        if !verdict.is_consistent() {
+            return Err(CfdError::Malformed(
+                "CFD set rejected: unsatisfiable together with the registered rules".into(),
+            ));
+        }
+        Ok(self.engine.len())
+    }
+
+    fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        QualityServer::insert(self, row)
+    }
+
+    fn delete(&mut self, row: RowId) -> CfdResult<Vec<Value>> {
+        QualityServer::delete(self, row)
+    }
+
+    fn update_cell(&mut self, row: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        QualityServer::update_cell(self, row, col, value)
+    }
+
+    fn apply_batch(&mut self, batch: MutationBatch) -> CfdResult<BatchOutcome> {
+        QualityServer::apply_batch(self, batch)
+    }
+
+    fn detect(&mut self) -> CfdResult<ViolationReport> {
+        QualityServer::detect(self)
+    }
+
+    fn audit(&mut self) -> CfdResult<QualityReport> {
+        QualityServer::audit(self)
+    }
+
+    fn last_report(&self) -> Option<ViolationReport> {
+        self.last_report.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.table().map(Table::len).unwrap_or(0)
+    }
+
+    fn repair(&mut self) -> CfdResult<RepairSummary> {
+        let r = QualityServer::repair(self)?;
+        Ok(RepairSummary {
+            changes: r.changes.len(),
+            iterations: r.iterations,
+            total_cost: r.total_cost,
+            residual: r.residual.len(),
+        })
     }
 }
 
@@ -380,6 +534,56 @@ mod tests {
         let repair = s.repair().unwrap();
         assert!(repair.residual.is_empty());
         assert!(s.detect().unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_class_mutations_patch_the_snapshot() {
+        // Default config is Columnar now: mutations through the server's
+        // own surface must keep the cached snapshot in lock-step.
+        let mut s = server(200, 0.0, 80);
+        assert!(s.detect().unwrap().is_empty());
+        assert_eq!(s.snapshot_encodes(), 1);
+        let donor: Vec<Value> = s.table().unwrap().iter().next().unwrap().1.to_vec();
+        let mut bad = donor.clone();
+        bad[2] = Value::str("WRONGCITY");
+        let id = s.insert(bad).unwrap();
+        assert!(!s.detect().unwrap().is_empty(), "insert surfaced");
+        let old = s.update_cell(id, 2, donor[2].clone()).unwrap();
+        assert_eq!(old, Value::str("WRONGCITY"));
+        assert!(s.detect().unwrap().is_empty(), "update surfaced");
+        s.delete(id).unwrap();
+        assert!(s.detect().unwrap().is_empty());
+        assert_eq!(
+            s.snapshot_encodes(),
+            1,
+            "server mutations patch the snapshot, never re-encode"
+        );
+    }
+
+    #[test]
+    fn batched_and_per_row_mutations_agree() {
+        let mut batched = server(150, 0.05, 81);
+        let mut stepped = server(150, 0.05, 81);
+        let donor: Vec<Value> = batched.table().unwrap().iter().next().unwrap().1.to_vec();
+        let ids = batched.table().unwrap().row_ids();
+        let muts = vec![
+            Mutation::Insert(donor.clone()),
+            Mutation::SetCell {
+                row: ids[3],
+                col: 2,
+                value: Value::str("ELSEWHERE"),
+            },
+            Mutation::Delete(ids[7]),
+        ];
+        for m in muts.clone() {
+            api::apply_mutation(&mut stepped, m).unwrap();
+        }
+        let out = batched.apply_batch(muts.into()).unwrap();
+        assert_eq!(out.applied, 3);
+        assert_eq!(
+            batched.detect().unwrap().normalized(),
+            stepped.detect().unwrap().normalized()
+        );
     }
 
     #[test]

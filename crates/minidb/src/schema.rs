@@ -103,8 +103,10 @@ impl Schema {
         self.columns.iter().map(|c| c.name.as_str()).collect()
     }
 
-    /// Validate and coerce a row against this schema.
-    pub fn check_row(&self, row: Vec<Value>) -> DbResult<Vec<Value>> {
+    /// Validate and coerce a row against this schema. Coercion happens in
+    /// place — the common all-types-match row is validated without
+    /// reallocating (this sits on every insert of every ingest path).
+    pub fn check_row(&self, mut row: Vec<Value>) -> DbResult<Vec<Value>> {
         if row.len() != self.arity() {
             return Err(DbError::Constraint(format!(
                 "row arity {} does not match schema arity {}",
@@ -112,18 +114,19 @@ impl Schema {
                 self.arity()
             )));
         }
-        row.into_iter()
-            .zip(&self.columns)
-            .map(|(v, c)| {
-                if v.is_null() && !c.nullable {
-                    return Err(DbError::Constraint(format!(
-                        "NULL in NOT NULL column {}",
-                        c.name
-                    )));
-                }
-                v.coerce(c.dtype)
-            })
-            .collect()
+        for (v, c) in row.iter_mut().zip(&self.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(DbError::Constraint(format!(
+                    "NULL in NOT NULL column {}",
+                    c.name
+                )));
+            }
+            if v.data_type().is_none_or(|t| t == c.dtype) {
+                continue;
+            }
+            *v = std::mem::replace(v, Value::Null).coerce(c.dtype)?;
+        }
+        Ok(row)
     }
 }
 

@@ -115,6 +115,35 @@ impl Table {
         Ok(())
     }
 
+    /// Insert a run of rows at chosen arena slots — the bulk form of
+    /// [`Table::insert_at`]. Ids must be strictly ascending and lie at or
+    /// beyond the current arena end. Every row is validated before any is
+    /// written (a bad row fails the whole run with the table untouched);
+    /// the arena is extended once; the epoch advances by one per row, so
+    /// derived caches can replay the run with the usual per-mutation
+    /// epoch arithmetic.
+    pub fn insert_at_many(&mut self, rows: Vec<(RowId, Vec<Value>)>) -> DbResult<()> {
+        let mut checked = Vec::with_capacity(rows.len());
+        let mut next = self.rows.len();
+        for (id, row) in rows {
+            if id.index() < next {
+                return Err(DbError::BadRowId(id.0));
+            }
+            next = id.index() + 1;
+            checked.push((id, self.schema.check_row(row)?));
+        }
+        let Some(&(last, _)) = checked.last() else {
+            return Ok(());
+        };
+        self.rows.resize(last.index() + 1, None);
+        self.live += checked.len();
+        self.epoch += checked.len() as u64;
+        for (id, row) in checked {
+            self.rows[id.index()] = Some(row);
+        }
+        Ok(())
+    }
+
     /// Fetch a live row.
     pub fn get(&self, id: RowId) -> DbResult<&[Value]> {
         self.rows

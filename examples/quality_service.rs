@@ -1,0 +1,154 @@
+//! Quality service: one backend behind the serializable command protocol.
+//!
+//! A client-side script is *serialized* into JSON request lines, shipped
+//! through [`semandaq::api::dispatch_line`] (decode → dispatch → encode —
+//! exactly what a network transport would do on the server side), and the
+//! decoded responses drive the client's view. The backend is chosen by
+//! flag; the script is backend-agnostic — that is the point of the
+//! unified API.
+//!
+//! ```sh
+//! cargo run --example quality_service                      # all backends
+//! cargo run --example quality_service -- --backend single
+//! cargo run --example quality_service -- --backend sharded
+//! cargo run --example quality_service -- --backend monitor
+//! ```
+
+use semandaq::api::{dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response};
+use semandaq::cluster::{HashRouter, ShardedQualityServer};
+use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
+use semandaq::minidb::{RowId, Value};
+use semandaq::system::{DataMonitor, MonitorMode, QualityServer};
+
+const ROWS: usize = 2_000;
+const SEED: u64 = 42;
+
+/// Stand up the chosen backend over the same dirty customer workload.
+fn backend(kind: &str) -> Box<dyn QualityBackend> {
+    let w = dirty_customers(ROWS, 0.05, SEED);
+    match kind {
+        "single" => Box::new(QualityServer::new(w.db, "customer").unwrap()),
+        "sharded" => Box::new(
+            ShardedQualityServer::partition(
+                w.db.table("customer").unwrap(),
+                4,
+                Box::new(HashRouter::new(vec![1])),
+            )
+            .unwrap(),
+        ),
+        "monitor" => Box::new(
+            DataMonitor::new(w.db, "customer", Vec::new(), MonitorMode::DetectOnly).unwrap(),
+        ),
+        other => panic!("unknown backend '{other}' (single | sharded | monitor)"),
+    }
+}
+
+/// A donor row with one corrupted column — traffic that violates a rule.
+fn dirty_row(corrupt_col: usize, v: &str) -> Vec<Value> {
+    let w = dirty_customers(ROWS, 0.05, SEED);
+    let mut row: Vec<Value> =
+        w.db.table("customer")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .1
+            .to_vec();
+    row[corrupt_col] = Value::str(v);
+    row
+}
+
+/// The client script: registration, mixed ingest batches, detection,
+/// audit, repair, introspection.
+fn script() -> Vec<Request> {
+    let ingest_1 = MutationBatch {
+        mutations: vec![
+            Mutation::Insert(dirty_row(2, "WRONGCITY")),
+            Mutation::Insert(dirty_row(1, "XX")),
+            Mutation::SetCell {
+                row: RowId(17),
+                col: 2,
+                value: Value::str("ELSEWHERE"),
+            },
+        ],
+    };
+    let ingest_2 = MutationBatch {
+        mutations: vec![
+            Mutation::Delete(RowId(ROWS as u64)), // drop the first dirty insert
+            Mutation::Insert(dirty_row(3, "00000")),
+        ],
+    };
+    vec![
+        Request::Capabilities,
+        Request::Len,
+        Request::RegisterCfds {
+            text: CANONICAL_CFDS.to_string(),
+        },
+        Request::Detect,
+        Request::Audit,
+        Request::ApplyBatch { batch: ingest_1 },
+        Request::Detect,
+        Request::ApplyBatch { batch: ingest_2 },
+        Request::Detect,
+        Request::Audit,
+        Request::Repair, // capability-gated: refused by cluster + monitor
+        Request::Detect,
+        Request::LastReport,
+        Request::Len,
+    ]
+}
+
+fn preview(line: &str) -> String {
+    const MAX: usize = 96;
+    if line.len() <= MAX {
+        line.to_string()
+    } else {
+        let cut = (0..=MAX).rev().find(|&i| line.is_char_boundary(i)).unwrap();
+        format!("{}… (+{} bytes)", &line[..cut], line.len() - cut)
+    }
+}
+
+fn serve(kind: &str) {
+    println!("=== backend: {kind} ===");
+    let mut b = backend(kind);
+    for request in script() {
+        // Client side: serialize. Server side: decode, dispatch, encode.
+        let wire_in = request.encode();
+        let wire_out = dispatch_line(b.as_mut(), &wire_in);
+        // Client side again: decode the answer.
+        let response = Response::decode(&wire_out).expect("server speaks the protocol");
+        println!("→ {}", preview(&wire_in));
+        println!("← {}", preview(&wire_out));
+        match response {
+            Response::Report(s) => println!(
+                "  {} violations over {} dirty rows",
+                s.violations, s.dirty_rows
+            ),
+            Response::Audited(s) => println!(
+                "  {} tuples, {:.1}% dirty",
+                s.tuples,
+                s.dirty_fraction * 100.0
+            ),
+            Response::Repaired(s) => println!(
+                "  repaired: {} changes in {} rounds, {} residual",
+                s.changes, s.iterations, s.residual
+            ),
+            Response::Error { message } => println!("  refused: {message}"),
+            _ => {}
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            for kind in ["single", "sharded", "monitor"] {
+                serve(kind);
+            }
+        }
+        [flag, kind] if flag == "--backend" => serve(kind),
+        other => panic!("usage: quality_service [--backend single|sharded|monitor], got {other:?}"),
+    }
+}

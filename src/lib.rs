@@ -3,6 +3,9 @@
 //! Re-exports every component of the Semandaq reproduction so examples and
 //! downstream users can depend on a single crate:
 //!
+//! * [`api`] — the unified quality API: the `QualityBackend` trait every
+//!   engine implements, the shared `Mutation`/`MutationBatch` vocabulary,
+//!   and the serializable `Request`/`Response` command protocol.
 //! * [`minidb`] — the relational substrate (SQL engine).
 //! * [`cfd`] — conditional functional dependencies and static analysis.
 //! * [`detect`] — SQL-based, native, and incremental violation detection.
@@ -18,6 +21,7 @@
 //! * [`system`] (re-export of `semandaq-core`) — the assembled system:
 //!   constraint engine, quality server, data monitor.
 
+pub use api;
 pub use audit;
 pub use cfd;
 pub use cluster;

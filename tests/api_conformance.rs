@@ -1,0 +1,266 @@
+//! Backend conformance: one shared mutation + detect + audit script runs
+//! against every [`QualityBackend`] — `QualityServer` (Native and
+//! Columnar), `ShardedQualityServer` (hash and round-robin routers, shard
+//! counts 1/3/5) and `DataMonitor` — and every backend must produce
+//! `normalized()`-equal violation reports, equal audit dirty fractions
+//! and equal row counts at every step. The same script also runs through
+//! the wire protocol (`Request` → `dispatch` → `Response`) and must
+//! observe the same summaries.
+
+use semandaq::api::{dispatch, Mutation, MutationBatch, QualityBackend, Request, Response};
+use semandaq::cfd::CfdError;
+use semandaq::cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
+use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
+use semandaq::detect::ViolationReport;
+use semandaq::minidb::{RowId, Value};
+use semandaq::system::{DataMonitor, DetectorKind, MonitorMode, QualityServer, ServerConfig};
+
+const ROWS: usize = 200;
+const SEED: u64 = 4242;
+
+/// Every backend under test, over identical initial data, labelled.
+fn backends() -> Vec<(String, Box<dyn QualityBackend>)> {
+    let d = dirty_customers(ROWS, 0.05, SEED);
+    let table = d.db.table("customer").unwrap();
+    let mut out: Vec<(String, Box<dyn QualityBackend>)> = Vec::new();
+    for (label, kind) in [
+        ("server/native", DetectorKind::Native),
+        ("server/columnar", DetectorKind::Columnar),
+    ] {
+        let s = QualityServer::new(d.db.clone(), "customer")
+            .unwrap()
+            .with_config(ServerConfig {
+                detector: kind,
+                ..ServerConfig::default()
+            });
+        out.push((label.to_string(), Box::new(s)));
+    }
+    for shards in [1usize, 3, 5] {
+        let routers: Vec<(&str, Box<dyn ShardRouter>)> = vec![
+            ("rr", Box::new(RoundRobinRouter::default())),
+            ("hash", Box::new(HashRouter::new(vec![1]))),
+        ];
+        for (rname, router) in routers {
+            let c = ShardedQualityServer::partition(table, shards, router).unwrap();
+            out.push((format!("cluster/{rname}/s{shards}"), Box::new(c)));
+        }
+    }
+    // The monitor starts with an empty rule set; the script registers the
+    // canonical rules through the trait like everywhere else.
+    let m = DataMonitor::new(
+        d.db.clone(),
+        "customer",
+        Vec::new(),
+        MonitorMode::DetectOnly,
+    )
+    .unwrap();
+    out.push(("monitor".to_string(), Box::new(m)));
+    out
+}
+
+/// A donor row (clone of the first live row) with one corrupted column.
+fn dirty_row(corrupt_col: usize, v: &str) -> Vec<Value> {
+    let d = dirty_customers(ROWS, 0.05, SEED);
+    let mut row: Vec<Value> =
+        d.db.table("customer")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .1
+            .to_vec();
+    row[corrupt_col] = Value::str(v);
+    row
+}
+
+/// One observed step: the normalized report, the audit dirty fraction and
+/// the row count after the step.
+#[derive(Debug, PartialEq)]
+struct Step {
+    report: ViolationReport,
+    dirty_fraction: f64,
+    rows: usize,
+}
+
+/// The shared script: register → observe → batch-mutate → observe →
+/// single mutations → observe. Deterministic row picks (global ids are
+/// allocated identically by every backend).
+fn run_script(b: &mut dyn QualityBackend) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut observe = |b: &mut dyn QualityBackend| {
+        let report = b.detect().expect("detect").normalized();
+        // last_report must now be current and agree with the detect.
+        let cached = b
+            .last_report()
+            .expect("report cached after detect")
+            .normalized();
+        assert_eq!(cached, report, "last_report == detect");
+        let dirty_fraction = b.audit().expect("audit").dirty_fraction();
+        steps.push(Step {
+            report,
+            dirty_fraction,
+            rows: b.len(),
+        });
+    };
+
+    let rules = b.register_cfds(CANONICAL_CFDS).expect("canonical rules");
+    assert!(rules > 0);
+    observe(b);
+
+    // A mixed batch: two dirty inserts, a corrupting cell update, a
+    // delete — all through the amortized path.
+    let out = b
+        .apply_batch(MutationBatch {
+            mutations: vec![
+                Mutation::Insert(dirty_row(2, "WRONGCITY")),
+                Mutation::SetCell {
+                    row: RowId(3),
+                    col: 2,
+                    value: Value::str("ELSEWHERE"),
+                },
+                Mutation::Insert(dirty_row(1, "XX")),
+                Mutation::Delete(RowId(7)),
+            ],
+        })
+        .expect("batch applies");
+    assert_eq!(out.applied, 4);
+    assert_eq!(
+        out.inserted,
+        vec![RowId(ROWS as u64), RowId(ROWS as u64 + 1)],
+        "global id allocation is backend-independent"
+    );
+    observe(b);
+
+    // Single-mutation surface: overwrite one cell, delete one insert.
+    b.update_cell(RowId(3), 2, Value::str("RESTORED"))
+        .expect("update");
+    b.delete(out.inserted[0]).expect("delete");
+    observe(b);
+    steps
+}
+
+#[test]
+fn all_backends_agree_on_the_shared_script() {
+    let mut all = backends();
+    let (ref_label, reference) = {
+        let (label, b) = &mut all[0];
+        (label.clone(), run_script(b.as_mut()))
+    };
+    assert!(
+        !reference[0].report.is_empty(),
+        "the workload has violations to find"
+    );
+    assert!(reference[0].dirty_fraction > 0.0);
+    for (label, b) in &mut all[1..] {
+        let got = run_script(b.as_mut());
+        assert_eq!(got.len(), reference.len());
+        for (i, (g, want)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                g, want,
+                "step {i}: backend '{label}' diverges from '{ref_label}'"
+            );
+        }
+    }
+}
+
+#[test]
+fn capabilities_describe_each_backend() {
+    for (label, b) in backends() {
+        let caps = b.capabilities();
+        match label.as_str() {
+            "server/native" | "server/columnar" => {
+                assert!(caps.repair);
+                assert!(!caps.streaming);
+                assert_eq!(caps.shards, 1);
+            }
+            "monitor" => {
+                assert!(!caps.repair);
+                assert!(caps.streaming);
+            }
+            l => {
+                assert!(l.starts_with("cluster/"));
+                assert!(!caps.repair);
+                let shards: usize = l.rsplit("/s").next().unwrap().parse().unwrap();
+                assert_eq!(caps.shards, shards, "{l}");
+            }
+        }
+    }
+}
+
+#[test]
+fn repair_is_capability_gated() {
+    for (label, mut b) in backends() {
+        b.register_cfds(CANONICAL_CFDS).unwrap();
+        let caps = b.capabilities();
+        let repaired = b.repair();
+        if caps.repair {
+            let summary = repaired.unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(summary.residual, 0, "{label} converges");
+            assert!(summary.changes > 0, "{label} had something to fix");
+            assert!(
+                b.detect().unwrap().is_empty(),
+                "{label} is clean after repair"
+            );
+        } else {
+            assert!(
+                matches!(repaired, Err(CfdError::Unsupported(_))),
+                "{label} must refuse repair"
+            );
+        }
+    }
+}
+
+#[test]
+fn dispatched_wire_script_matches_direct_calls() {
+    // Drive every backend through encoded Requests; the wire summaries
+    // must agree across backends exactly like the direct reports do.
+    let mut summaries: Vec<(String, Vec<Response>)> = Vec::new();
+    for (label, mut b) in backends() {
+        let requests = vec![
+            Request::RegisterCfds {
+                text: CANONICAL_CFDS.to_string(),
+            },
+            Request::Capabilities,
+            Request::Len,
+            Request::Detect,
+            Request::ApplyBatch {
+                batch: MutationBatch {
+                    mutations: vec![
+                        Mutation::Insert(dirty_row(2, "WRONGCITY")),
+                        Mutation::Delete(RowId(5)),
+                    ],
+                },
+            },
+            Request::Detect,
+            Request::Audit,
+            Request::LastReport,
+            Request::Len,
+        ];
+        let mut responses = Vec::new();
+        for req in requests {
+            // Round-trip the request through its wire form before serving
+            // it, exactly as a remote client would.
+            let decoded = Request::decode(&req.encode()).expect("request round-trips");
+            assert_eq!(decoded, req);
+            let resp = dispatch(b.as_mut(), decoded);
+            let wire = Response::decode(&resp.encode()).expect("response round-trips");
+            assert_eq!(wire, resp);
+            assert!(
+                !matches!(resp, Response::Error { .. }),
+                "{label}: unexpected error for {req:?}"
+            );
+            responses.push(resp);
+        }
+        summaries.push((label, responses));
+    }
+    // Capabilities legitimately differ; everything else must be equal.
+    let (ref_label, reference) = &summaries[0];
+    for (label, got) in &summaries[1..] {
+        for (i, (g, want)) in got.iter().zip(reference).enumerate() {
+            if matches!(want, Response::Caps(_)) {
+                continue;
+            }
+            assert_eq!(g, want, "request {i}: '{label}' vs '{ref_label}'");
+        }
+    }
+}

@@ -47,7 +47,7 @@ fn pipeline(rows: usize, noise: f64, seed: u64, detector: DetectorKind) {
     // (rows ≪ #zip-groups) therefore cap out low; the dedicated 1000-row
     // quality test asserts the paper-shape numbers.
     if noise > 0.0 {
-        let repaired = server.table().clone();
+        let repaired = server.table().unwrap().clone();
         let q = score_repair(&dirty_table, &repaired, &w.clean);
         assert!(q.error_cells > 0);
         let floor = if rows >= 1_000 { 0.4 } else { 0.2 };
@@ -127,7 +127,8 @@ fn tuple_classification_tracks_membership() {
     let audit = server.audit().unwrap();
     let _ = audit;
     let classification =
-        semandaq::audit::classify(server.table(), server.engine().cfds(), &report).unwrap();
+        semandaq::audit::classify(server.table().unwrap(), server.engine().cfds(), &report)
+            .unwrap();
     // Every tuple with vio > 0 is not verified/probably clean.
     for (row, class) in &classification.tuples {
         let vio = report.vio_of(*row);
