@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E10 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E11 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -6,12 +6,12 @@
 //! cargo run --release --bin experiments -- e1 e5  # a subset
 //! ```
 //!
-//! E8 (detection engines), E9 (sharded cluster) and E10 (batched vs
-//! per-row ingest) additionally record a machine-readable baseline
-//! (`rows`, `engine`, `ns_per_op`) into `BENCH_detection.json` for
-//! regression tracking. The file is merged, not overwritten: re-running
-//! one experiment updates its own entries and leaves the others' in
-//! place.
+//! E8 (detection engines), E9 (sharded cluster), E10 (batched vs per-row
+//! ingest) and E11 (sharded repair) additionally record a
+//! machine-readable baseline (`rows`, `engine`, `ns_per_op`) into
+//! `BENCH_detection.json` for regression tracking. The file is merged,
+//! not overwritten: re-running one experiment updates its own entries and
+//! leaves the others' in place.
 
 use std::time::Instant;
 
@@ -694,6 +694,85 @@ fn main() {
             );
             baseline.push((rows, format!("e10_sharded_perrow_s{n}_{rname}"), perrow));
             baseline.push((rows, format!("e10_sharded_batched_s{n}_{rname}"), batched));
+        }
+        println!();
+    }
+
+    if wanted("e11") {
+        println!("== E11: sharded repair (5% noise, cold clusters) ==");
+        for rows in [20_000usize, 100_000] {
+            let w = workload(rows, 0.05, 23);
+            let t = w.db.table("customer").unwrap();
+            // Single-node batch repair is the reference (and the
+            // correctness oracle: the cluster must apply the identical
+            // change list).
+            let mut db = w.db.clone();
+            let t0 = Instant::now();
+            let single =
+                batch_repair(&mut db, "customer", &w.cfds, &RepairConfig::default()).unwrap();
+            let single_ns = t0.elapsed().as_nanos() as f64;
+            assert!(single.residual.is_empty(), "E11 requires convergence");
+            println!(
+                "single-node @ {rows} rows: {:>8.1} ms, {} rounds ({:.1} ms/round), {} changes",
+                single_ns / 1e6,
+                single.iterations,
+                single_ns / 1e6 / single.iterations as f64,
+                single.changes.len()
+            );
+            baseline.push((rows, "e11_single_repair_total".into(), single_ns));
+            baseline.push((
+                rows,
+                "e11_single_repair_per_round".into(),
+                single_ns / single.iterations as f64,
+            ));
+            println!(
+                "{:>7} {:>7} {:>12} {:>8} {:>12} {:>9} {:>10}",
+                "shards", "router", "repair (ms)", "rounds", "ms/round", "changes", "vs single"
+            );
+            type RouterFactory = fn() -> Box<dyn ShardRouter>;
+            let rr: RouterFactory = || Box::new(RoundRobinRouter::default());
+            let hash: RouterFactory = || Box::new(HashRouter::new(vec![1]));
+            let configs: Vec<(usize, RouterFactory, &str)> = vec![
+                (1, rr, "rr"),
+                (2, rr, "rr"),
+                (4, rr, "rr"),
+                (8, rr, "rr"),
+                (2, hash, "hash"),
+                (4, hash, "hash"),
+                (8, hash, "hash"),
+            ];
+            for (n, router, rname) in configs {
+                let mut c = ShardedQualityServer::partition(t, n, router()).unwrap();
+                c.register_cfds(w.cfds.clone()).unwrap();
+                let t0 = Instant::now();
+                let r = c.repair().unwrap();
+                let total_ns = t0.elapsed().as_nanos() as f64;
+                assert!(r.residual.is_empty(), "sharded E11 requires convergence");
+                assert_eq!(
+                    r.changes.len(),
+                    single.changes.len(),
+                    "sharded repair must equal single-node"
+                );
+                let per_round = total_ns / r.iterations as f64;
+                println!(
+                    "{n:>7} {rname:>7} {:>12.1} {:>8} {:>12.1} {:>9} {:>9.2}x",
+                    total_ns / 1e6,
+                    r.iterations,
+                    per_round / 1e6,
+                    r.changes.len(),
+                    single_ns / total_ns
+                );
+                baseline.push((
+                    rows,
+                    format!("e11_sharded_repair_total_s{n}_{rname}"),
+                    total_ns,
+                ));
+                baseline.push((
+                    rows,
+                    format!("e11_sharded_repair_per_round_s{n}_{rname}"),
+                    per_round,
+                ));
+            }
         }
         println!();
     }

@@ -14,6 +14,12 @@
 //!   per-CFD partial export across shards (`crossbeam` scoped threads,
 //!   per-shard memoization against column epochs) and gathers with the
 //!   partial-group merge of [`detect::exchange`].
+//! * [`ShardedQualityServer::repair`] — cross-shard repair (see
+//!   [`repair`](crate::repair)): each round detects through the exchange,
+//!   builds **global** equivalence classes over the merged per-group
+//!   partials with the shared plan/resolve core of `repair::rounds`, and
+//!   routes the cell changes back as per-shard snapshot patch batches —
+//!   output-identical to single-node `batch_repair` of the merged table.
 //!
 //! The merged report is `normalized()`-equal to single-node columnar
 //! detection on every instance, router and shard count — constant CFDs are
@@ -22,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod repair;
 pub mod router;
 pub mod server;
 

@@ -32,7 +32,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend};
+use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend, RepairSummary};
 use audit::{quality_report, QualityReport};
 use cfd::parse::parse_cfds;
 use cfd::{BoundCfd, Cfd, CfdError, CfdResult};
@@ -43,14 +43,14 @@ use minidb::{DbError, RowId, Schema, Table, Value};
 
 use crate::router::ShardRouter;
 
-fn db_err(e: DbError) -> CfdError {
+pub(crate) fn db_err(e: DbError) -> CfdError {
     CfdError::Malformed(e.to_string())
 }
 
 /// One shard: its slice of the relation plus derived columnar state.
-struct Shard {
-    table: Table,
-    cache: SnapshotCache,
+pub(crate) struct Shard {
+    pub(crate) table: Table,
+    pub(crate) cache: SnapshotCache,
     /// Per-CFD memoized partial export, tagged with the table epoch it was
     /// computed at; freshness is decided by the cache's per-column epoch
     /// bookkeeping ([`SnapshotCache::fragment_fresh`]).
@@ -126,10 +126,10 @@ const NO_SHARD: u32 = u32::MAX;
 /// A quality server whose relation is partitioned across N shards.
 pub struct ShardedQualityServer {
     relation: String,
-    schema: Schema,
-    cfds: Vec<Cfd>,
+    pub(crate) schema: Schema,
+    pub(crate) cfds: Vec<Cfd>,
     router: Box<dyn ShardRouter>,
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
     /// Global row id → owning shard, dense by arena slot ([`NO_SHARD`] =
     /// not live). Row ids are small sequential integers, so a flat vector
     /// replaces the hash map that used to sit on every routed mutation —
@@ -140,7 +140,7 @@ pub struct ShardedQualityServer {
     next_row: u64,
     stats: DetectStats,
     /// The most recent scatter/gather report; dropped by any mutation.
-    last_report: Option<ViolationReport>,
+    pub(crate) last_report: Option<ViolationReport>,
 }
 
 impl ShardedQualityServer {
@@ -467,7 +467,7 @@ impl ShardedQualityServer {
         }
     }
 
-    fn owning_shard(&self, id: RowId) -> CfdResult<usize> {
+    pub(crate) fn owning_shard(&self, id: RowId) -> CfdResult<usize> {
         self.shard_of(id)
             .ok_or_else(|| db_err(DbError::BadRowId(id.0)))
     }
@@ -581,15 +581,17 @@ impl ShardedQualityServer {
     }
 }
 
-/// The unified-API view of the cluster. Repair is not yet a cluster
-/// capability (the exchange's per-group partials are the natural unit for
-/// cross-shard equivalence classes — see ROADMAP), so
-/// `QualityBackend::repair` answers `Unsupported` via the default.
+/// The unified-API view of the cluster. Repair is a first-class cluster
+/// capability: [`ShardedQualityServer::repair`] (see `crate::repair`)
+/// builds global equivalence classes over the detection exchange's merged
+/// per-group partials and routes the resulting cell changes back to their
+/// owning shards, so the trait's `repair()` reports the wire-friendly
+/// summary like the single-node server's does.
 impl QualityBackend for ShardedQualityServer {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             backend: "sharded-cluster".into(),
-            repair: false,
+            repair: true,
             streaming: false,
             shards: self.shards.len(),
         }
@@ -630,6 +632,16 @@ impl QualityBackend for ShardedQualityServer {
 
     fn len(&self) -> usize {
         ShardedQualityServer::len(self)
+    }
+
+    fn repair(&mut self) -> CfdResult<RepairSummary> {
+        let r = ShardedQualityServer::repair(self)?;
+        Ok(RepairSummary {
+            changes: r.changes.len(),
+            iterations: r.iterations,
+            total_cost: r.total_cost,
+            residual: r.residual.len(),
+        })
     }
 }
 

@@ -61,6 +61,27 @@ impl Column {
         self.codes[pos] == NULL_CODE
     }
 
+    /// Distinct non-NULL values with their live occurrence counts, in
+    /// dictionary (first-interned) order. Counted over codes — one
+    /// bounds-checked add per row, one decode per *distinct* value, no
+    /// per-cell hashing — which is what lets the repair loop's
+    /// active-domain pooling skip its former full row walk. Dictionary
+    /// entries with no live row references (patched snapshots only grow
+    /// their dictionaries) are omitted.
+    pub fn value_counts(&self) -> Vec<(Value, u64)> {
+        let mut counts = vec![0u64; self.dict.len() + 1];
+        for &code in self.codes.iter() {
+            counts[code as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .skip(1) // NULL_CODE
+            .filter(|(_, &n)| n > 0)
+            .map(|(code, &n)| (self.dict.decode(code as u32), n))
+            .collect()
+    }
+
     // Patch operations (snapshot lifecycle). Copy-on-write: when the codes
     // or dictionary are still shared with a handed-out snapshot they are
     // cloned first — a memcpy, never a re-interning pass. Dictionaries only
@@ -147,6 +168,29 @@ mod tests {
         assert_eq!(c.value_at(0), Value::str("a"));
         assert!(c.is_null_at(1));
         assert_eq!(c.value_at(3), Value::str("a"));
+    }
+
+    #[test]
+    fn value_counts_skip_null_and_dead_dictionary_entries() {
+        let mut b = ColumnBuilder::with_capacity(5);
+        for v in [
+            Value::str("a"),
+            Value::Null,
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("a"),
+        ] {
+            b.push(&v);
+        }
+        let mut c = b.finish();
+        assert_eq!(
+            c.value_counts(),
+            vec![(Value::str("a"), 3), (Value::str("b"), 1)]
+        );
+        // Overwrite the only 'b': its dictionary entry stays but must not
+        // be reported with a zero count.
+        c.set_value(2, &Value::str("a"));
+        assert_eq!(c.value_counts(), vec![(Value::str("a"), 4)]);
     }
 
     #[test]

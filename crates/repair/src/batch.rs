@@ -1,4 +1,5 @@
-//! BatchRepair: the cost-greedy, equivalence-class repair of [8].
+//! BatchRepair: the cost-greedy, equivalence-class repair of [8], bound to
+//! a single-node `minidb` relation.
 //!
 //! Each iteration detects the current violations and resolves them by
 //! attribute-value modifications:
@@ -11,124 +12,92 @@
 //!   members whose class is pinned to a conflicting constant leave the
 //!   group via an LHS break instead.
 //!
-//! Constant violations are drained before variable ones (pins first), and
-//! the loop runs to fixpoint under an iteration bound; anything left is
-//! reported honestly as `residual` (on consistent CFD sets and the
-//! workloads in this repository the loop converges in a handful of
-//! iterations — the integration tests assert empty residuals).
-//!
-//! The detect half of each round runs on a columnar [`SnapshotCache`]
-//! kept in lock-step with the loop's own cell edits: the first round pays
-//! one snapshot encode, every later round re-detects over the *patched*
-//! snapshot (each applied change re-encodes exactly one cell) instead of
-//! re-scanning the table from scratch. Reports are `normalized()`, so the
-//! resolution order — and therefore the repair output — is identical to
-//! the historical `detect_native`-per-round implementation.
+//! The detect→resolve loop itself lives in [`crate::rounds`] (shared with
+//! the sharded cluster's repair); this module supplies its single-node
+//! [`RepairStore`]: detection over a cached, epoch-versioned columnar
+//! snapshot, cell writes that patch the snapshot in lock-step, and
+//! active-domain statistics counted straight over the snapshot's
+//! dictionary codes — after the first encode, no repair phase walks the
+//! heap table again. Reports are `normalized()`, so the resolution order —
+//! and therefore the repair output — is identical to the historical
+//! `detect_native`-per-round implementation.
 
-use std::collections::HashMap;
+pub use crate::rounds::{
+    fresh_value, is_fresh, CellChange, ChangeReason, RepairConfig, RepairResult,
+};
 
-use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
+use cfd::{Cfd, CfdResult};
 use colstore::{detect_cached, SnapshotCache};
-use detect::violation::{ViolationKind, ViolationReport};
-use detect::IncrementalDetector;
-use minidb::{Database, DbError, RowId, Value};
+use detect::ViolationReport;
+use minidb::{Database, DbError, RowId, Schema, Table, Value};
 
-use crate::cost::WeightModel;
-use crate::eqclass::{CellRef, EqClasses};
+use crate::rounds::{repair_rounds, ColumnCounts, RepairStore};
 
 fn db_err(e: DbError) -> cfd::CfdError {
     cfd::CfdError::Malformed(format!("repair failed: {e}"))
 }
 
-/// Why a cell was changed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ChangeReason {
-    /// Assigned the RHS constant of a constant CFD.
-    ConstantRhs {
-        /// Violated CFD index.
-        cfd_idx: usize,
-    },
-    /// Changed an LHS cell so a constant CFD's pattern no longer applies.
-    ConstantLhsBreak {
-        /// Violated CFD index.
-        cfd_idx: usize,
-    },
-    /// Equalized the RHS of a variable CFD's violating group.
-    VariableMerge {
-        /// Violated CFD index.
-        cfd_idx: usize,
-    },
-    /// Removed a tuple from a violating group by breaking its LHS key
-    /// (used when pins conflict; introduces a fresh sentinel value).
-    LhsBreak {
-        /// Violated CFD index.
-        cfd_idx: usize,
-    },
+/// The single-node [`RepairStore`]: one `minidb` relation plus the
+/// caller's snapshot cache. Every cell write patches the cached snapshot
+/// (`note_set_cell`), every detect rides it (`detect_cached`), and the
+/// domain pool is counted over its dictionary codes — the store does zero
+/// full-table scans after the initial encode.
+struct TableStore<'a> {
+    db: &'a mut Database,
+    relation: &'a str,
+    cache: &'a mut SnapshotCache,
 }
 
-/// One applied cell modification.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CellChange {
-    /// Row.
-    pub row: RowId,
-    /// Column index.
-    pub col: usize,
-    /// Value before.
-    pub old: Value,
-    /// Value after.
-    pub new: Value,
-    /// Cost charged by the model.
-    pub cost: f64,
-    /// Why.
-    pub reason: ChangeReason,
-    /// Iteration in which the change was applied.
-    pub iteration: usize,
-}
-
-/// Outcome of a repair run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RepairResult {
-    /// All applied changes, in order.
-    pub changes: Vec<CellChange>,
-    /// Iterations used.
-    pub iterations: usize,
-    /// Sum of change costs.
-    pub total_cost: f64,
-    /// Violations that could not be resolved within the bound (empty on
-    /// the workloads in this repo; never silently dropped).
-    pub residual: ViolationReport,
-}
-
-impl RepairResult {
-    /// Net changed cells (last change per cell wins).
-    pub fn changed_cells(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
-        for c in &self.changes {
-            set.insert((c.row, c.col));
-        }
-        set.len()
+impl TableStore<'_> {
+    fn table(&self) -> CfdResult<&Table> {
+        self.db.table(self.relation).map_err(db_err)
     }
 }
 
-/// Repair configuration.
-#[derive(Debug, Clone)]
-pub struct RepairConfig {
-    /// Iteration bound for the detect→resolve loop.
-    pub max_iterations: usize,
-    /// Cell confidence weights.
-    pub weights: WeightModel,
-    /// Use the similarity term of the cost model; `false` switches to 0/1
-    /// costs (ablation A2).
-    pub use_similarity: bool,
-}
+impl RepairStore for TableStore<'_> {
+    fn schema(&self) -> CfdResult<Schema> {
+        Ok(self.table()?.schema().clone())
+    }
 
-impl Default for RepairConfig {
-    fn default() -> RepairConfig {
-        RepairConfig {
-            max_iterations: 32,
-            weights: WeightModel::uniform(),
-            use_similarity: true,
-        }
+    fn len(&self) -> usize {
+        self.db.table(self.relation).map(Table::len).unwrap_or(0)
+    }
+
+    fn row(&self, id: RowId) -> Option<Vec<Value>> {
+        self.db
+            .table(self.relation)
+            .ok()?
+            .get(id)
+            .ok()
+            .map(<[Value]>::to_vec)
+    }
+
+    fn set_cell(&mut self, id: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        let old = self
+            .db
+            .update_cell(self.relation, id, col, value)
+            .map_err(db_err)?;
+        let table = self.db.table(self.relation).map_err(db_err)?;
+        self.cache.note_set_cell(table, id, col);
+        Ok(old)
+    }
+
+    fn detect(&mut self, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+        let table = self.db.table(self.relation).map_err(db_err)?;
+        detect_cached(self.cache, table, cfds)
+    }
+
+    fn value_counts(&mut self, cols: &[usize]) -> CfdResult<Vec<(usize, ColumnCounts)>> {
+        // The loop detects before it pools domains, so the cache already
+        // holds a snapshot covering the CFD columns (cols ⊆ that
+        // projection) at the current epoch — this is a cache hit, never an
+        // encode.
+        let table = self.db.table(self.relation).map_err(db_err)?;
+        let snap = self.cache.snapshot_projected(table, cols);
+        Ok(cols
+            .iter()
+            .map(|&c| (c, snap.column(c).value_counts()))
+            .collect())
     }
 }
 
@@ -157,491 +126,30 @@ pub fn batch_repair_with_cache(
     cfg: &RepairConfig,
     cache: &mut SnapshotCache,
 ) -> CfdResult<RepairResult> {
-    let schema = db.table(relation).map_err(db_err)?.schema().clone();
-    let bound: Vec<BoundCfd> = cfds
-        .iter()
-        .map(|c| c.bind(&schema))
-        .collect::<CfdResult<_>>()?;
-    let mut eq = EqClasses::new();
-    let mut changes: Vec<CellChange> = Vec::new();
-    let mut iterations = 0usize;
-
-    for iter in 0..cfg.max_iterations {
-        iterations = iter + 1;
-        // Normalized order makes the whole repair deterministic (hash maps
-        // inside detection would otherwise reorder resolutions), and keeps
-        // the resolution sequence independent of snapshot row order — the
-        // patched snapshot swap-removes, a fresh encode scans arena order.
-        let report = detect_cached(cache, db.table(relation).map_err(db_err)?, cfds)?.normalized();
-        if report.is_empty() {
-            break;
-        }
-        let consts: Vec<_> = report
-            .violations
-            .iter()
-            .filter(|v| matches!(v.kind, ViolationKind::SingleTuple { .. }))
-            .cloned()
-            .collect();
-        let domains = active_domains(db, relation)?;
-        // Constant violations first (they establish pins); variable
-        // violations are handled in the same iteration when the constants
-        // are done or stuck — a few unresolvable constants must not starve
-        // group resolution.
-        let mut const_progress = false;
-        for v in &consts {
-            let ViolationKind::SingleTuple { row } = v.kind else {
-                unreachable!("filtered")
-            };
-            const_progress |= resolve_constant(
-                db,
-                relation,
-                &bound,
-                v.cfd_idx,
-                row,
-                &mut eq,
-                cfg,
-                &domains,
-                iter,
-                &mut changes,
-                cache,
-            )?;
-        }
-        let mut var_progress = false;
-        if consts.is_empty() || !const_progress {
-            for v in &report.violations {
-                let ViolationKind::MultiTuple { key: _, rows } = &v.kind else {
-                    continue;
-                };
-                var_progress |= resolve_variable(
-                    db,
-                    relation,
-                    &bound,
-                    v.cfd_idx,
-                    rows,
-                    &mut eq,
-                    cfg,
-                    iter,
-                    &mut changes,
-                    cache,
-                )?;
-            }
-        }
-        if !const_progress && !var_progress {
-            break; // defensive: avoid spinning without effect
-        }
-    }
-
-    let residual = detect_cached(cache, db.table(relation).map_err(db_err)?, cfds)?;
-    let total_cost = changes.iter().map(|c| c.cost).sum();
-    Ok(RepairResult {
-        changes,
-        iterations,
-        total_cost,
-        residual,
-    })
-}
-
-/// Distinct values per column (the "active domain" candidate pool).
-///
-/// Two filters keep repair artifacts and noise out of the pool: fresh
-/// sentinels from earlier LHS breaks are excluded (they are not domain
-/// values), and values must reach a small support threshold — typo-corrupt
-/// cells are almost always unique, and without the threshold the
-/// similarity term of the cost model would happily "fix" an LHS by
-/// assigning a nearby typo variant.
-fn active_domains(db: &Database, relation: &str) -> CfdResult<HashMap<usize, Vec<Value>>> {
-    let t = db.table(relation).map_err(db_err)?;
-    let arity = t.schema().arity();
-    let min_support = 2.max(t.len() / 1000);
-    let mut counts: Vec<HashMap<Value, usize>> = vec![Default::default(); arity];
-    for (_, row) in t.iter() {
-        for (c, v) in row.iter().enumerate() {
-            if !v.is_null() && !is_fresh(v) {
-                *counts[c].entry(v.clone()).or_default() += 1;
-            }
-        }
-    }
-    Ok(counts
-        .into_iter()
-        .enumerate()
-        .map(|(c, m)| {
-            let mut v: Vec<Value> = m
-                .into_iter()
-                .filter(|(_, n)| *n >= min_support)
-                .map(|(v, _)| v)
-                .collect();
-            v.sort_by(|a, b| a.total_cmp(b));
-            (c, v)
-        })
-        .collect())
-}
-
-fn change_cost(cfg: &RepairConfig, row: RowId, col: usize, old: &Value, new: &Value) -> f64 {
-    if cfg.use_similarity {
-        cfg.weights.change_cost(row, col, old, new)
-    } else {
-        cfg.weights.weight(row, col) * crate::cost::uniform_cost(old, new)
-    }
-}
-
-/// Apply one cell edit and patch the snapshot cache in lock-step, so the
-/// next round's detection re-encodes exactly this cell instead of the
-/// whole table. Returns the previous value.
-fn update_cell_cached(
-    db: &mut Database,
-    relation: &str,
-    cache: &mut SnapshotCache,
-    row: RowId,
-    col: usize,
-    value: Value,
-) -> CfdResult<Value> {
-    let old = db.update_cell(relation, row, col, value).map_err(db_err)?;
-    cache.note_set_cell(db.table(relation).map_err(db_err)?, row, col);
-    Ok(old)
-}
-
-/// Would `row_vals` single-violate any constant CFD?
-fn const_violates(bound: &[BoundCfd], row_vals: &[Value]) -> bool {
-    bound.iter().any(|b| b.single_tuple_violation(row_vals))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn resolve_constant(
-    db: &mut Database,
-    relation: &str,
-    bound: &[BoundCfd],
-    cfd_idx: usize,
-    row: RowId,
-    eq: &mut EqClasses,
-    cfg: &RepairConfig,
-    domains: &HashMap<usize, Vec<Value>>,
-    iter: usize,
-    changes: &mut Vec<CellChange>,
-    cache: &mut SnapshotCache,
-) -> CfdResult<bool> {
-    let b = &bound[cfd_idx];
-    let current: Vec<Value> = match db.table(relation).map_err(db_err)?.get(row) {
-        Ok(r) => r.to_vec(),
-        Err(_) => return Ok(false), // row vanished
+    db.table(relation).map_err(db_err)?; // fail early on a bad relation
+    let mut store = TableStore {
+        db,
+        relation,
+        cache,
     };
-    if !b.single_tuple_violation(&current) {
-        return Ok(false); // already resolved by an earlier change
-    }
-    let a = b
-        .cfd
-        .rhs_pat
-        .constant()
-        .expect("constant CFD has constant RHS")
-        .clone();
-    let rhs_cell = CellRef::new(row, b.rhs_col);
-
-    // Candidate 1: assign the RHS constant (unless pinned elsewhere or it
-    // would trip another constant rule).
-    let mut best: Option<(f64, usize, Value, ChangeReason)> = None;
-    let rhs_pin = eq.pinned(rhs_cell);
-    let rhs_allowed = rhs_pin.as_ref().is_none_or(|p| p.strong_eq(&a));
-    if rhs_allowed {
-        let mut sim = current.clone();
-        sim[b.rhs_col] = a.clone();
-        if !const_violates(bound, &sim) {
-            let cost = change_cost(cfg, row, b.rhs_col, &current[b.rhs_col], &a);
-            best = Some((
-                cost,
-                b.rhs_col,
-                a.clone(),
-                ChangeReason::ConstantRhs { cfd_idx },
-            ));
-        }
-    }
-
-    // Candidates 2..k: break a constant-patterned LHS cell.
-    for (j, pat) in b.cfd.lhs_pat.iter().enumerate() {
-        let Pattern::Const(c) = pat else { continue };
-        let col = b.lhs_cols[j];
-        let cell = CellRef::new(row, col);
-        if eq.pinned(cell).is_some() {
-            continue; // pinned LHS cells are not breakable
-        }
-        if let Some(pool) = domains.get(&col) {
-            for v in pool {
-                if v.strong_eq(c) || v.strong_eq(&current[col]) {
-                    continue;
-                }
-                let mut sim = current.clone();
-                sim[col] = v.clone();
-                if const_violates(bound, &sim) {
-                    continue;
-                }
-                let cost = change_cost(cfg, row, col, &current[col], v);
-                if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
-                    best = Some((
-                        cost,
-                        col,
-                        v.clone(),
-                        ChangeReason::ConstantLhsBreak { cfd_idx },
-                    ));
-                }
-            }
-        }
-    }
-
-    // Last resort chain: force the RHS constant even if simulation
-    // complains (a later iteration deals with the fallout); when the RHS is
-    // pinned to something else, first try a fresh-sentinel LHS break, and
-    // if every constant-patterned LHS cell is pinned too, overwrite the
-    // stale RHS pin — a pin recorded for a pattern that no longer matches
-    // must not deadlock the repair.
-    let (cost, col, new_val, reason) = match best {
-        Some(t) => t,
-        None => {
-            let unpinned_lhs = b.cfd.lhs_pat.iter().enumerate().find(|(j, p)| {
-                !p.is_wild() && eq.pinned(CellRef::new(row, b.lhs_cols[*j])).is_none()
-            });
-            match (rhs_allowed, unpinned_lhs) {
-                (true, _) | (false, None) => {
-                    let cost = change_cost(cfg, row, b.rhs_col, &current[b.rhs_col], &a);
-                    (
-                        cost,
-                        b.rhs_col,
-                        a.clone(),
-                        ChangeReason::ConstantRhs { cfd_idx },
-                    )
-                }
-                (false, Some((j, _))) => {
-                    let col = b.lhs_cols[j];
-                    let fresh = fresh_value(row, col);
-                    (
-                        cfg.weights.weight(row, col),
-                        col,
-                        fresh,
-                        ChangeReason::LhsBreak { cfd_idx },
-                    )
-                }
-            }
-        }
-    };
-
-    let old = update_cell_cached(db, relation, cache, row, col, new_val.clone())?;
-    // Constant assignments pin the cell's *class* ([8]: everything that
-    // must equal this cell inherits the forced value). Fresh sentinels are
-    // detached first — an LHS break severs the equality links through the
-    // broken cell, and pinning without detaching would poison every cell
-    // ever merged with it.
-    match reason {
-        ChangeReason::ConstantRhs { .. } => {
-            eq.repin(CellRef::new(row, col), new_val.clone());
-        }
-        ChangeReason::LhsBreak { .. } => {
-            let cell = CellRef::new(row, col);
-            eq.detach(cell);
-            eq.repin(cell, new_val.clone());
-        }
-        _ => {}
-    }
-    changes.push(CellChange {
-        row,
-        col,
-        old,
-        new: new_val,
-        cost,
-        reason,
-        iteration: iter,
-    });
-    Ok(true)
+    repair_rounds(&mut store, cfds, cfg)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn resolve_variable(
-    db: &mut Database,
-    relation: &str,
-    bound: &[BoundCfd],
-    cfd_idx: usize,
-    members: &[(RowId, Value)],
-    eq: &mut EqClasses,
-    cfg: &RepairConfig,
-    iter: usize,
-    changes: &mut Vec<CellChange>,
-    cache: &mut SnapshotCache,
-) -> CfdResult<bool> {
-    let b = &bound[cfd_idx];
-    // Re-verify the group against current data.
-    let table = db.table(relation).map_err(db_err)?;
-    let mut current: Vec<(RowId, Value)> = Vec::with_capacity(members.len());
-    let mut key: Option<Vec<Value>> = None;
-    for (row, _) in members {
-        let Ok(vals) = table.get(*row) else { continue };
-        if !b.lhs_matches(vals) {
-            continue;
-        }
-        let k = b.lhs_key(vals);
-        match &key {
-            None => key = Some(k),
-            Some(existing) if *existing == k => {}
-            Some(_) => continue, // moved to another group since detection
-        }
-        let rhs = vals[b.rhs_col].clone();
-        if rhs.is_null() {
-            continue;
-        }
-        current.push((*row, rhs));
-    }
-    if !detect::native::group_violates(&current) {
-        return Ok(false);
-    }
-
-    // Merge the group's RHS cells into one equivalence class ([8]): cells
-    // linked through *any* CFD's group must take one value. Merges that
-    // would join conflicting pinned classes are refused; those members
-    // resolve via LHS breaks below.
-    let cells: Vec<CellRef> = current
-        .iter()
-        .map(|(r, _)| CellRef::new(*r, b.rhs_col))
-        .collect();
-    for w in cells.windows(2) {
-        let _ = eq.merge(w[0], w[1]);
-    }
-    let pins: Vec<Option<Value>> = cells.iter().map(|c| eq.pinned(*c)).collect();
-
-    // Candidate values come from the whole class (so that groups of other
-    // CFDs sharing these cells pull toward one global choice), with the
-    // current group's values always included. Fresh sentinels are never
-    // targets: they mean "unknown, flagged for review".
-    let class_values: Vec<(RowId, Value)> = {
-        let table = db.table(relation).map_err(db_err)?;
-        let mut vals: Vec<(RowId, Value)> = eq
-            .members(cells[0])
-            .into_iter()
-            .filter(|c| c.col == b.rhs_col)
-            .filter_map(|c| table.get(c.row).ok().map(|r| (c.row, r[b.rhs_col].clone())))
-            .filter(|(_, v)| !v.is_null())
-            .collect();
-        vals.extend(current.iter().cloned());
-        vals.sort_by_key(|(r, _)| *r);
-        vals.dedup_by_key(|(r, _)| *r);
-        vals
-    };
-
-    let usable_pins: Vec<&Value> = pins.iter().flatten().filter(|p| !is_fresh(p)).collect();
-    let target = if !usable_pins.is_empty() {
-        // A pinned constant wins (majority vote among non-sentinel pins).
-        let mut votes: HashMap<&Value, usize> = HashMap::new();
-        for p in &usable_pins {
-            *votes.entry(p).or_default() += 1;
-        }
-        let mut vote_list: Vec<(&Value, usize)> = votes.into_iter().collect();
-        vote_list.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.render().cmp(&b.0.render())));
-        vote_list[0].0.clone()
-    } else {
-        let mut candidates: Vec<&Value> = class_values
-            .iter()
-            .map(|(_, v)| v)
-            .filter(|v| !is_fresh(v))
-            .collect();
-        candidates.sort_by(|a, b| a.total_cmp(b));
-        candidates.dedup_by(|a, b| a.strong_eq(b));
-        let mut best: Option<(f64, Value)> = None;
-        for cand in candidates {
-            let total: f64 = class_values
-                .iter()
-                .map(|(r, v)| change_cost(cfg, *r, b.rhs_col, v, cand))
-                .sum();
-            if best.as_ref().is_none_or(|(bc, _)| total < *bc) {
-                best = Some((total, cand.clone()));
-            }
-        }
-        match best {
-            Some((_, t)) => t,
-            // Every usable value is a sentinel: keep the smallest as the
-            // nominal target; incompatible members LHS-break out below.
-            None => {
-                let mut vals: Vec<&Value> = current.iter().map(|(_, v)| v).collect();
-                vals.sort_by_key(|a| a.render());
-                (*vals.first().expect("group is nonempty")).clone()
-            }
-        }
-    };
-
-    let mut progressed = false;
-    for ((row, val), pin) in current.iter().zip(pins) {
-        if val.strong_eq(&target) {
-            continue;
-        }
-        // A pin incompatible with the target means this member cannot take
-        // the class value — it leaves the group via an LHS break instead.
-        // (Triggering a constant rule is fine: the next iteration's
-        // constant pass cascades the fix, and pins bound the recursion.)
-        let compatible = pin.as_ref().is_none_or(|p| p.strong_eq(&target));
-        if compatible {
-            let cost = change_cost(cfg, *row, b.rhs_col, val, &target);
-            let old = update_cell_cached(db, relation, cache, *row, b.rhs_col, target.clone())?;
-            changes.push(CellChange {
-                row: *row,
-                col: b.rhs_col,
-                old,
-                new: target.clone(),
-                cost,
-                reason: ChangeReason::VariableMerge { cfd_idx },
-                iteration: iter,
-            });
-            progressed = true;
-        } else {
-            // Leave the group: break the LHS key with a fresh sentinel on
-            // the first unpinned LHS cell.
-            let Some((j, _)) = b
-                .lhs_cols
-                .iter()
-                .enumerate()
-                .find(|(_, &col)| eq.pinned(CellRef::new(*row, col)).is_none())
-            else {
-                continue; // fully pinned: residual, reported honestly
-            };
-            let col = b.lhs_cols[j];
-            let fresh = fresh_value(*row, col);
-            let cost = cfg.weights.weight(*row, col);
-            let old = update_cell_cached(db, relation, cache, *row, col, fresh.clone())?;
-            // Sentinel cells are detached from their class (the break
-            // severs the equality links through this cell) and pinned so
-            // later merges cannot overwrite "unknown, needs review".
-            let cell = CellRef::new(*row, col);
-            eq.detach(cell);
-            eq.repin(cell, fresh.clone());
-            changes.push(CellChange {
-                row: *row,
-                col,
-                old,
-                new: fresh,
-                cost,
-                reason: ChangeReason::LhsBreak { cfd_idx },
-                iteration: iter,
-            });
-            progressed = true;
-        }
-    }
-    Ok(progressed)
-}
-
-/// Fresh sentinel value for LHS breaks — never collides with real data and
-/// flags the cell for human review (the demo's "pop-up" would surface it).
-pub fn fresh_value(row: RowId, col: usize) -> Value {
-    Value::str(format!("\u{22a5}fix{}c{}", row.0, col))
-}
-
-/// Is this value a fresh sentinel produced by [`fresh_value`]?
-pub fn is_fresh(v: &Value) -> bool {
-    matches!(v, Value::Str(s) if s.starts_with('\u{22a5}'))
-}
-
-/// Convenience: repair and then verify with a fresh incremental detector;
-/// returns the result plus the post-repair violation total.
+/// Convenience: repair and then verify over the repair-synced snapshot;
+/// returns the result plus the post-repair violation total (violation
+/// records: single rows + violating groups). The verification detect rides
+/// the same cache the repair loop patched, so it pays zero encode work —
+/// no fresh full-table rescan.
 pub fn repair_and_verify(
     db: &mut Database,
     relation: &str,
     cfds: &[Cfd],
     cfg: &RepairConfig,
 ) -> CfdResult<(RepairResult, u64)> {
-    let result = batch_repair(db, relation, cfds, cfg)?;
-    let det = IncrementalDetector::build(db.table(relation).map_err(db_err)?, cfds)?;
-    Ok((result, det.total_violations()))
+    let mut cache = SnapshotCache::new();
+    let result = batch_repair_with_cache(db, relation, cfds, cfg, &mut cache)?;
+    let report = detect_cached(&mut cache, db.table(relation).map_err(db_err)?, cfds)?;
+    Ok((result, report.len() as u64))
 }
 
 #[cfg(test)]
@@ -677,6 +185,36 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.changes, b.changes);
+    }
+
+    #[test]
+    fn repair_rounds_do_zero_extra_encodes() {
+        // Every phase of a repair — the per-round detects, the domain
+        // pooling, the final residual check and the verify — must ride the
+        // one snapshot encoded up front; cell edits patch it in lock-step.
+        let mut d = dirty_customers(400, 0.05, 88);
+        let mut cache = SnapshotCache::new();
+        detect_cached(&mut cache, d.db.table("customer").unwrap(), &d.cfds).unwrap();
+        assert_eq!(cache.encodes(), 1, "warm-up detect pays the one encode");
+        let r = batch_repair_with_cache(
+            &mut d.db,
+            "customer",
+            &d.cfds,
+            &RepairConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        assert!(r.residual.is_empty());
+        assert!(!r.changes.is_empty());
+        assert_eq!(
+            cache.encodes(),
+            1,
+            "repair rounds (incl. active-domain pooling) must not re-encode"
+        );
+        // The post-repair verify rides the synced cache too.
+        let report = detect_cached(&mut cache, d.db.table("customer").unwrap(), &d.cfds).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(cache.encodes(), 1, "verify is encode-free");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```sh
 //! cargo run --example quality_service                      # all backends
 //! cargo run --example quality_service -- --backend single
-//! cargo run --example quality_service -- --backend sharded
+//! cargo run --example quality_service -- --backend cluster
 //! cargo run --example quality_service -- --backend monitor
 //! ```
 
@@ -28,7 +28,8 @@ fn backend(kind: &str) -> Box<dyn QualityBackend> {
     let w = dirty_customers(ROWS, 0.05, SEED);
     match kind {
         "single" => Box::new(QualityServer::new(w.db, "customer").unwrap()),
-        "sharded" => Box::new(
+        // "sharded" is the historical spelling, kept as an alias.
+        "cluster" | "sharded" => Box::new(
             ShardedQualityServer::partition(
                 w.db.table("customer").unwrap(),
                 4,
@@ -39,7 +40,7 @@ fn backend(kind: &str) -> Box<dyn QualityBackend> {
         "monitor" => Box::new(
             DataMonitor::new(w.db, "customer", Vec::new(), MonitorMode::DetectOnly).unwrap(),
         ),
-        other => panic!("unknown backend '{other}' (single | sharded | monitor)"),
+        other => panic!("unknown backend '{other}' (single | cluster | monitor)"),
     }
 }
 
@@ -91,7 +92,7 @@ fn script() -> Vec<Request> {
         Request::ApplyBatch { batch: ingest_2 },
         Request::Detect,
         Request::Audit,
-        Request::Repair, // capability-gated: refused by cluster + monitor
+        Request::Repair, // capability-gated: server + cluster repair, monitor refuses
         Request::Detect,
         Request::LastReport,
         Request::Len,
@@ -144,11 +145,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [] => {
-            for kind in ["single", "sharded", "monitor"] {
+            for kind in ["single", "cluster", "monitor"] {
                 serve(kind);
             }
         }
         [flag, kind] if flag == "--backend" => serve(kind),
-        other => panic!("usage: quality_service [--backend single|sharded|monitor], got {other:?}"),
+        other => panic!("usage: quality_service [--backend single|cluster|monitor], got {other:?}"),
     }
 }

@@ -1,28 +1,61 @@
-//! Backend conformance: one shared mutation + detect + audit script runs
-//! against every [`QualityBackend`] — `QualityServer` (Native and
-//! Columnar), `ShardedQualityServer` (hash and round-robin routers, shard
-//! counts 1/3/5) and `DataMonitor` — and every backend must produce
+//! Backend conformance: one shared mutation + detect + audit + repair
+//! script runs against every [`QualityBackend`] — `QualityServer` (Native
+//! and Columnar), `ShardedQualityServer` (hash and round-robin routers,
+//! shard counts 1/3/5) and `DataMonitor` — and every backend must produce
 //! `normalized()`-equal violation reports, equal audit dirty fractions
-//! and equal row counts at every step. The same script also runs through
-//! the wire protocol (`Request` → `dispatch` → `Response`) and must
-//! observe the same summaries.
+//! and equal row counts at every step. Repair-capable backends (both
+//! server configs and all six cluster configs) additionally run the
+//! script's `Repair` step, must end with an all-clean `audit()` and
+//! pairwise-equal repaired tables; the monitor must refuse repair with
+//! `CfdError::Unsupported` both directly and through the wire. The same
+//! script also runs through the wire protocol (`Request` → `dispatch` →
+//! `Response`) and must observe the same summaries.
 
 use semandaq::api::{dispatch, Mutation, MutationBatch, QualityBackend, Request, Response};
 use semandaq::cfd::CfdError;
 use semandaq::cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
 use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
 use semandaq::detect::ViolationReport;
-use semandaq::minidb::{RowId, Value};
+use semandaq::minidb::{RowId, Table, Value};
 use semandaq::system::{DataMonitor, DetectorKind, MonitorMode, QualityServer, ServerConfig};
 
 const ROWS: usize = 200;
 const SEED: u64 = 4242;
 
+/// One backend under test, kept concrete so the repair conformance can
+/// reach the repaired relation (the trait has no table accessor — tables
+/// are pulled through the explorer APIs, not the command protocol).
+enum Backend {
+    Server(QualityServer),
+    Cluster(ShardedQualityServer),
+    Monitor(DataMonitor),
+}
+
+impl Backend {
+    fn as_dyn(&mut self) -> &mut dyn QualityBackend {
+        match self {
+            Backend::Server(s) => s,
+            Backend::Cluster(c) => c,
+            Backend::Monitor(m) => m,
+        }
+    }
+
+    /// The backend's current relation, materialized (the cluster merges
+    /// its shards; every row under its global id).
+    fn table(&self) -> Option<Table> {
+        match self {
+            Backend::Server(s) => s.table().ok().cloned(),
+            Backend::Cluster(c) => c.merged_table().ok(),
+            Backend::Monitor(_) => None,
+        }
+    }
+}
+
 /// Every backend under test, over identical initial data, labelled.
-fn backends() -> Vec<(String, Box<dyn QualityBackend>)> {
+fn backends() -> Vec<(String, Backend)> {
     let d = dirty_customers(ROWS, 0.05, SEED);
     let table = d.db.table("customer").unwrap();
-    let mut out: Vec<(String, Box<dyn QualityBackend>)> = Vec::new();
+    let mut out: Vec<(String, Backend)> = Vec::new();
     for (label, kind) in [
         ("server/native", DetectorKind::Native),
         ("server/columnar", DetectorKind::Columnar),
@@ -33,7 +66,7 @@ fn backends() -> Vec<(String, Box<dyn QualityBackend>)> {
                 detector: kind,
                 ..ServerConfig::default()
             });
-        out.push((label.to_string(), Box::new(s)));
+        out.push((label.to_string(), Backend::Server(s)));
     }
     for shards in [1usize, 3, 5] {
         let routers: Vec<(&str, Box<dyn ShardRouter>)> = vec![
@@ -42,7 +75,7 @@ fn backends() -> Vec<(String, Box<dyn QualityBackend>)> {
         ];
         for (rname, router) in routers {
             let c = ShardedQualityServer::partition(table, shards, router).unwrap();
-            out.push((format!("cluster/{rname}/s{shards}"), Box::new(c)));
+            out.push((format!("cluster/{rname}/s{shards}"), Backend::Cluster(c)));
         }
     }
     // The monitor starts with an empty rule set; the script registers the
@@ -54,7 +87,7 @@ fn backends() -> Vec<(String, Box<dyn QualityBackend>)> {
         MonitorMode::DetectOnly,
     )
     .unwrap();
-    out.push(("monitor".to_string(), Box::new(m)));
+    out.push(("monitor".to_string(), Backend::Monitor(m)));
     out
 }
 
@@ -73,6 +106,16 @@ fn dirty_row(corrupt_col: usize, v: &str) -> Vec<Value> {
     row
 }
 
+/// A table's rows keyed by global id — the comparison form for
+/// "`normalized()`-equal repaired relations" across backends.
+type TableRows = Vec<(RowId, Vec<Value>)>;
+
+fn table_rows(t: &Table) -> TableRows {
+    let mut rows: TableRows = t.iter().map(|(id, r)| (id, r.to_vec())).collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows
+}
+
 /// One observed step: the normalized report, the audit dirty fraction and
 /// the row count after the step.
 #[derive(Debug, PartialEq)]
@@ -83,8 +126,9 @@ struct Step {
 }
 
 /// The shared script: register → observe → batch-mutate → observe →
-/// single mutations → observe. Deterministic row picks (global ids are
-/// allocated identically by every backend).
+/// single mutations → observe → (capable backends only) repair → observe.
+/// Deterministic row picks (global ids are allocated identically by every
+/// backend).
 fn run_script(b: &mut dyn QualityBackend) -> Vec<Step> {
     let mut steps = Vec::new();
     let mut observe = |b: &mut dyn QualityBackend| {
@@ -136,6 +180,18 @@ fn run_script(b: &mut dyn QualityBackend) -> Vec<Step> {
         .expect("update");
     b.delete(out.inserted[0]).expect("delete");
     observe(b);
+
+    // The repair step: capability-gated, so only the backends that
+    // advertise it run it — and they must end all-clean.
+    if b.capabilities().repair {
+        let summary = b.repair().expect("repair-capable backend repairs");
+        assert_eq!(summary.residual, 0, "repair converges");
+        assert!(summary.changes > 0, "the script left something to fix");
+        observe(b);
+        let last = steps.last().unwrap();
+        assert!(last.report.is_empty(), "all-clean after repair");
+        assert_eq!(last.dirty_fraction, 0.0);
+    }
     steps
 }
 
@@ -144,20 +200,36 @@ fn all_backends_agree_on_the_shared_script() {
     let mut all = backends();
     let (ref_label, reference) = {
         let (label, b) = &mut all[0];
-        (label.clone(), run_script(b.as_mut()))
+        (label.clone(), run_script(b.as_dyn()))
     };
     assert!(
         !reference[0].report.is_empty(),
         "the workload has violations to find"
     );
     assert!(reference[0].dirty_fraction > 0.0);
+    let ref_table = table_rows(&all[0].1.table().expect("server exposes its table"));
     for (label, b) in &mut all[1..] {
-        let got = run_script(b.as_mut());
-        assert_eq!(got.len(), reference.len());
-        for (i, (g, want)) in got.iter().zip(&reference).enumerate() {
+        let capable = b.as_dyn().capabilities().repair;
+        let got = run_script(b.as_dyn());
+        // Non-capable backends skip the post-repair step; everything they
+        // do observe must match the reference prefix.
+        let want = if capable {
+            &reference[..]
+        } else {
+            &reference[..reference.len() - 1]
+        };
+        assert_eq!(got.len(), want.len(), "backend '{label}'");
+        for (i, (g, want)) in got.iter().zip(want).enumerate() {
             assert_eq!(
                 g, want,
                 "step {i}: backend '{label}' diverges from '{ref_label}'"
+            );
+        }
+        if capable {
+            assert_eq!(
+                table_rows(&b.table().expect("capable backends expose tables")),
+                ref_table,
+                "backend '{label}': repaired relation diverges from '{ref_label}'"
             );
         }
     }
@@ -165,8 +237,8 @@ fn all_backends_agree_on_the_shared_script() {
 
 #[test]
 fn capabilities_describe_each_backend() {
-    for (label, b) in backends() {
-        let caps = b.capabilities();
+    for (label, b) in &mut backends() {
+        let caps = b.as_dyn().capabilities();
         match label.as_str() {
             "server/native" | "server/columnar" => {
                 assert!(caps.repair);
@@ -179,7 +251,7 @@ fn capabilities_describe_each_backend() {
             }
             l => {
                 assert!(l.starts_with("cluster/"));
-                assert!(!caps.repair);
+                assert!(caps.repair, "{l}: sharded repair is a capability now");
                 let shards: usize = l.rsplit("/s").next().unwrap().parse().unwrap();
                 assert_eq!(caps.shards, shards, "{l}");
             }
@@ -188,25 +260,51 @@ fn capabilities_describe_each_backend() {
 }
 
 #[test]
-fn repair_is_capability_gated() {
+fn repair_is_capability_gated_and_agrees_across_backends() {
+    let mut repaired: Vec<(String, TableRows)> = Vec::new();
     for (label, mut b) in backends() {
-        b.register_cfds(CANONICAL_CFDS).unwrap();
-        let caps = b.capabilities();
-        let repaired = b.repair();
+        b.as_dyn().register_cfds(CANONICAL_CFDS).unwrap();
+        let caps = b.as_dyn().capabilities();
+        let outcome = b.as_dyn().repair();
         if caps.repair {
-            let summary = repaired.unwrap_or_else(|e| panic!("{label}: {e}"));
+            let summary = outcome.unwrap_or_else(|e| panic!("{label}: {e}"));
             assert_eq!(summary.residual, 0, "{label} converges");
             assert!(summary.changes > 0, "{label} had something to fix");
             assert!(
-                b.detect().unwrap().is_empty(),
+                b.as_dyn().detect().unwrap().is_empty(),
                 "{label} is clean after repair"
             );
+            assert_eq!(
+                b.as_dyn().audit().unwrap().dirty_fraction(),
+                0.0,
+                "{label}: all-clean audit"
+            );
+            repaired.push((
+                label,
+                table_rows(&b.table().expect("capable backends expose tables")),
+            ));
         } else {
+            // Refused directly…
             assert!(
-                matches!(repaired, Err(CfdError::Unsupported(_))),
+                matches!(outcome, Err(CfdError::Unsupported(_))),
                 "{label} must refuse repair"
             );
+            // …and through the wire, as an encoded Error response.
+            let wire = dispatch(b.as_dyn(), Request::Repair);
+            let Response::Error { message } = wire else {
+                panic!("{label}: wire repair must answer Error, got {wire:?}");
+            };
+            assert!(
+                message.contains("does not support repair"),
+                "{label}: {message}"
+            );
         }
+    }
+    // Every repair-capable backend converged on the same relation.
+    assert_eq!(repaired.len(), 8, "2 server configs + 6 cluster configs");
+    let (ref_label, reference) = &repaired[0];
+    for (label, rows) in &repaired[1..] {
+        assert_eq!(rows, reference, "'{label}' vs '{ref_label}'");
     }
 }
 
@@ -214,8 +312,9 @@ fn repair_is_capability_gated() {
 fn dispatched_wire_script_matches_direct_calls() {
     // Drive every backend through encoded Requests; the wire summaries
     // must agree across backends exactly like the direct reports do.
-    let mut summaries: Vec<(String, Vec<Response>)> = Vec::new();
+    let mut summaries: Vec<(String, bool, Vec<Response>)> = Vec::new();
     for (label, mut b) in backends() {
+        let capable = b.as_dyn().capabilities().repair;
         let requests = vec![
             Request::RegisterCfds {
                 text: CANONICAL_CFDS.to_string(),
@@ -233,6 +332,9 @@ fn dispatched_wire_script_matches_direct_calls() {
             },
             Request::Detect,
             Request::Audit,
+            Request::Repair,
+            Request::Detect,
+            Request::Audit,
             Request::LastReport,
             Request::Len,
         ];
@@ -242,22 +344,35 @@ fn dispatched_wire_script_matches_direct_calls() {
             // it, exactly as a remote client would.
             let decoded = Request::decode(&req.encode()).expect("request round-trips");
             assert_eq!(decoded, req);
-            let resp = dispatch(b.as_mut(), decoded);
+            let resp = dispatch(b.as_dyn(), decoded);
             let wire = Response::decode(&resp.encode()).expect("response round-trips");
             assert_eq!(wire, resp);
-            assert!(
-                !matches!(resp, Response::Error { .. }),
-                "{label}: unexpected error for {req:?}"
-            );
+            // The only legitimate refusal in the script is the monitor's
+            // capability-gated Repair.
+            if matches!(req, Request::Repair) && !capable {
+                assert!(
+                    matches!(&resp, Response::Error { message } if message.contains("repair")),
+                    "{label}: non-capable repair must refuse over the wire"
+                );
+            } else {
+                assert!(
+                    !matches!(resp, Response::Error { .. }),
+                    "{label}: unexpected error for {req:?}"
+                );
+            }
             responses.push(resp);
         }
-        summaries.push((label, responses));
+        summaries.push((label, capable, responses));
     }
-    // Capabilities legitimately differ; everything else must be equal.
-    let (ref_label, reference) = &summaries[0];
-    for (label, got) in &summaries[1..] {
+    // Capabilities legitimately differ, and the monitor diverges from the
+    // Repair request onward (its refusal leaves the data dirty); every
+    // response before that — and, among capable backends, every response
+    // including the repair summary — must be equal.
+    let (ref_label, _, reference) = &summaries[0];
+    let repair_at = 7;
+    for (label, capable, got) in &summaries[1..] {
         for (i, (g, want)) in got.iter().zip(reference).enumerate() {
-            if matches!(want, Response::Caps(_)) {
+            if matches!(want, Response::Caps(_)) || (!capable && i >= repair_at) {
                 continue;
             }
             assert_eq!(g, want, "request {i}: '{label}' vs '{ref_label}'");

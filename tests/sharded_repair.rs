@@ -1,0 +1,230 @@
+//! Property: cluster repair ≡ single-node repair. For every random table,
+//! consistent CFD set, router and shard count 1–8,
+//! `ShardedQualityServer::repair()` must end with zero violations and a
+//! repaired relation equal to `batch_repair` over the same data — same
+//! change list, same merged table — plus the structural edges: empty
+//! shards, all-clean short-circuit, a conflict that exists *only* across
+//! shards, and repair→mutate→repair riding the patched shard snapshots.
+
+mod common;
+
+use common::{arb_cfds, arb_table, db_with, COLS};
+use proptest::prelude::*;
+use semandaq::cfd::{satisfiability::check_consistency, Cfd, DomainSpec};
+use semandaq::cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
+use semandaq::colstore::detect_columnar;
+use semandaq::minidb::{RowId, Schema, Table, Value};
+use semandaq::repair::{batch_repair, RepairConfig};
+
+fn router(kind: usize) -> Box<dyn ShardRouter> {
+    match kind % 3 {
+        0 => Box::new(RoundRobinRouter::default()),
+        1 => Box::new(HashRouter::default()), // whole-row hash
+        _ => Box::new(HashRouter::new(vec![0])), // keyed on column A
+    }
+}
+
+/// Rows by global id — the comparison form for repaired relations.
+fn rows_of(t: &Table) -> Vec<(RowId, Vec<Value>)> {
+    let mut rows: Vec<(RowId, Vec<Value>)> = t.iter().map(|(id, r)| (id, r.to_vec())).collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows
+}
+
+/// Repair the table single-node and through a cluster; assert both end
+/// violation-free with identical change lists and equal relations.
+fn assert_repairs_agree(table: &Table, cfds: &[Cfd], shards: usize, router: Box<dyn ShardRouter>) {
+    let mut db = db_with(table.clone());
+    let single = batch_repair(&mut db, table.name(), cfds, &RepairConfig::default()).unwrap();
+
+    let mut cluster = ShardedQualityServer::partition(table, shards, router).unwrap();
+    cluster.register_cfds(cfds.to_vec()).unwrap();
+    let sharded = cluster.repair().unwrap();
+
+    assert!(
+        single.residual.is_empty() && sharded.residual.is_empty(),
+        "both repairs converge (single: {}, sharded: {})",
+        single.residual.len(),
+        sharded.residual.len()
+    );
+    assert_eq!(
+        sharded.changes, single.changes,
+        "identical change lists (order, values, costs)"
+    );
+    assert_eq!(sharded.iterations, single.iterations);
+
+    let merged = cluster.merged_table().unwrap();
+    assert_eq!(
+        rows_of(&merged),
+        rows_of(db.table(table.name()).unwrap()),
+        "repaired relations equal"
+    );
+    assert!(
+        detect_columnar(&merged, cfds).unwrap().is_empty(),
+        "zero violations after sharded repair"
+    );
+    assert!(cluster.detect().unwrap().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_repair_equals_single_node(
+        table in arb_table(30),
+        cfds in arb_cfds(),
+        shards in 1usize..=8,
+        router_kind in 0usize..3,
+    ) {
+        // Only consistent constraint sets are repairable in principle.
+        let verdict = check_consistency(&cfds, &DomainSpec::all_infinite()).unwrap();
+        prop_assume!(verdict.is_consistent());
+        assert_repairs_agree(&table, &cfds, shards, router(router_kind));
+    }
+}
+
+#[test]
+fn empty_shards_do_not_disturb_repair() {
+    // Three rows over eight shards: five shards hold nothing, and the one
+    // dirty group is still found and repaired.
+    let cfds = semandaq::cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+    let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+    for v in ["x", "x", "y"] {
+        t.insert(vec![Value::str("k"), Value::str(v)]).unwrap();
+    }
+    assert_repairs_agree(&t, &cfds, 8, Box::new(RoundRobinRouter::default()));
+}
+
+#[test]
+fn clean_cluster_short_circuits_with_zero_resolve_rounds() {
+    let d = semandaq::datagen::dirty_customers(150, 0.0, 61);
+    let table = d.db.table("customer").unwrap();
+    let mut cluster =
+        ShardedQualityServer::partition(table, 3, Box::new(RoundRobinRouter::default())).unwrap();
+    cluster.register_cfds(d.cfds.clone()).unwrap();
+    let r = cluster.repair().unwrap();
+    assert!(r.changes.is_empty(), "nothing to fix");
+    assert!(r.residual.is_empty());
+    assert_eq!(r.iterations, 1, "the first detect short-circuits the loop");
+    assert_eq!(
+        cluster.snapshot_encodes(),
+        3,
+        "one encode per shard, zero patch work"
+    );
+    // The short-circuit left the relation untouched.
+    assert_eq!(rows_of(&cluster.merged_table().unwrap()), rows_of(table));
+}
+
+#[test]
+fn cross_shard_only_conflict_is_repaired() {
+    // One LHS group {v, v, v, w} split maximally by round-robin over four
+    // shards: every shard is locally clean, the conflict exists only in
+    // the merged view — a shard-local repair would fix nothing.
+    let cfds = semandaq::cfd::parse::parse_cfds("r: [A] -> [B]").unwrap();
+    let mut t = Table::new("r", Schema::of_strings(&["A", "B"]));
+    for v in ["v", "v", "v", "w"] {
+        t.insert(vec![Value::str("k"), Value::str(v)]).unwrap();
+    }
+    let mut cluster =
+        ShardedQualityServer::partition(&t, 4, Box::new(RoundRobinRouter::default())).unwrap();
+    cluster.register_cfds(cfds.clone()).unwrap();
+    for s in 0..4 {
+        let local = detect_columnar(cluster.shard_table(s), &cfds).unwrap();
+        assert!(local.is_empty(), "shard {s} is clean in isolation");
+    }
+    let r = cluster.repair().unwrap();
+    assert!(r.residual.is_empty());
+    assert_eq!(r.changes.len(), 1, "the minority member takes the target");
+    assert_eq!(r.changes[0].row, RowId(3));
+    assert_eq!(r.changes[0].new, Value::str("v"));
+    assert!(cluster.detect().unwrap().is_empty());
+    assert_repairs_agree(&t, &cfds, 4, Box::new(RoundRobinRouter::default()));
+}
+
+#[test]
+fn repair_mutate_repair_reuses_patched_snapshots() {
+    let d = semandaq::datagen::dirty_customers(300, 0.05, 62);
+    let table = d.db.table("customer").unwrap();
+    let mut cluster =
+        ShardedQualityServer::partition(table, 4, Box::new(HashRouter::new(vec![1]))).unwrap();
+    cluster.register_cfds(d.cfds.clone()).unwrap();
+
+    // First repair: pays exactly one encode per shard (the cold detect),
+    // then patches through every round.
+    let r1 = cluster.repair().unwrap();
+    assert!(r1.residual.is_empty());
+    assert!(!r1.changes.is_empty());
+    let encodes = cluster.snapshot_encodes();
+    assert_eq!(encodes, 4, "cold detect encoded each shard once");
+
+    // Corrupt a few cells through the routed mutation surface (patches,
+    // never re-encodes), then repair again.
+    let ids: Vec<RowId> = cluster.merged_table().unwrap().row_ids();
+    for (i, &id) in ids.iter().step_by(37).take(5).enumerate() {
+        cluster
+            .update_cell(id, 2, Value::str(format!("BROKEN{i}")))
+            .unwrap();
+    }
+    assert!(!cluster.detect().unwrap().is_empty(), "corruption surfaced");
+    let r2 = cluster.repair().unwrap();
+    assert!(r2.residual.is_empty());
+    assert!(!r2.changes.is_empty());
+    assert!(cluster.detect().unwrap().is_empty());
+    assert_eq!(
+        cluster.snapshot_encodes(),
+        encodes,
+        "mutations and the second repair rode the patched shard snapshots"
+    );
+}
+
+#[test]
+fn customers_repair_equivalence_across_routers_and_shard_counts() {
+    let d = semandaq::datagen::dirty_customers(500, 0.05, 63);
+    let table = d.db.table("customer").unwrap();
+    for (shards, key_cols) in [(2usize, vec![]), (5, vec![1]), (8, vec![1, 3])] {
+        assert_repairs_agree(table, &d.cfds, shards, Box::new(HashRouter::new(key_cols)));
+    }
+    assert_repairs_agree(table, &d.cfds, 7, Box::new(RoundRobinRouter::default()));
+}
+
+#[test]
+fn repair_respects_config_through_the_cluster() {
+    // The similarity ablation must flow through repair_with_config exactly
+    // as it does single-node.
+    let d = semandaq::datagen::dirty_customers(200, 0.05, 64);
+    let table = d.db.table("customer").unwrap();
+    let cfg = RepairConfig {
+        use_similarity: false,
+        ..RepairConfig::default()
+    };
+    let mut db = d.db.clone();
+    let single = batch_repair(&mut db, "customer", &d.cfds, &cfg).unwrap();
+    let mut cluster =
+        ShardedQualityServer::partition(table, 3, Box::new(RoundRobinRouter::default())).unwrap();
+    cluster.register_cfds(d.cfds.clone()).unwrap();
+    let sharded = cluster.repair_with_config(&cfg).unwrap();
+    assert_eq!(sharded.changes, single.changes);
+    assert_eq!(sharded.total_cost, single.total_cost);
+    assert!(sharded.residual.is_empty());
+}
+
+/// The all-NULL edge: nothing violates, nothing is repaired, on every
+/// shard count.
+#[test]
+fn all_null_instance_repairs_to_nothing() {
+    let mut t = Table::new("r", Schema::of_strings(&COLS));
+    for _ in 0..10 {
+        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+    }
+    let cfds = common::cfd_pool();
+    for shards in [1usize, 4, 8] {
+        let mut c =
+            ShardedQualityServer::partition(&t, shards, Box::new(RoundRobinRouter::default()))
+                .unwrap();
+        c.register_cfds(cfds.clone()).unwrap();
+        let r = c.repair().unwrap();
+        assert!(r.changes.is_empty(), "{shards} shards");
+        assert!(r.residual.is_empty());
+    }
+}
