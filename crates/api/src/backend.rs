@@ -101,6 +101,9 @@ pub struct Capabilities {
     pub streaming: bool,
     /// Number of partitions the relation is spread over (1 = single node).
     pub shards: usize,
+    /// Does [`QualityBackend::metrics`] answer with telemetry? True for
+    /// every in-process backend (they share the `obs` global registry).
+    pub metrics: bool,
 }
 
 /// Wire-friendly summary of a repair pass (the full
@@ -195,6 +198,20 @@ pub trait QualityBackend {
             self.capabilities().backend
         )))
     }
+
+    /// Snapshot the telemetry registry, if [`Capabilities::metrics`] says
+    /// so. In-process backends all record into the `obs` global registry,
+    /// so the default returns its snapshot; a remote proxy would override
+    /// this to forward the request.
+    fn metrics(&self) -> CfdResult<obs::MetricsReport> {
+        if !self.capabilities().metrics {
+            return Err(CfdError::Unsupported(format!(
+                "backend '{}' does not expose metrics",
+                self.capabilities().backend
+            )));
+        }
+        Ok(obs::snapshot())
+    }
 }
 
 /// Apply one [`Mutation`] through the trait's single-mutation surface;
@@ -228,6 +245,7 @@ mod tests {
                 repair: false,
                 streaming: false,
                 shards: 1,
+                metrics: true,
             }
         }
         fn register_cfds(&mut self, _text: &str) -> CfdResult<usize> {

@@ -16,6 +16,10 @@
 //! * [`wire`] — the serializable [`wire::Request`] / [`wire::Response`]
 //!   command protocol and [`wire::dispatch`]: decode a request stream,
 //!   serve it from any backend. The front door for every transport.
+//!   Dispatch is instrumented (per-kind request counters and latency
+//!   histograms in the `obs` global registry), and the capability-gated
+//!   [`wire::Request::Metrics`] op ships the registry snapshot — a
+//!   [`MetricsReport`] — back over the same codec.
 //!
 //! The conformance suite (`tests/api_conformance.rs` at the workspace
 //! root) runs one shared script against every backend and pins
@@ -32,4 +36,5 @@ pub use backend::{
     apply_mutation, BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend,
     RepairSummary,
 };
+pub use obs::{HistogramSnapshot, MetricsReport};
 pub use wire::{dispatch, dispatch_line, Request, Response};

@@ -70,6 +70,29 @@ pub enum Request {
     Len,
     /// What the backend supports.
     Capabilities,
+    /// Snapshot the telemetry registry (capability-gated).
+    Metrics,
+}
+
+impl Request {
+    /// The request's wire op name — also the `kind` label the dispatcher
+    /// records per-request counters and latency histograms under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::RegisterCfds { .. } => "register_cfds",
+            Request::Insert { .. } => "insert",
+            Request::Delete { .. } => "delete",
+            Request::UpdateCell { .. } => "update_cell",
+            Request::ApplyBatch { .. } => "apply_batch",
+            Request::Detect => "detect",
+            Request::Audit => "audit",
+            Request::Repair => "repair",
+            Request::LastReport => "last_report",
+            Request::Len => "len",
+            Request::Capabilities => "capabilities",
+            Request::Metrics => "metrics",
+        }
+    }
 }
 
 /// Wire summary of a [`ViolationReport`] (violation records and headline
@@ -175,6 +198,8 @@ pub enum Response {
     },
     /// Capability descriptor.
     Caps(Capabilities),
+    /// Telemetry snapshot.
+    Metrics(obs::MetricsReport),
     /// The request failed; the backend state reflects any prefix that did
     /// apply (see [`QualityBackend::apply_batch`]).
     Error {
@@ -188,12 +213,20 @@ pub enum Response {
 /// Serve one request against a backend. Never panics and never returns
 /// `Err` — failures become [`Response::Error`], which is what a request
 /// loop wants to send back rather than tear down the connection.
+///
+/// Every dispatch bumps `api_requests_total{kind=...}` and records its
+/// wall time into `api_request_ns{kind=...}` in the `obs` global
+/// registry, so a `Request::Metrics` over the same connection reads back
+/// the service's own traffic profile.
 pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response {
     fn err(e: CfdError) -> Response {
         Response::Error {
             message: e.to_string(),
         }
     }
+    let kind = request.kind();
+    obs::counter(&format!("api_requests_total{{kind=\"{kind}\"}}")).inc();
+    let _span = obs::span(&format!("api_request_ns{{kind=\"{kind}\"}}"));
     match request {
         Request::RegisterCfds { text } => match backend.register_cfds(&text) {
             Ok(rules) => Response::Registered { rules },
@@ -238,6 +271,10 @@ pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response 
             rows: backend.len(),
         },
         Request::Capabilities => Response::Caps(backend.capabilities()),
+        Request::Metrics => match backend.metrics() {
+            Ok(report) => Response::Metrics(report),
+            Err(e) => err(e),
+        },
     }
 }
 
@@ -287,6 +324,7 @@ impl Request {
             Request::LastReport => obj(&[("op", Json::str("last_report"))]),
             Request::Len => obj(&[("op", Json::str("len"))]),
             Request::Capabilities => obj(&[("op", Json::str("capabilities"))]),
+            Request::Metrics => obj(&[("op", Json::str("metrics"))]),
         };
         j.render()
     }
@@ -326,6 +364,7 @@ impl Request {
             "last_report" => Request::LastReport,
             "len" => Request::Len,
             "capabilities" => Request::Capabilities,
+            "metrics" => Request::Metrics,
             other => return Err(parse_err(format!("unknown op '{other}'"))),
         })
     }
@@ -404,6 +443,49 @@ impl Response {
                 ("repair", Json::Bool(c.repair)),
                 ("streaming", Json::Bool(c.streaming)),
                 ("shards", Json::num(c.shards as u64)),
+                ("metrics", Json::Bool(c.metrics)),
+            ]),
+            Response::Metrics(m) => obj(&[
+                ("ok", Json::str("metrics")),
+                (
+                    "counters",
+                    Json::Arr(
+                        m.counters
+                            .iter()
+                            .map(|(n, v)| Json::Arr(vec![Json::str(n), Json::num(*v)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    // Gauges are signed; the integer token stays unsigned,
+                    // so the value rides a decimal string.
+                    "gauges",
+                    Json::Arr(
+                        m.gauges
+                            .iter()
+                            .map(|(n, v)| Json::Arr(vec![Json::str(n), Json::str(&v.to_string())]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms",
+                    Json::Arr(
+                        m.histograms
+                            .iter()
+                            .map(|h| {
+                                obj(&[
+                                    ("name", Json::str(&h.name)),
+                                    ("count", Json::num(h.count)),
+                                    ("sum", Json::num(h.sum)),
+                                    ("p50", Json::num(h.p50)),
+                                    ("p95", Json::num(h.p95)),
+                                    ("p99", Json::num(h.p99)),
+                                    ("max", Json::num(h.max)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Error { message } => obj(&[("err", Json::str(message))]),
         };
@@ -491,6 +573,51 @@ impl Response {
                 repair: j.field("repair")?.as_bool()?,
                 streaming: j.field("streaming")?.as_bool()?,
                 shards: j.field_u64("shards")? as usize,
+                metrics: j.field("metrics")?.as_bool()?,
+            }),
+            "metrics" => Response::Metrics(obs::MetricsReport {
+                counters: j
+                    .field("counters")?
+                    .as_arr()?
+                    .iter()
+                    .map(|p| {
+                        let [name, v] = p.as_arr()? else {
+                            return Err(parse_err("counter entry must be a pair".into()));
+                        };
+                        Ok((name.as_str()?.to_string(), v.as_u64()?))
+                    })
+                    .collect::<CfdResult<_>>()?,
+                gauges: j
+                    .field("gauges")?
+                    .as_arr()?
+                    .iter()
+                    .map(|p| {
+                        let [name, v] = p.as_arr()? else {
+                            return Err(parse_err("gauge entry must be a pair".into()));
+                        };
+                        let v = v.as_str()?;
+                        let v: i64 = v
+                            .parse()
+                            .map_err(|e| parse_err(format!("bad gauge value '{v}': {e}")))?;
+                        Ok((name.as_str()?.to_string(), v))
+                    })
+                    .collect::<CfdResult<_>>()?,
+                histograms: j
+                    .field("histograms")?
+                    .as_arr()?
+                    .iter()
+                    .map(|h| {
+                        Ok(obs::HistogramSnapshot {
+                            name: h.field_str("name")?.to_string(),
+                            count: h.field_u64("count")?,
+                            sum: h.field_u64("sum")?,
+                            p50: h.field_u64("p50")?,
+                            p95: h.field_u64("p95")?,
+                            p99: h.field_u64("p99")?,
+                            max: h.field_u64("max")?,
+                        })
+                    })
+                    .collect::<CfdResult<_>>()?,
             }),
             other => return Err(parse_err(format!("unknown response tag '{other}'"))),
         })
@@ -980,6 +1107,7 @@ mod tests {
             Request::LastReport,
             Request::Len,
             Request::Capabilities,
+            Request::Metrics,
         ] {
             roundtrip_request(r);
         }
@@ -1027,7 +1155,25 @@ mod tests {
                 repair: false,
                 streaming: false,
                 shards: 4,
+                metrics: true,
             }),
+            Response::Metrics(obs::MetricsReport {
+                counters: vec![
+                    ("api_requests_total{kind=\"detect\"}".into(), 3),
+                    ("colstore_snapshot_encodes_total".into(), u64::MAX),
+                ],
+                gauges: vec![("cluster_shards".into(), -1), ("depth".into(), i64::MIN)],
+                histograms: vec![obs::HistogramSnapshot {
+                    name: "api_request_ns{kind=\"detect\"}".into(),
+                    count: 3,
+                    sum: 12_000,
+                    p50: 4_095,
+                    p95: 8_191,
+                    p99: 8_191,
+                    max: 7_800,
+                }],
+            }),
+            Response::Metrics(obs::MetricsReport::default()),
             Response::Error {
                 message: "bad \"row\"".into(),
             },

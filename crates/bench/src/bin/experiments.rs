@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E11 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E12 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use api::{Mutation, MutationBatch, QualityBackend};
+use api::{dispatch, Mutation, MutationBatch, QualityBackend, Request};
 use cfd::satisfiability::check_consistency;
 use cfd::DomainSpec;
 use cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
@@ -773,6 +773,63 @@ fn main() {
                     per_round,
                 ));
             }
+        }
+        println!();
+    }
+
+    if wanted("e12") {
+        println!("== E12: registry-derived detect/repair latency percentiles ==");
+        let rows = 20_000usize;
+        let w = workload(rows, 0.05, 29);
+        let t = w.db.table("customer").unwrap();
+        // Fresh registry so the percentiles cover exactly this workload,
+        // not whatever earlier experiments accumulated.
+        obs::reset();
+        let mut c =
+            ShardedQualityServer::partition(t, 4, Box::new(RoundRobinRouter::default())).unwrap();
+        c.register_cfds(w.cfds.clone()).unwrap();
+        // A steady-state monitoring loop through the instrumented dispatch
+        // path: one routed cell touch, one detect, repeated — so
+        // api_request_ns{kind="detect"} holds real cached-path samples.
+        let ids = t.row_ids();
+        dispatch(&mut c, Request::Detect); // cold encode, excluded below by the mutate loop's volume
+        for i in 0..32u64 {
+            let id = ids[i as usize % ids.len()];
+            let v = t.get(id).unwrap()[2].clone();
+            dispatch(
+                &mut c,
+                Request::UpdateCell {
+                    row: id,
+                    col: 2,
+                    value: v,
+                },
+            );
+            dispatch(&mut c, Request::Detect);
+        }
+        dispatch(&mut c, Request::Repair);
+        let m = obs::snapshot();
+        println!(
+            "{:>34} {:>8} {:>12} {:>12} {:>12}",
+            "metric", "samples", "p50 (ms)", "p95 (ms)", "max (ms)"
+        );
+        for (metric, label) in [
+            ("api_request_ns{kind=\"detect\"}", "e12_detect_dispatch"),
+            ("cluster_shard_export_ns", "e12_shard_export"),
+            ("cluster_merge_ns", "e12_cluster_merge"),
+            ("repair_resolve_ns", "e12_repair_resolve"),
+        ] {
+            let h = m.histogram(metric).expect("instrumented path ran");
+            println!(
+                "{:>34} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+                metric,
+                h.count,
+                h.p50 as f64 / 1e6,
+                h.p95 as f64 / 1e6,
+                h.max as f64 / 1e6
+            );
+            baseline.push((rows, format!("{label}_p50"), h.p50 as f64));
+            baseline.push((rows, format!("{label}_p95"), h.p95 as f64));
+            baseline.push((rows, format!("{label}_p99"), h.p99 as f64));
         }
         println!();
     }

@@ -29,7 +29,7 @@
 //! router and shard count (`tests/sharded_cluster.rs` pins this by
 //! property).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend, RepairSummary};
@@ -45,6 +45,41 @@ use crate::router::ShardRouter;
 
 pub(crate) fn db_err(e: DbError) -> CfdError {
     CfdError::Malformed(e.to_string())
+}
+
+/// Global-registry handles for the exchange telemetry, resolved once per
+/// process. The scatter-side counters are bumped from the crossbeam worker
+/// threads (the handles are plain atomics); the gather-side ones from the
+/// coordinator. After every detect, partials exported == partials merged —
+/// the gather loop consumes exactly what the scatter shipped (pinned by
+/// `tests/metrics_invariants.rs`).
+struct ClusterObs {
+    shard_export_ns: Arc<obs::Histogram>,
+    partials_exported: Arc<obs::Counter>,
+    partials_merged: Arc<obs::Counter>,
+    partials_computed: Arc<obs::Counter>,
+    partials_reused: Arc<obs::Counter>,
+    exported_groups: Arc<obs::Counter>,
+    exported_members: Arc<obs::Counter>,
+    detects: Arc<obs::Counter>,
+    scatter_ns: Arc<obs::Histogram>,
+    merge_ns: Arc<obs::Histogram>,
+}
+
+fn cluster_obs() -> &'static ClusterObs {
+    static OBS: OnceLock<ClusterObs> = OnceLock::new();
+    OBS.get_or_init(|| ClusterObs {
+        shard_export_ns: obs::histogram("cluster_shard_export_ns"),
+        partials_exported: obs::counter("cluster_partials_exported_total"),
+        partials_merged: obs::counter("cluster_partials_merged_total"),
+        partials_computed: obs::counter("cluster_partials_computed_total"),
+        partials_reused: obs::counter("cluster_partials_reused_total"),
+        exported_groups: obs::counter("cluster_exported_groups_total"),
+        exported_members: obs::counter("cluster_exported_members_total"),
+        detects: obs::counter("cluster_detects_total"),
+        scatter_ns: obs::histogram("cluster_scatter_ns"),
+        merge_ns: obs::histogram("cluster_merge_ns"),
+    })
 }
 
 /// One shard: its slice of the relation plus derived columnar state.
@@ -76,6 +111,9 @@ impl Shard {
     /// The scatter phase on one shard: snapshot (cached / patched /
     /// re-encoded as the epoch dictates) and per-CFD partial export.
     fn export(&mut self, bound: &[BoundCfd], cols: &[Vec<usize>], needed: &[usize]) -> ShardExport {
+        // Per-shard detect wall-time: one sample per shard per detect,
+        // recorded from whichever worker thread ran this shard.
+        let _span = obs::SpanTimer::new(Arc::clone(&cluster_obs().shard_export_ns));
         let snap = self.cache.snapshot_projected(&self.table, needed);
         let epoch = self.table.epoch();
         let mut out = ShardExport {
@@ -97,6 +135,14 @@ impl Shard {
                 }
             }
         }
+        let o = cluster_obs();
+        o.partials_exported.add(out.partials.len() as u64);
+        o.partials_computed.add(out.computed);
+        o.partials_reused.add(out.reused);
+        o.exported_groups
+            .add(out.partials.iter().map(|p| p.n_groups() as u64).sum());
+        o.exported_members
+            .add(out.partials.iter().map(|p| p.n_members() as u64).sum());
         out
     }
 }
@@ -514,7 +560,8 @@ impl ShardedQualityServer {
         };
         let scatter_ns = t0.elapsed().as_nanos() as u64;
 
-        // Gather: merge per CFD across shards.
+        // Gather: merge per CFD across shards. Each pass consumes one
+        // partial per shard, so merges consumed == partials exported.
         let t1 = Instant::now();
         let mut report = ViolationReport::default();
         for idx in 0..bound.len() {
@@ -523,10 +570,16 @@ impl ShardedQualityServer {
                 exports.iter().map(|e| e.partials[idx].as_ref()),
                 &mut report,
             );
+            cluster_obs().partials_merged.add(exports.len() as u64);
         }
+        let merge_ns = t1.elapsed().as_nanos() as u64;
+        let o = cluster_obs();
+        o.detects.inc();
+        o.scatter_ns.record(scatter_ns);
+        o.merge_ns.record(merge_ns);
         self.stats = DetectStats {
             scatter_ns,
-            merge_ns: t1.elapsed().as_nanos() as u64,
+            merge_ns,
             exported_groups: exports
                 .iter()
                 .flat_map(|e| &e.partials)
@@ -594,6 +647,7 @@ impl QualityBackend for ShardedQualityServer {
             repair: true,
             streaming: false,
             shards: self.shards.len(),
+            metrics: true,
         }
     }
 

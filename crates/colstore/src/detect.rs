@@ -27,6 +27,32 @@ use crate::dictionary::NULL_CODE;
 use crate::snapshot::Snapshot;
 use detect::fxhash::{DistinctCounter, FxHashMap};
 
+/// Global-registry handles for the detector's telemetry: which grouping
+/// path each variable-CFD evaluation took (dense direct-indexed, hashed,
+/// or wide-key fallback), how many rows it scanned, and what it found.
+struct DetectObs {
+    path_dense: std::sync::Arc<obs::Counter>,
+    path_hashed: std::sync::Arc<obs::Counter>,
+    path_wide: std::sync::Arc<obs::Counter>,
+    rows_scanned: std::sync::Arc<obs::Counter>,
+    violating_groups: std::sync::Arc<obs::Counter>,
+    group_members: std::sync::Arc<obs::Counter>,
+    constant_violations: std::sync::Arc<obs::Counter>,
+}
+
+fn detect_obs() -> &'static DetectObs {
+    static OBS: std::sync::OnceLock<DetectObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| DetectObs {
+        path_dense: obs::counter("detect_group_path_total{path=\"dense\"}"),
+        path_hashed: obs::counter("detect_group_path_total{path=\"hashed\"}"),
+        path_wide: obs::counter("detect_group_path_total{path=\"wide\"}"),
+        rows_scanned: obs::counter("detect_rows_scanned_total"),
+        violating_groups: obs::counter("detect_violating_groups_total"),
+        group_members: obs::counter("detect_group_members_total"),
+        constant_violations: obs::counter("detect_constant_violations_total"),
+    })
+}
+
 /// The columns a CFD set touches — the snapshot projection the detector
 /// needs. High-cardinality columns outside every rule (free-text names,
 /// ids) are never encoded.
@@ -151,6 +177,9 @@ pub(crate) fn detect_constant(
     report: &mut ViolationReport,
 ) {
     let rhs = snap.column(r.rhs_col).codes();
+    let o = detect_obs();
+    o.rows_scanned.add(snap.n_rows() as u64);
+    let before = report.len();
     let filters: Vec<(&[u32], u32)> = r
         .cells
         .iter()
@@ -170,6 +199,7 @@ pub(crate) fn detect_constant(
             report.push_single(cfd_idx, snap.row_id(pos));
         }
     }
+    o.constant_violations.add((report.len() - before) as u64);
 }
 
 /// Accumulator for one LHS group (non-NULL RHS members only).
@@ -334,6 +364,8 @@ pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> V
     let scan = Scan::new(snap, r);
     let n = snap.n_rows();
     let rhs = snap.column(r.rhs_col).codes();
+    let o = detect_obs();
+    o.rows_scanned.add(n as u64);
 
     let groups: Vec<(Key, Group)> = if let Some(total_bits) = scan.packed_bits() {
         let slots = 1u64 << total_bits.min(63);
@@ -342,17 +374,23 @@ pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> V
         // so very large tables with wide keys fall back to hashing instead
         // of zeroing gigabytes per CFD.
         if slots <= (64 * n as u64).clamp(4_096, MAX_DENSE_STATE_SLOTS) {
+            o.path_dense.inc();
             packed_violating_groups(&scan, rhs, DenseState(vec![EMPTY; slots as usize]))
         } else {
+            o.path_hashed.inc();
             packed_violating_groups(&scan, rhs, HashedState(FxHashMap::default()))
         }
     } else {
         // Wide keys: accumulate everything (rare: > 64 key bits).
+        o.path_wide.inc();
         group_by_codes(snap, r)
             .into_iter()
             .filter(|(_, g)| g.conflict)
             .collect()
     };
+    o.violating_groups.add(groups.len() as u64);
+    o.group_members
+        .add(groups.iter().map(|(_, g)| g.rows.len() as u64).sum());
 
     let mut out: Vec<(u32, DecodedGroup)> = groups
         .into_iter()

@@ -32,7 +32,7 @@
 //! so a monitoring loop that mutates one column re-scans one rule, not
 //! the whole constraint set.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cfd::{BoundCfd, Cfd, CfdResult};
 use detect::fxhash::FxHashMap;
@@ -41,6 +41,37 @@ use minidb::{RowId, Table, Value};
 
 use crate::detect::{detect_constant, needed_columns, resolve, violating_groups, DecodedGroup};
 use crate::snapshot::Snapshot;
+
+/// Global-registry handles for the cache's telemetry, resolved once per
+/// process. Every [`SnapshotCache`] instance keeps its own counters for
+/// the regression probes ([`SnapshotCache::encodes`] & co.) *and* mirrors
+/// each increment here, so `obs::snapshot()` aggregates across all caches
+/// — every server, shard, and monitor in the process. (Full-encode counts
+/// are not mirrored here: `colstore_snapshot_encodes_total` lives at the
+/// [`Snapshot::projected`] funnel itself, where it also catches the
+/// encodes that bypass any cache.)
+struct CacheObs {
+    hits: Arc<obs::Counter>,
+    misses: Arc<obs::Counter>,
+    patches: Arc<obs::Counter>,
+    rebuild_fallbacks: Arc<obs::Counter>,
+    batch_rows: Arc<obs::Histogram>,
+    fragments_computed: Arc<obs::Counter>,
+    fragments_reused: Arc<obs::Counter>,
+}
+
+fn cache_obs() -> &'static CacheObs {
+    static OBS: OnceLock<CacheObs> = OnceLock::new();
+    OBS.get_or_init(|| CacheObs {
+        hits: obs::counter("colstore_snapshot_cache_hits_total"),
+        misses: obs::counter("colstore_snapshot_cache_misses_total"),
+        patches: obs::counter("colstore_snapshot_patches_total"),
+        rebuild_fallbacks: obs::counter("colstore_snapshot_rebuild_fallbacks_total"),
+        batch_rows: obs::histogram("colstore_note_batch_rows"),
+        fragments_computed: obs::counter("colstore_detect_fragments_computed_total"),
+        fragments_reused: obs::counter("colstore_detect_fragments_reused_total"),
+    })
+}
 
 /// One reported mutation of the observed table — the unit of
 /// [`SnapshotCache::note_batch`]. Mirrors the `note_insert` /
@@ -162,9 +193,11 @@ impl SnapshotCache {
     fn snapshot_for(&mut self, table: &Table, cols: Option<&[usize]>) -> Arc<Snapshot> {
         if let Some(c) = &self.cached {
             if c.epoch == table.epoch() && c.snap.name() == table.name() && covers(&c.snap, cols) {
+                cache_obs().hits.inc();
                 return Arc::clone(&c.snap);
             }
         }
+        cache_obs().misses.inc();
         // Fragment freshness is pure epoch arithmetic, so it can only be
         // trusted across a re-encode that provably stays on the same table
         // lineage moving forward (same name, epoch not regressed). Anything
@@ -280,6 +313,7 @@ impl SnapshotCache {
         c.rows_epoch = table.epoch();
         c.patched += 1;
         self.patches += 1;
+        cache_obs().patches.inc();
     }
 
     /// Record that `id` was just deleted from `table` (call *after* the
@@ -302,6 +336,7 @@ impl SnapshotCache {
         c.rows_epoch = table.epoch();
         c.patched += 1;
         self.patches += 1;
+        cache_obs().patches.inc();
     }
 
     /// Record that cell (`id`, `col`) of `table` was just overwritten (call
@@ -342,6 +377,7 @@ impl SnapshotCache {
                 Arc::make_mut(&mut c.snap).set_cell(pos as usize, col, value);
                 c.patched += 1;
                 self.patches += 1;
+                cache_obs().patches.inc();
             }
         }
         c.epoch = table.epoch();
@@ -374,6 +410,7 @@ impl SnapshotCache {
         if deltas.is_empty() {
             return;
         }
+        cache_obs().batch_rows.record(deltas.len() as u64);
         let steps = deltas.len() as u64;
         let Some(c) = patchable(&mut self.cached, self.delta_threshold, table, steps) else {
             return;
@@ -443,6 +480,7 @@ impl SnapshotCache {
                     c.rows_epoch = epoch;
                     c.patched += rows.len();
                     self.patches += rows.len() as u64;
+                    cache_obs().patches.add(rows.len() as u64);
                 }
                 TableDelta::Deleted(id) => {
                     i += 1;
@@ -475,6 +513,7 @@ impl SnapshotCache {
                     c.rows_epoch = epoch;
                     c.patched += 1;
                     self.patches += 1;
+                    cache_obs().patches.inc();
                 }
                 TableDelta::CellSet(id, col) => {
                     i += 1;
@@ -498,6 +537,7 @@ impl SnapshotCache {
                         Arc::make_mut(&mut c.snap).set_cell(pos as usize, col, value);
                         c.patched += 1;
                         self.patches += 1;
+                        cache_obs().patches.inc();
                     }
                 }
             }
@@ -529,6 +569,7 @@ fn patchable<'a>(
     };
     if !in_step || c.patched + steps as usize > budget {
         *cached = None;
+        cache_obs().rebuild_fallbacks.inc();
         return None;
     }
     cached.as_mut()
@@ -617,10 +658,12 @@ pub fn detect_cached(
         {
             Some(p) => {
                 cache.fragments_reused += 1;
+                cache_obs().fragments_reused.inc();
                 old.swap_remove(p)
             }
             None => {
                 cache.fragments_computed += 1;
+                cache_obs().fragments_computed.inc();
                 MemoEntry::compute(&snap, &cfds[idx], b, epoch)
             }
         };

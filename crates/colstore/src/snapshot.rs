@@ -44,6 +44,14 @@ impl Snapshot {
         /// Below this row count the spawn overhead outweighs the win.
         const PARALLEL_ROWS: usize = 8_192;
 
+        // Every full encode in the workspace funnels through here — the
+        // cache's rebuild path, but also the "hidden" ones that bypass any
+        // `SnapshotCache` (one-shot `detect_columnar`, detector seeding,
+        // per-shard reference scans) — so the global telemetry counter
+        // lives at the funnel, not at the cache.
+        obs::counter("colstore_snapshot_encodes_total").inc();
+        let _span = obs::span("colstore_snapshot_encode_ns");
+
         let arity = table.schema().arity();
         let rows = table.len();
         let mut wanted = vec![false; arity];

@@ -254,6 +254,7 @@ impl QualityBackend for DataMonitor {
             repair: false,
             streaming: true,
             shards: 1,
+            metrics: true,
         }
     }
 

@@ -367,6 +367,7 @@ impl QualityBackend for QualityServer {
             repair: true,
             streaming: false,
             shards: 1,
+            metrics: true,
         }
     }
 

@@ -27,12 +27,37 @@
 //! two stores over the same logical relation produce the same repair.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
 use detect::violation::{ViolationKind, ViolationReport};
 use minidb::{RowId, Schema, Value};
 
 use crate::eqclass::{CellRef, EqClasses};
+
+/// Global-registry handles for the repair loop's telemetry. After every
+/// run, the `repair_rounds_total` delta equals [`RepairResult::iterations`]
+/// and the `repair_changes_total` delta equals the change-list length
+/// (pinned by `tests/metrics_invariants.rs`).
+struct RepairObs {
+    runs: Arc<obs::Counter>,
+    rounds: Arc<obs::Counter>,
+    changes: Arc<obs::Counter>,
+    changes_per_round: Arc<obs::Histogram>,
+    resolve_ns: Arc<obs::Histogram>,
+}
+
+fn repair_obs() -> &'static RepairObs {
+    static OBS: OnceLock<RepairObs> = OnceLock::new();
+    OBS.get_or_init(|| RepairObs {
+        runs: obs::counter("repair_runs_total"),
+        rounds: obs::counter("repair_rounds_total"),
+        changes: obs::counter("repair_changes_total"),
+        changes_per_round: obs::histogram("repair_changes_per_round"),
+        resolve_ns: obs::histogram("repair_resolve_ns"),
+    })
+}
 
 /// Why a cell was changed.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,6 +231,10 @@ pub fn repair_rounds<S: RepairStore>(
         if report.is_empty() {
             break;
         }
+        // Resolve time only — the detect above is timed by the engine's
+        // own instrumentation (cached columnar scan or cluster exchange).
+        let resolve_t0 = Instant::now();
+        let changes_before = changes.len();
         let consts: Vec<_> = report
             .violations
             .iter()
@@ -260,12 +289,20 @@ pub fn repair_rounds<S: RepairStore>(
                 )?;
             }
         }
+        let o = repair_obs();
+        o.resolve_ns.record(resolve_t0.elapsed().as_nanos() as u64);
+        o.changes_per_round
+            .record((changes.len() - changes_before) as u64);
         if !const_progress && !var_progress {
             break; // defensive: avoid spinning without effect
         }
     }
 
     let residual = store.detect(cfds)?;
+    let o = repair_obs();
+    o.runs.inc();
+    o.rounds.add(iterations as u64);
+    o.changes.add(changes.len() as u64);
     let total_cost = changes.iter().map(|c| c.cost).sum();
     Ok(RepairResult {
         changes,

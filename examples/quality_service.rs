@@ -12,7 +12,12 @@
 //! cargo run --example quality_service -- --backend single
 //! cargo run --example quality_service -- --backend cluster
 //! cargo run --example quality_service -- --backend monitor
+//! cargo run --example quality_service -- --backend cluster --metrics
 //! ```
+//!
+//! `--metrics` appends the Prometheus-style exposition of the process-wide
+//! telemetry registry after the request loop — the same numbers a
+//! `Request::Metrics` over the wire would carry.
 
 use semandaq::api::{dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response};
 use semandaq::cluster::{HashRouter, ShardedQualityServer};
@@ -142,7 +147,9 @@ fn serve(kind: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
     match args.as_slice() {
         [] => {
             for kind in ["single", "cluster", "monitor"] {
@@ -150,6 +157,12 @@ fn main() {
             }
         }
         [flag, kind] if flag == "--backend" => serve(kind),
-        other => panic!("usage: quality_service [--backend single|cluster|monitor], got {other:?}"),
+        other => panic!(
+            "usage: quality_service [--backend single|cluster|monitor] [--metrics], got {other:?}"
+        ),
+    }
+    if metrics {
+        println!("=== metrics ===");
+        print!("{}", semandaq::obs::render_text());
     }
 }

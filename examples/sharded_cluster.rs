@@ -177,4 +177,37 @@ fn main() {
         encodes_before,
         cluster.snapshot_encodes()
     );
+
+    // -- exchange/merge telemetry: what the obs registry accumulated over
+    //    every detect this process ran (including each repair round) --
+    let m = semandaq::obs::snapshot();
+    println!("\n-- exchange telemetry (obs registry) --");
+    for name in [
+        "cluster_detects_total",
+        "cluster_partials_exported_total",
+        "cluster_partials_merged_total",
+        "cluster_partials_computed_total",
+        "cluster_partials_reused_total",
+        "cluster_exported_groups_total",
+        "cluster_exported_members_total",
+    ] {
+        println!("  {name:<33} {}", m.counter(name).unwrap_or(0));
+    }
+    if let Some(h) = m.histogram("cluster_shard_export_ns") {
+        println!(
+            "  per-shard export: {} exports, p50 {}ns / p95 {}ns / max {}ns",
+            h.count, h.p50, h.p95, h.max
+        );
+    }
+    if let Some(h) = m.histogram("cluster_merge_ns") {
+        println!(
+            "  coordinator merge: {} gathers, p50 {}ns / max {}ns",
+            h.count, h.p50, h.max
+        );
+    }
+    assert_eq!(
+        m.counter("cluster_partials_exported_total"),
+        m.counter("cluster_partials_merged_total"),
+        "every exported partial is consumed by exactly one merge"
+    );
 }

@@ -18,6 +18,9 @@
 //!   with scatter/gather CFD detection and report merge.
 //! * [`discovery`] — FD/CFD discovery from reference data.
 //! * [`datagen`] — seeded workload generators.
+//! * [`obs`] — zero-dependency telemetry: counters, gauges, latency
+//!   histograms and span timers on a global registry, snapshotted as a
+//!   `MetricsReport` (also served over the wire via `Request::Metrics`).
 //! * [`system`] (re-export of `semandaq-core`) — the assembled system:
 //!   constraint engine, quality server, data monitor.
 
@@ -31,5 +34,6 @@ pub use detect;
 pub use discovery;
 pub use explore;
 pub use minidb;
+pub use obs;
 pub use repair;
 pub use semandaq_core as system;

@@ -11,7 +11,9 @@
 //! script also runs through the wire protocol (`Request` → `dispatch` →
 //! `Response`) and must observe the same summaries.
 
-use semandaq::api::{dispatch, Mutation, MutationBatch, QualityBackend, Request, Response};
+use semandaq::api::{
+    dispatch, dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response,
+};
 use semandaq::cfd::CfdError;
 use semandaq::cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
 use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
@@ -305,6 +307,41 @@ fn repair_is_capability_gated_and_agrees_across_backends() {
     let (ref_label, reference) = &repaired[0];
     for (label, rows) in &repaired[1..] {
         assert_eq!(rows, reference, "'{label}' vs '{ref_label}'");
+    }
+}
+
+#[test]
+fn metrics_round_trip_through_dispatch_line_on_every_backend() {
+    for (label, mut b) in backends() {
+        assert!(
+            b.as_dyn().capabilities().metrics,
+            "{label}: every in-process backend shares the obs registry"
+        );
+        b.as_dyn().register_cfds(CANONICAL_CFDS).unwrap();
+        b.as_dyn().detect().unwrap();
+        // Full wire loop: encoded request line in, encoded response line
+        // out, decoded back on the client side.
+        let out = dispatch_line(b.as_dyn(), &Request::Metrics.encode());
+        let resp = Response::decode(&out).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let Response::Metrics(report) = resp else {
+            panic!("{label}: expected Metrics, got {resp:?}");
+        };
+        // The decoded report must survive another exact codec round-trip…
+        let reencoded = Response::Metrics(report.clone()).encode();
+        assert_eq!(
+            Response::decode(&reencoded).unwrap(),
+            Response::Metrics(report.clone()),
+            "{label}"
+        );
+        // …and already contains the dispatch instrumentation's record of
+        // this very request (the counter bumps before the snapshot).
+        assert!(
+            report
+                .counter("api_requests_total{kind=\"metrics\"}")
+                .unwrap_or(0)
+                >= 1,
+            "{label}: dispatch counts the metrics request itself"
+        );
     }
 }
 

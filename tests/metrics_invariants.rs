@@ -1,0 +1,130 @@
+//! Telemetry invariants: the obs registry's counters must reconcile with
+//! the engine's own ground truth. The registry is process-global, so every
+//! test here serializes on one mutex and asserts *deltas* across its own
+//! workload — concurrent bumps from sibling tests are excluded by the
+//! lock, earlier history by the subtraction.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use semandaq::cluster::{RoundRobinRouter, ShardedQualityServer};
+use semandaq::colstore::{detect_cached, detect_columnar, SnapshotCache};
+use semandaq::datagen::dirty_customers;
+use semandaq::repair::{batch_repair, RepairConfig};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn cache_hits_plus_misses_equal_detect_calls() {
+    let _g = lock();
+    let hits = semandaq::obs::counter("colstore_snapshot_cache_hits_total");
+    let misses = semandaq::obs::counter("colstore_snapshot_cache_misses_total");
+    let (h0, m0) = (hits.get(), misses.get());
+
+    let d = dirty_customers(300, 0.05, 311);
+    let t = d.db.table("customer").unwrap();
+    let mut cache = SnapshotCache::new();
+    const DETECTS: u64 = 5;
+    for _ in 0..DETECTS {
+        detect_cached(&mut cache, t, &d.cfds).unwrap();
+    }
+
+    // Every detect_cached asks the cache for a snapshot exactly once, and
+    // every ask is scored as exactly one hit or one miss.
+    assert_eq!(
+        (hits.get() - h0) + (misses.get() - m0),
+        DETECTS,
+        "hits + misses == detect calls"
+    );
+    assert_eq!(misses.get() - m0, 1, "only the cold detect misses");
+    assert_eq!(hits.get() - h0, DETECTS - 1);
+}
+
+#[test]
+fn encode_funnel_counts_cacheless_and_shard_seeding_encodes() {
+    let _g = lock();
+    let encodes = semandaq::obs::counter("colstore_snapshot_encodes_total");
+
+    // A one-shot detect bypasses every SnapshotCache — no per-instance
+    // counter sees it — yet the global funnel still counts its encode.
+    let d = dirty_customers(200, 0.05, 312);
+    let t = d.db.table("customer").unwrap();
+    let e0 = encodes.get();
+    detect_columnar(t, &d.cfds).unwrap();
+    assert_eq!(encodes.get() - e0, 1, "cacheless detect is one full encode");
+
+    // Cluster shard seeding: the cold scatter encodes each shard once, and
+    // the registry's delta agrees with the per-shard cache sum.
+    let e1 = encodes.get();
+    let mut cluster =
+        ShardedQualityServer::partition(t, 3, Box::new(RoundRobinRouter::default())).unwrap();
+    cluster.register_cfds(d.cfds.clone()).unwrap();
+    cluster.detect().unwrap();
+    assert_eq!(encodes.get() - e1, 3, "one seeding encode per shard");
+    assert_eq!(cluster.snapshot_encodes(), 3);
+    // Steady state: a repeat detect adds no encode anywhere.
+    cluster.detect().unwrap();
+    assert_eq!(encodes.get() - e1, 3);
+}
+
+#[test]
+fn cluster_exports_equal_merges_consumed() {
+    let _g = lock();
+    let exported = semandaq::obs::counter("cluster_partials_exported_total");
+    let merged = semandaq::obs::counter("cluster_partials_merged_total");
+    let (x0, g0) = (exported.get(), merged.get());
+
+    let d = dirty_customers(250, 0.05, 313);
+    let t = d.db.table("customer").unwrap();
+    let mut cluster =
+        ShardedQualityServer::partition(t, 4, Box::new(RoundRobinRouter::default())).unwrap();
+    cluster.register_cfds(d.cfds.clone()).unwrap();
+    cluster.detect().unwrap();
+    // Mutate one cell so the next detect re-exports a subset, then detect
+    // twice more (the second rides the memo entirely).
+    let id = t.row_ids()[0];
+    let v = t.get(id).unwrap()[2].clone();
+    cluster.update_cell(id, 2, v).unwrap();
+    cluster.detect().unwrap();
+    cluster.detect().unwrap();
+
+    let shipped = exported.get() - x0;
+    assert_eq!(
+        shipped,
+        merged.get() - g0,
+        "every exported partial is consumed by exactly one merge"
+    );
+    // 3 detects × 4 shards × n_cfds partials each (memoized or not, the
+    // partial is still shipped and merged).
+    assert_eq!(shipped, 3 * 4 * d.cfds.len() as u64);
+}
+
+#[test]
+fn repair_round_and_change_counters_match_the_result() {
+    let _g = lock();
+    let runs = semandaq::obs::counter("repair_runs_total");
+    let rounds = semandaq::obs::counter("repair_rounds_total");
+    let changes = semandaq::obs::counter("repair_changes_total");
+    let (u0, r0, c0) = (runs.get(), rounds.get(), changes.get());
+
+    let d = dirty_customers(200, 0.05, 314);
+    let mut db = d.db.clone();
+    let result = batch_repair(&mut db, "customer", &d.cfds, &RepairConfig::default()).unwrap();
+    assert!(result.residual.is_empty());
+
+    assert_eq!(runs.get() - u0, 1);
+    assert_eq!(
+        rounds.get() - r0,
+        result.iterations as u64,
+        "rounds metric == RepairResult iterations"
+    );
+    assert_eq!(
+        changes.get() - c0,
+        result.changes.len() as u64,
+        "changes metric == change-list length"
+    );
+}
