@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E12 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E13 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -7,11 +7,11 @@
 //! ```
 //!
 //! E8 (detection engines), E9 (sharded cluster), E10 (batched vs per-row
-//! ingest) and E11 (sharded repair) additionally record a
-//! machine-readable baseline (`rows`, `engine`, `ns_per_op`) into
-//! `BENCH_detection.json` for regression tracking. The file is merged,
-//! not overwritten: re-running one experiment updates its own entries and
-//! leaves the others' in place.
+//! ingest), E11 (sharded repair) and E13 (chunked columns + morsel
+//! scaling) additionally record a machine-readable baseline (`rows`,
+//! `engine`, `ns_per_op`) into `BENCH_detection.json` for regression
+//! tracking. The file is merged, not overwritten: re-running one
+//! experiment updates its own entries and leaves the others' in place.
 
 use std::time::Instant;
 
@@ -19,7 +19,10 @@ use api::{dispatch, Mutation, MutationBatch, QualityBackend, Request};
 use cfd::satisfiability::check_consistency;
 use cfd::DomainSpec;
 use cluster::{HashRouter, RoundRobinRouter, ShardRouter, ShardedQualityServer};
-use colstore::{detect_cached, detect_columnar, detect_on_snapshot, Snapshot, SnapshotCache};
+use colstore::{
+    detect_cached, detect_columnar, detect_on_snapshot, detect_on_snapshot_threads, Snapshot,
+    SnapshotCache,
+};
 use detect::{
     detect_native, detect_parallel, detect_sql, detect_sql_per_pattern, IncrementalDetector,
 };
@@ -830,6 +833,81 @@ fn main() {
             baseline.push((rows, format!("{label}_p50"), h.p50 as f64));
             baseline.push((rows, format!("{label}_p95"), h.p95 as f64));
             baseline.push((rows, format!("{label}_p99"), h.p99 as f64));
+        }
+        println!();
+    }
+
+    if wanted("e13") {
+        println!("== E13: chunked columns & morsel-driven detection ==");
+        // E13a: append ingest under live reader snapshots. A stream of
+        // single-row inserts patches the cached snapshot while a reader
+        // grabs (and holds) a snapshot Arc every 512 rows — the monitoring
+        // pattern that makes copy-on-write visible. Chunked columns
+        // unshare only the tail chunk per grab; the contiguous layout
+        // (one giant chunk) re-copies every code on each post-grab patch.
+        let base_rows = 4_096usize;
+        let append_rows = 50_000usize;
+        let base = datagen::generate_customers(&datagen::CustomerConfig {
+            rows: base_rows,
+            ..datagen::CustomerConfig::default()
+        });
+        let donors: Vec<Vec<Value>> = base.iter().take(64).map(|(_, r)| r.to_vec()).collect();
+        let run_append = |cache: SnapshotCache| -> f64 {
+            let mut table = base.clone();
+            // An unbounded patch budget keeps both arms on the incremental
+            // path for the whole stream — re-encodes would cost O(n) in
+            // both layouts and drown the layout difference being measured.
+            let mut cache = cache.with_delta_threshold(f64::INFINITY);
+            cache.snapshot(&table); // warm encode, untimed
+            let mut readers: Vec<std::sync::Arc<Snapshot>> = Vec::new();
+            let t0 = Instant::now();
+            for i in 0..append_rows {
+                let id = table.insert(donors[i % donors.len()].clone()).unwrap();
+                cache.note_insert(&table, id);
+                if i % 512 == 0 {
+                    readers.push(cache.snapshot(&table));
+                }
+            }
+            t0.elapsed().as_nanos() as f64 / append_rows as f64
+        };
+        let chunked = run_append(SnapshotCache::new());
+        let cow = run_append(SnapshotCache::new().with_chunk_rows(1 << 22));
+        println!(
+            "append ingest ({append_rows} rows, reader snapshot every 512): \
+             chunked {:>8.0} ns/row, contiguous CoW {:>8.0} ns/row, {:.1}x",
+            chunked,
+            cow,
+            cow / chunked
+        );
+        baseline.push((append_rows, "e13_append_chunked".into(), chunked));
+        baseline.push((append_rows, "e13_append_contiguous_cow".into(), cow));
+
+        // E13b/c: warm detection over one reused snapshot — chunk-size
+        // sweep at one thread, then thread scaling at the default chunk.
+        let rows = 100_000usize;
+        let w = workload(rows, 0.05, 11);
+        let t = w.db.table("customer").unwrap();
+        let cols: Vec<usize> = (0..t.schema().arity()).collect();
+        let iters = 5u32;
+        println!(
+            "{:>12} {:>8} {:>14}",
+            "chunk_rows", "threads", "detect (ms)"
+        );
+        for chunk in [1_024usize, 4_096, 16_384] {
+            let snap = Snapshot::projected_with_chunk(t, &cols, chunk);
+            let n = time_ns(iters, || {
+                detect_on_snapshot(&snap, &w.cfds).unwrap();
+            });
+            println!("{chunk:>12} {:>8} {:>14.1}", 1, n / 1e6);
+            baseline.push((rows, format!("e13_warm_detect_c{chunk}"), n));
+        }
+        let snap = Snapshot::of(t);
+        for threads in [1usize, 2, 4] {
+            let n = time_ns(iters, || {
+                detect_on_snapshot_threads(&snap, &w.cfds, threads).unwrap();
+            });
+            println!("{:>12} {threads:>8} {:>14.1}", "default", n / 1e6);
+            baseline.push((rows, format!("e13_detect_threads{threads}"), n));
         }
         println!();
     }

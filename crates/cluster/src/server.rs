@@ -184,6 +184,9 @@ pub struct ShardedQualityServer {
     /// Next global row id — the same sequence a single-node table would
     /// have assigned, which is what makes sharded reports id-compatible.
     next_row: u64,
+    /// Scatter worker override; `None` defers to `SDQ_DETECT_THREADS` /
+    /// available parallelism (see [`colstore::morsel::resolve_threads`]).
+    detect_threads: Option<usize>,
     stats: DetectStats,
     /// The most recent scatter/gather report; dropped by any mutation.
     pub(crate) last_report: Option<ViolationReport>,
@@ -208,9 +211,29 @@ impl ShardedQualityServer {
                 .collect(),
             shard_of: Vec::new(),
             next_row: 0,
+            detect_threads: None,
             stats: DetectStats::default(),
             last_report: None,
         }
+    }
+
+    /// Cap the scatter pool at `threads` workers (the pool is additionally
+    /// clamped to the shard count per detect). Without this, the worker
+    /// count comes from `SDQ_DETECT_THREADS` or available parallelism.
+    pub fn with_detect_threads(mut self, threads: usize) -> ShardedQualityServer {
+        self.detect_threads = Some(threads);
+        self
+    }
+
+    /// Set the incremental-patch delta threshold of every shard's snapshot
+    /// cache (see [`SnapshotCache::with_delta_threshold`]): the fraction of
+    /// a shard's rows that may change before its next snapshot falls back
+    /// to a full re-encode.
+    pub fn with_delta_threshold(mut self, threshold: f64) -> ShardedQualityServer {
+        for s in &mut self.shards {
+            s.cache = std::mem::take(&mut s.cache).with_delta_threshold(threshold);
+        }
+        self
     }
 
     /// Partition an existing table across `n_shards` shards, preserving
@@ -538,26 +561,27 @@ impl ShardedQualityServer {
         needed.sort_unstable();
         needed.dedup();
 
-        // Scatter: one export per shard; real fan-out only when there is
-        // more than one shard (the scope spawn is pure overhead otherwise).
+        // Scatter: one morsel per shard on the shared detection pool. The
+        // pool size comes from the same knob as within-shard detection
+        // (builder override, else `SDQ_DETECT_THREADS` / parallelism) and
+        // `run_morsels` clamps it to the shard count — one pool, never the
+        // old shards × threads oversubscription.
         let t0 = Instant::now();
-        let exports: Vec<ShardExport> = if self.shards.len() == 1 {
-            vec![self.shards[0].export(&bound, &cols, &needed)]
-        } else {
-            let (bound, cols, needed) = (&bound, &cols, &needed);
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|sh| s.spawn(move |_| sh.export(bound, cols, needed)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard export does not panic"))
-                    .collect::<Vec<ShardExport>>()
-            })
-            .expect("shard workers do not panic")
-        };
+        let workers = colstore::morsel::resolve_threads(self.detect_threads);
+        let (bound_ref, cols_ref, needed_ref) = (&bound, &cols, &needed);
+        let slots: Vec<std::sync::Mutex<&mut Shard>> =
+            self.shards.iter_mut().map(std::sync::Mutex::new).collect();
+        let exports: Vec<ShardExport> = colstore::morsel::run_morsels(workers, slots.len(), |i| {
+            // Uncontended: each index is claimed by exactly one worker; the
+            // mutex only converts the shared borrow into the exclusive one
+            // the export needs.
+            let mut shard = slots[i].lock().expect("shard slot lock");
+            shard.export(bound_ref, cols_ref, needed_ref)
+        })
+        .into_iter()
+        .map(|e| e.expect("every shard exports"))
+        .collect();
+        drop(slots);
         let scatter_ns = t0.elapsed().as_nanos() as u64;
 
         // Gather: merge per CFD across shards. Each pass consumes one

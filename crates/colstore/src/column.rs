@@ -1,34 +1,79 @@
-//! Dictionary-encoded columns.
+//! Dictionary-encoded columns, stored as fixed-size code chunks.
 //!
-//! A [`Column`] is an immutable `Vec<u32>` of codes plus the
-//! [`Dictionary`] that gives them meaning, both behind `Arc` so columns can
-//! be shared across snapshots, detector runs and threads for the cost of a
-//! reference-count bump.
+//! A [`Column`] holds its `u32` codes as a list of **sealed** chunks (each
+//! exactly `chunk_rows` long, immutable, behind `Arc`) plus one mutable
+//! **tail** chunk. The chunked layout (polars' `ChunkedArray` is the
+//! exemplar) buys two things at once:
+//!
+//! * **O(1) append** — pushing a value writes to the tail and seals it
+//!   into an `Arc` when full; no copy-on-write unshare of the whole code
+//!   vector, no matter how many snapshots still reference the column;
+//! * **morsel-parallel scans** — a chunk is the unit of work for the
+//!   work-stealing detection pool ([`crate::morsel`]); per-chunk partial
+//!   states merge through the same exchange machinery shards use.
+//!
+//! Cloning a column bumps the sealed chunks' refcounts and memcpys only
+//! the tail (< `chunk_rows` codes), so handed-out snapshots keep sharing
+//! every sealed chunk with the live one for free.
 
-use std::sync::Arc;
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
 
 use crate::dictionary::{Dictionary, NULL_CODE};
 use minidb::Value;
 
-/// One immutable, dictionary-encoded column.
+/// Default rows per chunk when none is configured.
+const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// The process-wide default chunk size: `SDQ_CHUNK_ROWS` when set to a
+/// positive integer, 4096 otherwise. Read once — tests that need specific
+/// chunk sizes pass them explicitly instead of racing on the environment.
+pub fn default_chunk_rows() -> usize {
+    static ROWS: OnceLock<usize> = OnceLock::new();
+    *ROWS.get_or_init(|| {
+        std::env::var("SDQ_CHUNK_ROWS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_CHUNK_ROWS)
+    })
+}
+
+/// One dictionary-encoded column: sealed code chunks plus a mutable tail.
 #[derive(Debug, Clone)]
 pub struct Column {
-    codes: Arc<Vec<u32>>,
+    /// Immutable chunks of exactly `chunk_rows` codes each.
+    sealed: Vec<Arc<Vec<u32>>>,
+    /// The growing tail chunk, always shorter than `chunk_rows`.
+    tail: Vec<u32>,
     dict: Arc<Dictionary>,
+    chunk_rows: usize,
 }
 
 impl Column {
-    /// Assemble from parts (used by the snapshot builder).
+    /// Assemble from a contiguous code vector (used by tests and one-off
+    /// constructions; the snapshot builder goes through [`ColumnBuilder`]).
     pub fn new(codes: Vec<u32>, dict: Dictionary) -> Column {
-        Column {
-            codes: Arc::new(codes),
-            dict: Arc::new(dict),
-        }
+        Column::with_chunk_rows(codes, dict, default_chunk_rows())
     }
 
-    /// The code slice, parallel to the snapshot's row order.
-    pub fn codes(&self) -> &[u32] {
-        &self.codes
+    /// [`Column::new`] with an explicit chunk size.
+    pub fn with_chunk_rows(codes: Vec<u32>, dict: Dictionary, chunk_rows: usize) -> Column {
+        assert!(chunk_rows >= 1, "chunk_rows must be positive");
+        let mut col = Column {
+            sealed: Vec::with_capacity(codes.len() / chunk_rows),
+            tail: Vec::new(),
+            dict: Arc::new(dict),
+            chunk_rows,
+        };
+        let mut codes = codes;
+        while codes.len() >= chunk_rows {
+            let rest = codes.split_off(chunk_rows);
+            col.sealed.push(Arc::new(codes));
+            codes = rest;
+        }
+        col.tail = codes;
+        col
     }
 
     /// The column dictionary.
@@ -38,12 +83,62 @@ impl Column {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.sealed.len() * self.chunk_rows + self.tail.len()
     }
 
     /// True when the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Rows per sealed chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks a scan visits (sealed chunks plus a non-empty tail).
+    pub fn n_chunks(&self) -> usize {
+        self.sealed.len() + usize::from(!self.tail.is_empty())
+    }
+
+    /// The code slice of chunk `ci`. Chunk `ci` covers global positions
+    /// `ci * chunk_rows ..`; every chunk except the last holds exactly
+    /// `chunk_rows` codes.
+    pub fn chunk(&self, ci: usize) -> &[u32] {
+        if ci < self.sealed.len() {
+            &self.sealed[ci]
+        } else {
+            &self.tail
+        }
+    }
+
+    /// All chunks in position order.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.n_chunks()).map(|ci| self.chunk(ci))
+    }
+
+    /// The code at global position `pos`.
+    #[inline]
+    pub fn code_at(&self, pos: usize) -> u32 {
+        self.chunk(pos / self.chunk_rows)[pos % self.chunk_rows]
+    }
+
+    /// The codes as one contiguous slice: borrowed when the column is a
+    /// single chunk, materialized (one memcpy pass) otherwise. For
+    /// consumers that genuinely need flat positional access (partition
+    /// refinement in discovery); scans should iterate [`Column::chunks`].
+    pub fn contiguous(&self) -> Cow<'_, [u32]> {
+        match (self.sealed.as_slice(), self.tail.is_empty()) {
+            ([], _) => Cow::Borrowed(&self.tail),
+            ([only], true) => Cow::Borrowed(only),
+            _ => {
+                let mut flat = Vec::with_capacity(self.len());
+                for chunk in self.chunks() {
+                    flat.extend_from_slice(chunk);
+                }
+                Cow::Owned(flat)
+            }
+        }
     }
 
     /// Number of distinct non-NULL values.
@@ -53,12 +148,12 @@ impl Column {
 
     /// Decode the value at `pos` (owned; NULL materialized).
     pub fn value_at(&self, pos: usize) -> Value {
-        self.dict.decode(self.codes[pos])
+        self.dict.decode(self.code_at(pos))
     }
 
     /// True when the value at `pos` is NULL.
     pub fn is_null_at(&self, pos: usize) -> bool {
-        self.codes[pos] == NULL_CODE
+        self.code_at(pos) == NULL_CODE
     }
 
     /// Distinct non-NULL values with their live occurrence counts, in
@@ -70,8 +165,10 @@ impl Column {
     /// their dictionaries) are omitted.
     pub fn value_counts(&self) -> Vec<(Value, u64)> {
         let mut counts = vec![0u64; self.dict.len() + 1];
-        for &code in self.codes.iter() {
-            counts[code as usize] += 1;
+        for chunk in self.chunks() {
+            for &code in chunk {
+                counts[code as usize] += 1;
+            }
         }
         counts
             .iter()
@@ -82,67 +179,137 @@ impl Column {
             .collect()
     }
 
-    // Patch operations (snapshot lifecycle). Copy-on-write: when the codes
-    // or dictionary are still shared with a handed-out snapshot they are
-    // cloned first — a memcpy, never a re-interning pass. Dictionaries only
-    // grow; codes of values no longer present simply go unreferenced until
-    // the owning cache decides on a full rebuild.
+    // Patch operations (snapshot lifecycle). Copy-on-write where sharing
+    // is possible: a sealed chunk still referenced by a handed-out
+    // snapshot is cloned (one chunk's memcpy, never the whole column)
+    // before an in-place edit; the tail is owned and edits in place.
+    // Dictionaries only grow; codes of values no longer present simply go
+    // unreferenced until the owning cache decides on a full rebuild.
 
     /// Append one cell, interning its value into the existing dictionary.
+    /// O(1): a tail push, sealing the tail into a fresh `Arc` when full.
     pub(crate) fn push_value(&mut self, v: &Value) {
-        let code = Arc::make_mut(&mut self.dict).intern(v);
-        Arc::make_mut(&mut self.codes).push(code);
+        self.appender(1).push(v);
     }
 
     /// Overwrite the cell at `pos`, interning the new value.
     pub(crate) fn set_value(&mut self, pos: usize, v: &Value) {
         let code = Arc::make_mut(&mut self.dict).intern(v);
-        Arc::make_mut(&mut self.codes)[pos] = code;
+        self.set_code(pos, code);
+    }
+
+    fn set_code(&mut self, pos: usize, code: u32) {
+        let ci = pos / self.chunk_rows;
+        if ci < self.sealed.len() {
+            Arc::make_mut(&mut self.sealed[ci])[pos % self.chunk_rows] = code;
+        } else {
+            self.tail[pos - self.sealed.len() * self.chunk_rows] = code;
+        }
     }
 
     /// Remove the cell at `pos` by swapping the last cell into its place.
+    /// An empty tail first unseals the last chunk (the one place a whole
+    /// chunk may be copied, and only if it is still shared).
     pub(crate) fn swap_remove(&mut self, pos: usize) {
-        Arc::make_mut(&mut self.codes).swap_remove(pos);
+        if self.tail.is_empty() {
+            let last = self.sealed.pop().expect("swap_remove on empty column");
+            self.tail = Arc::try_unwrap(last).unwrap_or_else(|shared| (*shared).clone());
+        }
+        let code = self.tail.pop().expect("tail refilled above");
+        if pos < self.len() {
+            self.set_code(pos, code);
+        }
     }
 
-    /// Unshare the code vector and dictionary once and hand both out for
-    /// a whole batch of edits — the per-cell [`Column::push_value`] /
-    /// [`Column::set_value`] pay the copy-on-write checks on every call;
-    /// a bulk path pays them here, once, and reserves the append run up
-    /// front.
-    pub(crate) fn parts_mut(&mut self, reserve: usize) -> (&mut Vec<u32>, &mut Dictionary) {
+    /// Unshare the dictionary **once** and hand out an appender for a
+    /// whole batch of pushes — the per-cell [`Column::push_value`] pays
+    /// the dictionary's copy-on-write check on every call; a bulk path
+    /// pays it here, once.
+    pub(crate) fn appender(&mut self, reserve: usize) -> ColumnAppender<'_> {
         let dict = Arc::make_mut(&mut self.dict);
-        let codes = Arc::make_mut(&mut self.codes);
-        codes.reserve(reserve);
-        (codes, dict)
+        self.tail
+            .reserve(reserve.min(self.chunk_rows - self.tail.len()));
+        ColumnAppender {
+            sealed: &mut self.sealed,
+            tail: &mut self.tail,
+            dict,
+            chunk_rows: self.chunk_rows,
+        }
+    }
+}
+
+/// Batch append handle: the dictionary copy-on-write check was paid once
+/// when the appender was created (see [`Column::appender`]).
+pub(crate) struct ColumnAppender<'a> {
+    sealed: &'a mut Vec<Arc<Vec<u32>>>,
+    tail: &'a mut Vec<u32>,
+    dict: &'a mut Dictionary,
+    chunk_rows: usize,
+}
+
+impl ColumnAppender<'_> {
+    /// Append one cell, sealing the tail into an immutable chunk when full.
+    pub(crate) fn push(&mut self, v: &Value) {
+        let code = self.dict.intern(v);
+        self.tail.push(code);
+        if self.tail.len() == self.chunk_rows {
+            let full = std::mem::replace(self.tail, Vec::with_capacity(self.chunk_rows));
+            self.sealed.push(Arc::new(full));
+        }
     }
 }
 
 /// Incremental builder used while scanning a table once.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ColumnBuilder {
-    codes: Vec<u32>,
+    sealed: Vec<Arc<Vec<u32>>>,
+    tail: Vec<u32>,
     dict: Dictionary,
+    chunk_rows: usize,
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> ColumnBuilder {
+        ColumnBuilder::with_capacity(0)
+    }
 }
 
 impl ColumnBuilder {
-    /// Builder with row-count capacity.
+    /// Builder with row-count capacity and the default chunk size.
     pub fn with_capacity(rows: usize) -> ColumnBuilder {
+        ColumnBuilder::chunked(rows, default_chunk_rows())
+    }
+
+    /// Builder with an explicit chunk size (every chunk but the last holds
+    /// exactly `chunk_rows` codes).
+    pub fn chunked(rows: usize, chunk_rows: usize) -> ColumnBuilder {
+        assert!(chunk_rows >= 1, "chunk_rows must be positive");
         ColumnBuilder {
-            codes: Vec::with_capacity(rows),
+            sealed: Vec::with_capacity(rows / chunk_rows),
+            tail: Vec::with_capacity(rows.min(chunk_rows)),
             dict: Dictionary::new(),
+            chunk_rows,
         }
     }
 
     /// Append one cell.
     pub fn push(&mut self, v: &Value) {
         let code = self.dict.intern(v);
-        self.codes.push(code);
+        self.tail.push(code);
+        if self.tail.len() == self.chunk_rows {
+            let full = std::mem::replace(&mut self.tail, Vec::with_capacity(self.chunk_rows));
+            self.sealed.push(Arc::new(full));
+        }
     }
 
     /// Freeze into an immutable [`Column`].
     pub fn finish(self) -> Column {
-        Column::new(self.codes, self.dict)
+        Column {
+            sealed: self.sealed,
+            tail: self.tail,
+            dict: Arc::new(self.dict),
+            chunk_rows: self.chunk_rows,
+        }
     }
 }
 
@@ -164,7 +331,7 @@ mod tests {
         let c = b.finish();
         assert_eq!(c.len(), 4);
         assert_eq!(c.distinct(), 2);
-        assert_eq!(c.codes(), &[1, NULL_CODE, 2, 1]);
+        assert_eq!(c.contiguous().as_ref(), &[1, NULL_CODE, 2, 1]);
         assert_eq!(c.value_at(0), Value::str("a"));
         assert!(c.is_null_at(1));
         assert_eq!(c.value_at(3), Value::str("a"));
@@ -194,12 +361,74 @@ mod tests {
     }
 
     #[test]
+    fn chunk_layout_is_position_faithful() {
+        // chunk_rows = 3 over 8 values: two sealed chunks + a 2-code tail.
+        let mut b = ColumnBuilder::chunked(8, 3);
+        for i in 0..8 {
+            b.push(&Value::Int(i % 4));
+        }
+        let c = b.finish();
+        assert_eq!(c.n_chunks(), 3);
+        assert_eq!(c.chunk(0).len(), 3);
+        assert_eq!(c.chunk(1).len(), 3);
+        assert_eq!(c.chunk(2).len(), 2);
+        for pos in 0..8 {
+            assert_eq!(c.value_at(pos), Value::Int(pos as i64 % 4), "pos {pos}");
+        }
+        let flat: Vec<u32> = c.chunks().flatten().copied().collect();
+        assert_eq!(flat.as_slice(), c.contiguous().as_ref());
+        assert_eq!(flat.len(), c.len());
+    }
+
+    #[test]
+    fn appends_seal_chunks_without_unsharing_clones() {
+        let mut b = ColumnBuilder::chunked(4, 2);
+        for v in ["w", "x", "y", "z"] {
+            b.push(&Value::str(v));
+        }
+        let mut c = b.finish();
+        let before = c.clone();
+        // Appends touch only the (empty) tail: the handed-out clone keeps
+        // sharing both sealed chunks, no copy-on-write of existing codes.
+        c.push_value(&Value::str("new"));
+        assert_eq!(c.len(), 5);
+        assert_eq!(before.len(), 4, "clone unaffected");
+        assert_eq!(
+            c.chunk(0).as_ptr(),
+            before.chunk(0).as_ptr(),
+            "sealed chunks stay shared across the append"
+        );
+        assert_eq!(c.chunk(1).as_ptr(), before.chunk(1).as_ptr());
+    }
+
+    #[test]
+    fn swap_remove_unseals_the_last_chunk() {
+        let mut b = ColumnBuilder::chunked(4, 2);
+        for v in ["a", "b", "c", "d"] {
+            b.push(&Value::str(v));
+        }
+        let mut c = b.finish();
+        assert_eq!(c.n_chunks(), 2);
+        // Tail is empty: removing position 0 pops 'd' off the unsealed
+        // last chunk and writes it over 'a'.
+        c.swap_remove(0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_at(0), Value::str("d"));
+        assert_eq!(c.value_at(1), Value::str("b"));
+        assert_eq!(c.value_at(2), Value::str("c"));
+    }
+
+    #[test]
     fn clones_share_storage() {
-        let mut b = ColumnBuilder::with_capacity(2);
+        let mut b = ColumnBuilder::chunked(2, 2);
         b.push(&Value::str("x"));
         b.push(&Value::str("y"));
         let c1 = b.finish();
         let c2 = c1.clone();
-        assert!(std::ptr::eq(c1.codes(), c2.codes()));
+        assert_eq!(
+            c1.chunk(0).as_ptr(),
+            c2.chunk(0).as_ptr(),
+            "sealed chunks are Arc-shared, not copied"
+        );
     }
 }

@@ -4,26 +4,38 @@
 //! hashes a freshly cloned `Vec<Value>` LHS key per tuple. Here every CFD is
 //! evaluated over dictionary codes instead:
 //!
-//! * **constant CFDs** reduce to integer comparisons over `u32` column
-//!   slices — the pattern constants are resolved to codes once, and a
-//!   constant absent from a column's dictionary short-circuits the scan;
+//! * **constant CFDs** reduce to integer comparisons over `u32` code
+//!   chunks — the pattern constants are resolved to codes once, each chunk
+//!   takes a branch-free any-violation pass first (a fold of compare bits
+//!   the compiler autovectorizes), and only chunks that contain a
+//!   violation are re-scanned to materialize row ids;
 //! * **variable CFDs** group rows by their LHS *code* key. When the
 //!   combined code widths fit, keys are packed into a single `u64`; wider
 //!   keys fall back to boxed `[u32]` slices. Either way no `Value` is
 //!   cloned on the scan path — values are only decoded (an `Arc` bump) when
 //!   a violating group is materialized into the report.
 //!
+//! Scans walk the column chunk by chunk ([`crate::column`]), which is also
+//! the parallel decomposition: [`detect_on_snapshot_threads`] splits every
+//! variable CFD into (CFD × chunk) morsels, runs them on the work-stealing
+//! pool ([`crate::morsel`]), and merges the per-chunk [`GroupPartial`]s
+//! through the *same* exchange machinery the cluster's shards gather
+//! through — one merge semantics for threads-in-a-node and
+//! shards-in-a-cluster. One worker is the exact serial path.
+//!
 //! The output is [`ViolationReport`]-identical (after `normalized()`) to the
 //! native detector on every instance; the property tests in
-//! `tests/detector_equivalence.rs` pin this.
+//! `tests/detector_equivalence.rs` and `tests/chunked_detect.rs` pin this.
 
 use cfd::{BoundCfd, Cfd, CfdResult, Pattern};
-use detect::exchange::{CfdPartial, GroupPartial};
+use detect::exchange::{merge_variable_partials, CfdPartial, GroupPartial};
 use detect::incremental::CfdSeed;
 use detect::{IncrementalDetector, ViolationReport};
 use minidb::{RowId, Table, Value};
 
+use crate::column::Column;
 use crate::dictionary::NULL_CODE;
+use crate::morsel;
 use crate::snapshot::Snapshot;
 use detect::fxhash::{DistinctCounter, FxHashMap};
 
@@ -119,30 +131,129 @@ pub(crate) fn resolve(snap: &Snapshot, b: &BoundCfd) -> Option<Resolved> {
 /// snapshot, projected onto the columns the CFD set mentions, and
 /// evaluating every CFD against it (one encode, N rules).
 pub fn detect_columnar(table: &Table, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+    detect_columnar_threads(table, cfds, 1)
+}
+
+/// [`detect_columnar`] with an explicit detection worker count (see
+/// [`detect_on_snapshot_threads`]; the snapshot encode itself parallelizes
+/// independently).
+pub fn detect_columnar_threads(
+    table: &Table,
+    cfds: &[Cfd],
+    threads: usize,
+) -> CfdResult<ViolationReport> {
     let bound: Vec<BoundCfd> = cfds
         .iter()
         .map(|c| c.bind(table.schema()))
         .collect::<CfdResult<_>>()?;
     let snap = Snapshot::projected(table, &needed_columns(&bound));
-    let mut report = ViolationReport::default();
-    for (idx, b) in bound.iter().enumerate() {
-        detect_one_columnar(&snap, idx, b, &mut report);
-    }
-    Ok(report)
+    detect_on_snapshot_threads(&snap, cfds, threads)
 }
 
 /// Detect all violations of `cfds` against an existing snapshot — the reuse
 /// path when several CFD sets (or repeated calls) run over the same data.
 pub fn detect_on_snapshot(snap: &Snapshot, cfds: &[Cfd]) -> CfdResult<ViolationReport> {
+    detect_on_snapshot_threads(snap, cfds, 1)
+}
+
+/// [`detect_on_snapshot`] with an explicit worker count. `threads <= 1`
+/// (or a single-chunk snapshot) is the exact serial path; otherwise every
+/// variable CFD fans out into (CFD × chunk) morsels over the work-stealing
+/// pool, whose per-chunk partials merge through
+/// [`detect::exchange::merge_variable_partials`]. Constant CFDs stay
+/// serial — their branch-free chunk scan is memory-bound and cheap.
+///
+/// The result is `normalized()`-equal to the serial path at every worker
+/// count; only the within-CFD group order may differ.
+pub fn detect_on_snapshot_threads(
+    snap: &Snapshot,
+    cfds: &[Cfd],
+    threads: usize,
+) -> CfdResult<ViolationReport> {
     let bound: Vec<BoundCfd> = cfds
         .iter()
         .map(|c| c.bind(snap.schema()))
         .collect::<CfdResult<_>>()?;
     let mut report = ViolationReport::default();
+    if threads.max(1) == 1 || snap.n_chunks() < 2 {
+        for (idx, b) in bound.iter().enumerate() {
+            detect_one_columnar(snap, idx, b, &mut report);
+        }
+        return Ok(report);
+    }
+
+    // Resolve the variable CFDs up front; constants and vacuous rules run
+    // inline in CFD order below, so the report's per-CFD record order
+    // matches the serial path's exactly.
+    let vars: Vec<(usize, &BoundCfd, Resolved)> = bound
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.cfd.rhs_pat.is_wild())
+        .filter_map(|(idx, b)| resolve(snap, b).map(|r| (idx, b, r)))
+        .collect();
+    let mut merged = variable_groups_threaded(snap, &vars, threads);
+    debug_assert_eq!(merged.len(), vars.len());
+    let mut merged_by_idx: FxHashMap<usize, Vec<DecodedGroup>> = vars
+        .iter()
+        .map(|(idx, ..)| *idx)
+        .zip(merged.drain(..))
+        .collect();
     for (idx, b) in bound.iter().enumerate() {
-        detect_one_columnar(snap, idx, b, &mut report);
+        if let Some(groups) = merged_by_idx.remove(&idx) {
+            for (key, rows, own) in groups {
+                report.push_multi_shared(idx, key, rows, &own);
+            }
+        } else if b.cfd.rhs_pat.constant().is_some() {
+            detect_one_columnar(snap, idx, b, &mut report);
+        }
+        // Variable CFDs whose LHS constants resolve to nothing hold
+        // vacuously — absent from `merged_by_idx`, nothing to push.
     }
     Ok(report)
+}
+
+/// Evaluate the variable CFDs in `vars` as (CFD × chunk) morsels on the
+/// work-stealing pool and merge each CFD's per-chunk partials, preserving
+/// `vars` order. Each morsel exports one chunk's groups in the wire format
+/// ([`GroupPartial`]); the merge is the shard-exchange merge, so a chunk
+/// boundary splitting a group is indistinguishable from a shard boundary
+/// splitting it.
+pub(crate) fn variable_groups_threaded(
+    snap: &Snapshot,
+    vars: &[(usize, &BoundCfd, Resolved)],
+    threads: usize,
+) -> Vec<Vec<DecodedGroup>> {
+    let nc = snap.n_chunks();
+    if vars.is_empty() || nc == 0 {
+        return vec![Vec::new(); vars.len()];
+    }
+    let o = detect_obs();
+    o.rows_scanned.add((vars.len() * snap.n_rows()) as u64);
+    let partials: Vec<Option<Vec<GroupPartial>>> =
+        morsel::run_morsels(threads, vars.len() * nc, |m| {
+            let (_, b, r) = &vars[m / nc];
+            let ci = m % nc;
+            group_by_codes_range(snap, r, ci..ci + 1)
+                .into_iter()
+                .map(|(key, g)| export_partial(snap, b, r, &key, &g))
+                .collect::<Vec<GroupPartial>>()
+        });
+    vars.iter()
+        .enumerate()
+        .map(|(vi, _)| {
+            let parts = partials[vi * nc..(vi + 1) * nc]
+                .iter()
+                .filter_map(|p| p.as_deref());
+            let groups: Vec<DecodedGroup> = merge_variable_partials(parts)
+                .into_iter()
+                .map(|(key, rows, own)| (key, std::sync::Arc::new(rows), own))
+                .collect();
+            o.violating_groups.add(groups.len() as u64);
+            o.group_members
+                .add(groups.iter().map(|(_, rows, _)| rows.len() as u64).sum());
+            groups
+        })
+        .collect()
 }
 
 /// A decoded violating group: LHS key, members (shared — the lifecycle
@@ -170,33 +281,62 @@ pub fn detect_one_columnar(
 
 /// Constant-RHS path: a row violates iff every LHS filter matches and its
 /// (non-NULL) RHS code differs from the pattern constant's code.
+///
+/// Runs chunk at a time, two-phase: a branch-free fold ORs the per-row
+/// "violates" bit across the chunk (plain integer compares, no early exit
+/// — the shape LLVM autovectorizes), and only a chunk whose fold came back
+/// non-zero is re-scanned to materialize row ids. Clean data — the common
+/// case — never takes a per-row branch.
 pub(crate) fn detect_constant(
     snap: &Snapshot,
     cfd_idx: usize,
     r: &Resolved,
     report: &mut ViolationReport,
 ) {
-    let rhs = snap.column(r.rhs_col).codes();
+    let rhs = snap.column(r.rhs_col);
     let o = detect_obs();
     o.rows_scanned.add(snap.n_rows() as u64);
     let before = report.len();
-    let filters: Vec<(&[u32], u32)> = r
+    let filters: Vec<(&Column, u32)> = r
         .cells
         .iter()
-        .map(|c| match c {
-            LhsCell::Filter { col, code } => (snap.column(*col).codes(), *code),
+        .filter_map(|c| match c {
+            LhsCell::Filter { col, code } => Some((snap.column(*col), *code)),
             // Wild LHS cells of a constant-RHS CFD match every row.
-            LhsCell::Wild { col } => (snap.column(*col).codes(), u32::MAX),
+            LhsCell::Wild { .. } => None,
         })
-        .filter(|(_, code)| *code != u32::MAX)
         .collect();
-    for pos in 0..snap.n_rows() {
-        if !filters.iter().all(|(codes, code)| codes[pos] == *code) {
+    // Codes are small sequential dictionary indices, so `u32::MAX` is a
+    // safe never-matches stand-in for an RHS constant absent from the
+    // dictionary (where every non-NULL code violates).
+    let target = r.rhs_code.unwrap_or(u32::MAX);
+    for ci in 0..rhs.n_chunks() {
+        let codes = rhs.chunk(ci);
+        let base = ci * rhs.chunk_rows();
+        let fs: Vec<(&[u32], u32)> = filters
+            .iter()
+            .map(|(c, code)| (c.chunk(ci), *code))
+            .collect();
+        let any = match fs.as_slice() {
+            [] => codes.iter().fold(0u32, |acc, &c| {
+                acc | u32::from(c != NULL_CODE && c != target)
+            }),
+            [(f, fc)] => codes.iter().zip(f.iter()).fold(0u32, |acc, (&c, &fv)| {
+                acc | u32::from(fv == *fc && c != NULL_CODE && c != target)
+            }),
+            // Multi-filter constant rules are rare; skip the probe pass.
+            _ => 1,
+        };
+        if any == 0 {
             continue;
         }
-        let c = rhs[pos];
-        if c != NULL_CODE && Some(c) != r.rhs_code {
-            report.push_single(cfd_idx, snap.row_id(pos));
+        for (i, &c) in codes.iter().enumerate() {
+            if !fs.iter().all(|(f, fc)| f[i] == *fc) {
+                continue;
+            }
+            if c != NULL_CODE && c != target {
+                report.push_single(cfd_idx, snap.row_id(base + i));
+            }
         }
     }
     o.constant_violations.add((report.len() - before) as u64);
@@ -301,54 +441,63 @@ impl ConflictState for HashedState {
 /// storage: pass 1 folds every LHS-matching row's RHS code into its key's
 /// state; pass 2 — entered only when some key conflicted — re-labels
 /// conflicted slots with group output indexes on first touch
-/// ([`GROUP_MARK`]) and collects members.
-// Parallel code slices are indexed by one shared row position throughout;
-// an enumerate-based rewrite would obscure that.
+/// ([`GROUP_MARK`]) and collects members. Both passes walk the columns
+/// chunk by chunk; recorded positions are global.
+// Parallel chunk slices are indexed by one shared chunk-local position
+// throughout; an enumerate-based rewrite would obscure that.
 #[allow(clippy::needless_range_loop)]
 fn packed_violating_groups<S: ConflictState>(
     scan: &Scan<'_>,
-    rhs: &[u32],
+    rhs: &Column,
     mut state: S,
 ) -> Vec<(Key, Group)> {
-    let n = rhs.len();
-    for pos in 0..n {
-        let Some(key) = scan.packed_key(pos) else {
-            continue;
-        };
-        let rc = rhs[pos];
-        if rc != NULL_CODE {
-            state.advance(key, rc);
+    for ci in 0..rhs.n_chunks() {
+        let cs = scan.at(ci);
+        let codes = rhs.chunk(ci);
+        for i in 0..codes.len() {
+            let Some(key) = cs.packed_key(i) else {
+                continue;
+            };
+            let rc = codes[i];
+            if rc != NULL_CODE {
+                state.advance(key, rc);
+            }
         }
     }
     let mut groups: Vec<(Key, Group)> = Vec::new();
     if !state.any_conflict() {
         return groups;
     }
-    for pos in 0..n {
-        let Some(key) = scan.packed_key(pos) else {
-            continue;
-        };
-        let rc = rhs[pos];
-        if rc == NULL_CODE {
-            continue;
+    for ci in 0..rhs.n_chunks() {
+        let cs = scan.at(ci);
+        let codes = rhs.chunk(ci);
+        let base = (ci * rhs.chunk_rows()) as u32;
+        for i in 0..codes.len() {
+            let Some(key) = cs.packed_key(i) else {
+                continue;
+            };
+            let rc = codes[i];
+            if rc == NULL_CODE {
+                continue;
+            }
+            let Some(s) = state.get_state(key) else {
+                continue;
+            };
+            // Conflicted slots are re-labelled with their output index on
+            // first touch (high bit set); dictionary codes never reach the
+            // high bit.
+            let idx = if *s == CONFLICT {
+                let idx = groups.len();
+                groups.push((Key::Packed(key), Group::default()));
+                *s = GROUP_MARK | idx as u32;
+                idx
+            } else if *s & GROUP_MARK != 0 {
+                (*s & !GROUP_MARK) as usize
+            } else {
+                continue; // clean group
+            };
+            groups[idx].1.add(base + i as u32, rc);
         }
-        let Some(s) = state.get_state(key) else {
-            continue;
-        };
-        // Conflicted slots are re-labelled with their output index on
-        // first touch (high bit set); dictionary codes never reach the
-        // high bit.
-        let idx = if *s == CONFLICT {
-            let idx = groups.len();
-            groups.push((Key::Packed(key), Group::default()));
-            *s = GROUP_MARK | idx as u32;
-            idx
-        } else if *s & GROUP_MARK != 0 {
-            (*s & !GROUP_MARK) as usize
-        } else {
-            continue; // clean group
-        };
-        groups[idx].1.add(pos as u32, rc);
     }
     groups
 }
@@ -363,7 +512,7 @@ fn packed_violating_groups<S: ConflictState>(
 pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> Vec<DecodedGroup> {
     let scan = Scan::new(snap, r);
     let n = snap.n_rows();
-    let rhs = snap.column(r.rhs_col).codes();
+    let rhs = snap.column(r.rhs_col);
     let o = detect_obs();
     o.rows_scanned.add(n as u64);
 
@@ -419,12 +568,22 @@ enum Shape<'a> {
     General,
 }
 
-/// Reusable per-row scan state for one resolved variable CFD: constant
-/// filters plus the packed-key layout of the wildcard columns.
+/// Per-CFD scan state for one resolved variable CFD: constant filters plus
+/// the packed-key layout of the wildcard columns, held as whole columns.
+/// [`Scan::at`] resolves one chunk's slices (and their dispatched
+/// [`Shape`]) for the inner loops.
 struct Scan<'a> {
+    filters: Vec<(&'a Column, u32)>,
+    /// `(column, code bits)` per wildcard, in pattern order.
+    wilds: Vec<(&'a Column, u32)>,
+    total_bits: u32,
+}
+
+/// One chunk's resolved scan state: code slices aligned at the same chunk
+/// index across columns, indexed by chunk-local position.
+struct ChunkScan<'a> {
     filters: Vec<(&'a [u32], u32)>,
     wilds: Vec<(&'a [u32], u32)>,
-    total_bits: u32,
     shape: Shape<'a>,
 }
 
@@ -436,26 +595,19 @@ impl<'a> Scan<'a> {
         for cell in &r.cells {
             match cell {
                 LhsCell::Filter { col, code } => {
-                    filters.push((snap.column(*col).codes(), *code));
+                    filters.push((snap.column(*col), *code));
                 }
                 LhsCell::Wild { col } => {
                     let bits = snap.column(*col).dictionary().code_bits();
                     total_bits += bits;
-                    wilds.push((snap.column(*col).codes(), bits));
+                    wilds.push((snap.column(*col), bits));
                 }
             }
         }
-        let shape = match (filters.as_slice(), wilds.as_slice()) {
-            ([], [(w, _)]) => Shape::W1(w),
-            ([], [(a, _), (b, b_bits)]) => Shape::W2(a, b, *b_bits),
-            ([(f, fc)], [(w, _)]) => Shape::F1W1(f, *fc, w),
-            _ => Shape::General,
-        };
         Scan {
             filters,
             wilds,
             total_bits,
-            shape,
         }
     }
 
@@ -464,43 +616,70 @@ impl<'a> Scan<'a> {
         (self.total_bits <= 64).then_some(self.total_bits)
     }
 
-    /// Do row `pos`'s codes pass every constant filter?
+    /// Resolve chunk `ci`'s slices and dispatch their shape.
+    fn at(&self, ci: usize) -> ChunkScan<'a> {
+        let filters: Vec<(&'a [u32], u32)> = self
+            .filters
+            .iter()
+            .map(|(c, code)| (c.chunk(ci), *code))
+            .collect();
+        let wilds: Vec<(&'a [u32], u32)> = self
+            .wilds
+            .iter()
+            .map(|(c, bits)| (c.chunk(ci), *bits))
+            .collect();
+        let shape = match (filters.as_slice(), wilds.as_slice()) {
+            ([], [(w, _)]) => Shape::W1(w),
+            ([], [(a, _), (b, b_bits)]) => Shape::W2(a, b, *b_bits),
+            ([(f, fc)], [(w, _)]) => Shape::F1W1(f, *fc, w),
+            _ => Shape::General,
+        };
+        ChunkScan {
+            filters,
+            wilds,
+            shape,
+        }
+    }
+}
+
+impl ChunkScan<'_> {
+    /// Do the codes at chunk-local position `i` pass every constant filter?
     #[inline]
-    fn matches(&self, pos: usize) -> bool {
-        self.filters.iter().all(|(codes, code)| codes[pos] == *code)
+    fn matches(&self, i: usize) -> bool {
+        self.filters.iter().all(|(codes, code)| codes[i] == *code)
     }
 
-    /// The packed key of row `pos`, or `None` when a constant filter
-    /// rejects the row.
+    /// The packed key at chunk-local position `i`, or `None` when a
+    /// constant filter rejects the row.
     #[inline]
-    fn packed_key(&self, pos: usize) -> Option<u64> {
+    fn packed_key(&self, i: usize) -> Option<u64> {
         match self.shape {
-            Shape::W1(w) => Some(w[pos] as u64),
-            Shape::W2(a, b, b_bits) => Some(((a[pos] as u64) << b_bits) | b[pos] as u64),
-            Shape::F1W1(f, fc, w) => (f[pos] == fc).then(|| w[pos] as u64),
-            Shape::General => self.packed_key_general(pos),
+            Shape::W1(w) => Some(w[i] as u64),
+            Shape::W2(a, b, b_bits) => Some(((a[i] as u64) << b_bits) | b[i] as u64),
+            Shape::F1W1(f, fc, w) => (f[i] == fc).then(|| w[i] as u64),
+            Shape::General => self.packed_key_general(i),
         }
     }
 
-    fn packed_key_general(&self, pos: usize) -> Option<u64> {
-        if !self.matches(pos) {
+    fn packed_key_general(&self, i: usize) -> Option<u64> {
+        if !self.matches(i) {
             return None;
         }
         let mut key = 0u64;
         for (codes, bits) in &self.wilds {
-            key = (key << bits) | codes[pos] as u64;
+            key = (key << bits) | codes[i] as u64;
         }
         Some(key)
     }
 
-    /// The materialized wildcard-code key of row `pos` (the > 64-bit
-    /// fallback), or `None` when a constant filter rejects the row.
+    /// The materialized wildcard-code key at chunk-local position `i` (the
+    /// > 64-bit fallback), or `None` when a constant filter rejects it.
     #[inline]
-    fn wide_key(&self, pos: usize) -> Option<Box<[u32]>> {
-        if !self.matches(pos) {
+    fn wide_key(&self, i: usize) -> Option<Box<[u32]>> {
+        if !self.matches(i) {
             return None;
         }
-        Some(self.wilds.iter().map(|(codes, _)| codes[pos]).collect())
+        Some(self.wilds.iter().map(|(codes, _)| codes[i]).collect())
     }
 }
 
@@ -511,19 +690,34 @@ enum Key {
     Wide(Box<[u32]>),
 }
 
-/// Single grouping pass over the code columns. Returns every group (the
-/// incremental seeding path needs non-violating groups too).
-///
-/// Row filtering and key packing are [`Scan`]'s — the same `packed_key` /
-/// `wide_key` the detection path scans with, so the seeding and detection
-/// paths group by construction-identical keys.
-// Parallel code slices are indexed by one shared row position throughout;
-// an enumerate-based rewrite would obscure that.
-#[allow(clippy::needless_range_loop)]
+/// [`group_by_codes_range`] over the whole snapshot.
 fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
+    let nc = snap.column(r.rhs_col).n_chunks();
+    group_by_codes_range(snap, r, 0..nc)
+}
+
+/// Single grouping pass over a chunk range of the code columns. Returns
+/// every group with at least one non-NULL member (the incremental seeding
+/// path needs non-violating groups too); recorded positions are global, so
+/// a one-chunk range produces exactly that chunk's portion of each group —
+/// the morsel unit of [`variable_groups_threaded`].
+///
+/// Row filtering and key packing are [`ChunkScan`]'s — the same
+/// `packed_key` / `wide_key` the detection path scans with, so the
+/// seeding, morsel, and detection paths group by construction-identical
+/// keys.
+// Parallel chunk slices are indexed by one shared chunk-local position
+// throughout; an enumerate-based rewrite would obscure that.
+#[allow(clippy::needless_range_loop)]
+fn group_by_codes_range(
+    snap: &Snapshot,
+    r: &Resolved,
+    chunks: std::ops::Range<usize>,
+) -> Vec<(Key, Group)> {
     let scan = Scan::new(snap, r);
-    let rhs = snap.column(r.rhs_col).codes();
-    let n = snap.n_rows();
+    let rhs = snap.column(r.rhs_col);
+    let chunk_rows = rhs.chunk_rows();
+    let n: usize = chunks.clone().map(|ci| rhs.chunk(ci).len()).sum();
 
     if let Some(total_bits) = scan.packed_bits() {
         // Dense path: when the packed key space is small relative to the
@@ -534,15 +728,20 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
         if slots <= (2 * n as u64).clamp(4_096, MAX_DENSE_GROUP_SLOTS) {
             let mut groups: Vec<Group> = Vec::new();
             groups.resize_with(slots as usize, Group::default);
-            for pos in 0..n {
-                let Some(key) = scan.packed_key(pos) else {
-                    continue;
-                };
-                let rc = rhs[pos];
-                if rc == NULL_CODE {
-                    continue; // COUNT(DISTINCT) ignores NULL members
+            for ci in chunks {
+                let cs = scan.at(ci);
+                let codes = rhs.chunk(ci);
+                let base = (ci * chunk_rows) as u32;
+                for i in 0..codes.len() {
+                    let Some(key) = cs.packed_key(i) else {
+                        continue;
+                    };
+                    let rc = codes[i];
+                    if rc == NULL_CODE {
+                        continue; // COUNT(DISTINCT) ignores NULL members
+                    }
+                    groups[key as usize].add(base + i as u32, rc);
                 }
-                groups[key as usize].add(pos as u32, rc);
             }
             return groups
                 .into_iter()
@@ -553,15 +752,20 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
         }
         // Hashed path: pack the whole key into one u64.
         let mut groups: FxHashMap<u64, Group> = FxHashMap::default();
-        for pos in 0..n {
-            let Some(key) = scan.packed_key(pos) else {
-                continue;
-            };
-            let rc = rhs[pos];
-            if rc == NULL_CODE {
-                continue;
+        for ci in chunks {
+            let cs = scan.at(ci);
+            let codes = rhs.chunk(ci);
+            let base = (ci * chunk_rows) as u32;
+            for i in 0..codes.len() {
+                let Some(key) = cs.packed_key(i) else {
+                    continue;
+                };
+                let rc = codes[i];
+                if rc == NULL_CODE {
+                    continue;
+                }
+                groups.entry(key).or_default().add(base + i as u32, rc);
             }
-            groups.entry(key).or_default().add(pos as u32, rc);
         }
         groups
             .into_iter()
@@ -571,15 +775,20 @@ fn group_by_codes(snap: &Snapshot, r: &Resolved) -> Vec<(Key, Group)> {
         // Wide path: materialize the code key (NULL-RHS rows are skipped
         // before the key allocation).
         let mut groups: FxHashMap<Box<[u32]>, Group> = FxHashMap::default();
-        for pos in 0..n {
-            let rc = rhs[pos];
-            if rc == NULL_CODE {
-                continue;
+        for ci in chunks {
+            let cs = scan.at(ci);
+            let codes = rhs.chunk(ci);
+            let base = (ci * chunk_rows) as u32;
+            for i in 0..codes.len() {
+                let rc = codes[i];
+                if rc == NULL_CODE {
+                    continue;
+                }
+                let Some(key) = cs.wide_key(i) else {
+                    continue;
+                };
+                groups.entry(key).or_default().add(base + i as u32, rc);
             }
-            let Some(key) = scan.wide_key(pos) else {
-                continue;
-            };
-            groups.entry(key).or_default().add(pos as u32, rc);
         }
         groups.into_iter().map(|(k, g)| (Key::Wide(k), g)).collect()
     }
@@ -627,9 +836,6 @@ fn decode_key(snap: &Snapshot, b: &BoundCfd, r: &Resolved, key: &Key) -> Vec<Val
         .collect()
 }
 
-/// Decode group members into `(RowId, Value)` pairs, plus each member's
-/// value multiplicity within the group — counted over codes, so the report
-/// layer never compares values.
 /// Decode group members without multiplicity counting — the seeding path
 /// materializes every group (violating or not) and never needs `own`.
 fn decode_members_only(snap: &Snapshot, r: &Resolved, g: &Group) -> Vec<(RowId, Value)> {
@@ -640,6 +846,9 @@ fn decode_members_only(snap: &Snapshot, r: &Resolved, g: &Group) -> Vec<(RowId, 
         .collect()
 }
 
+/// Decode group members into `(RowId, Value)` pairs, plus each member's
+/// value multiplicity within the group — counted over codes, so the report
+/// layer never compares values.
 fn decode_members(
     snap: &Snapshot,
     r: &Resolved,
@@ -815,6 +1024,26 @@ mod tests {
         let r = detect_columnar(t, &d.cfds).unwrap();
         assert!(r.is_empty());
         assert_equivalent(t, &d.cfds);
+    }
+
+    #[test]
+    fn threaded_detection_matches_serial_across_chunk_layouts() {
+        let d = dirty_customers(400, 0.08, 28);
+        let t = d.db.table("customer").unwrap();
+        let serial = detect_columnar(t, &d.cfds).unwrap().normalized();
+        for chunk_rows in [1usize, 7, 64, 4096] {
+            let snap = Snapshot::projected_with_chunk(
+                t,
+                &(0..t.schema().arity()).collect::<Vec<_>>(),
+                chunk_rows,
+            );
+            for threads in [1usize, 2, 4] {
+                let got = detect_on_snapshot_threads(&snap, &d.cfds, threads)
+                    .unwrap()
+                    .normalized();
+                assert_eq!(got, serial, "chunk_rows={chunk_rows} threads={threads}");
+            }
+        }
     }
 
     #[test]

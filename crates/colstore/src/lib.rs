@@ -8,14 +8,20 @@
 //!   code 0 ([`NULL_CODE`]) reserved for SQL NULL; code equality is exactly
 //!   `Value::strong_eq` equality, so code comparisons reproduce the
 //!   reference semantics.
-//! * [`Column`] — an `Arc`-shared code vector plus its dictionary; cloning
-//!   is a refcount bump.
+//! * [`Column`] — fixed-size immutable code chunks (`Arc`-shared) plus one
+//!   mutable tail chunk and the dictionary; cloning bumps refcounts,
+//!   appending is an O(1) tail push, and a chunk is the unit of parallel
+//!   scan work.
 //! * [`Snapshot`] — one encode pass over a table's live rows; the unit of
 //!   reuse across a whole CFD set (one encode, N rules) and across engines.
-//! * [`detect_columnar`] / [`detect_on_snapshot`] — constant CFDs by code
-//!   comparison over column slices, variable CFDs by grouping packed `u64`
-//!   (or wide `[u32]`) LHS code keys. Returns reports `normalized()`-equal
-//!   to [`detect::detect_native`] on every instance.
+//! * [`detect_columnar`] / [`detect_on_snapshot`] — constant CFDs by
+//!   branch-free code comparison over chunks, variable CFDs by grouping
+//!   packed `u64` (or wide `[u32]`) LHS code keys. Returns reports
+//!   `normalized()`-equal to [`detect::detect_native`] on every instance.
+//! * [`detect_on_snapshot_threads`] / [`detect_cached_threads`] — the same
+//!   detection fanned out as (CFD × chunk) morsels over the work-stealing
+//!   pool in [`morsel`]; per-chunk partials merge through the shard
+//!   exchange machinery, so threads and shards share one merge semantics.
 //! * [`seed_incremental`] / [`build_incremental`] — bulk-seed the
 //!   incremental detector's group state from one columnar pass (the data
 //!   monitor's full-rescan fallback).
@@ -33,13 +39,14 @@ pub mod column;
 pub mod detect;
 pub mod dictionary;
 pub mod lifecycle;
+pub mod morsel;
 pub mod snapshot;
 
-pub use self::column::{Column, ColumnBuilder};
+pub use self::column::{default_chunk_rows, Column, ColumnBuilder};
 pub use self::detect::{
-    build_incremental, cfd_partial_one, cfd_partials, detect_columnar, detect_on_snapshot,
-    detect_one_columnar, seed_incremental,
+    build_incremental, cfd_partial_one, cfd_partials, detect_columnar, detect_columnar_threads,
+    detect_on_snapshot, detect_on_snapshot_threads, detect_one_columnar, seed_incremental,
 };
 pub use self::dictionary::{Dictionary, NULL_CODE};
-pub use self::lifecycle::{detect_cached, SnapshotCache, TableDelta};
+pub use self::lifecycle::{detect_cached, detect_cached_threads, SnapshotCache, TableDelta};
 pub use self::snapshot::Snapshot;

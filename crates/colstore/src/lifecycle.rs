@@ -39,7 +39,10 @@ use detect::fxhash::FxHashMap;
 use detect::ViolationReport;
 use minidb::{RowId, Table, Value};
 
-use crate::detect::{detect_constant, needed_columns, resolve, violating_groups, DecodedGroup};
+use crate::detect::{
+    detect_constant, needed_columns, resolve, variable_groups_threaded, violating_groups,
+    DecodedGroup, Resolved,
+};
 use crate::snapshot::Snapshot;
 
 /// Global-registry handles for the cache's telemetry, resolved once per
@@ -138,6 +141,9 @@ impl Cached {
 pub struct SnapshotCache {
     cached: Option<Cached>,
     delta_threshold: f64,
+    /// Rows per code chunk for snapshots this cache encodes; `None` uses
+    /// the process default ([`crate::column::default_chunk_rows`]).
+    chunk_rows: Option<usize>,
     encodes: u64,
     patches: u64,
     /// Per-CFD detect fragments memoized by [`detect_cached`], each tagged
@@ -160,6 +166,7 @@ impl SnapshotCache {
         SnapshotCache {
             cached: None,
             delta_threshold: DEFAULT_DELTA_THRESHOLD,
+            chunk_rows: None,
             encodes: 0,
             patches: 0,
             memo: Vec::new(),
@@ -174,6 +181,16 @@ impl SnapshotCache {
     /// how the equivalence tests pin the fallback path.
     pub fn with_delta_threshold(mut self, threshold: f64) -> SnapshotCache {
         self.delta_threshold = threshold;
+        self
+    }
+
+    /// Override the rows-per-chunk size of snapshots this cache encodes
+    /// (default: the process-wide [`crate::column::default_chunk_rows`]).
+    /// Smaller chunks mean more detection morsels; the equivalence
+    /// property tests sweep this down to 1.
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> SnapshotCache {
+        assert!(chunk_rows >= 1, "chunk_rows must be positive");
+        self.chunk_rows = Some(chunk_rows);
         self
     }
 
@@ -214,8 +231,11 @@ impl SnapshotCache {
         }
         // Re-encode with the union of the requested and previously encoded
         // columns, so the cached projection grows monotonically.
-        let snap = match cols {
-            None => Snapshot::of(table),
+        let chunk_rows = self
+            .chunk_rows
+            .unwrap_or_else(crate::column::default_chunk_rows);
+        let union: Vec<usize> = match cols {
+            None => (0..table.schema().arity()).collect(),
             Some(cols) => {
                 let mut union: Vec<usize> = cols.to_vec();
                 if let Some(c) = &self.cached {
@@ -225,9 +245,10 @@ impl SnapshotCache {
                 }
                 union.sort_unstable();
                 union.dedup();
-                Snapshot::projected(table, &union)
+                union
             }
         };
+        let snap = Snapshot::projected_with_chunk(table, &union, chunk_rows);
         self.encodes += 1;
         let snap = Arc::new(snap);
         // Column/row epochs restart at "changed now": any fragment computed
@@ -670,6 +691,87 @@ pub fn detect_cached(
         entry.replay(idx, &mut report);
         cache.memo.push(entry);
     }
+    Ok(report)
+}
+
+/// [`detect_cached`] with an explicit detection worker count. `threads <=
+/// 1` *is* [`detect_cached`] — same code path, same counters. More workers
+/// keep the whole memo/epoch bookkeeping (fresh fragments still replay
+/// without a scan) but compute the stale *variable* fragments as (CFD ×
+/// chunk) morsels on the work-stealing pool; stale constant fragments stay
+/// serial (their branch-free scan is memory-bound). Output stays
+/// `normalized()`-equal at every worker count.
+pub fn detect_cached_threads(
+    cache: &mut SnapshotCache,
+    table: &Table,
+    cfds: &[Cfd],
+    threads: usize,
+) -> CfdResult<ViolationReport> {
+    if threads.max(1) == 1 {
+        return detect_cached(cache, table, cfds);
+    }
+    let bound: Vec<BoundCfd> = cfds
+        .iter()
+        .map(|c| c.bind(table.schema()))
+        .collect::<CfdResult<_>>()?;
+    let snap = cache.snapshot_projected(table, &needed_columns(&bound));
+    let epoch = table.epoch();
+    let mut old = std::mem::take(&mut cache.memo);
+    // Classify every CFD first: fresh fragments lift out of the old memo,
+    // stale constants (and vacuous rules) compute inline, stale variable
+    // CFDs collect for one fan-out over the pool.
+    let mut entries: Vec<Option<MemoEntry>> = (0..bound.len()).map(|_| None).collect();
+    let mut stale_vars: Vec<(usize, &BoundCfd, Resolved)> = Vec::new();
+    for (idx, b) in bound.iter().enumerate() {
+        let cols: Vec<usize> = b.lhs_cols.iter().copied().chain([b.rhs_col]).collect();
+        if let Some(p) = old
+            .iter()
+            .position(|e| e.cfd == cfds[idx] && cache.fragment_fresh(e.epoch, &cols))
+        {
+            cache.fragments_reused += 1;
+            cache_obs().fragments_reused.inc();
+            entries[idx] = Some(old.swap_remove(p));
+            continue;
+        }
+        cache.fragments_computed += 1;
+        cache_obs().fragments_computed.inc();
+        if b.cfd.rhs_pat.is_wild() {
+            if let Some(r) = resolve(&snap, b) {
+                stale_vars.push((idx, b, r));
+                continue;
+            }
+        }
+        // Constant CFDs and vacuous variable CFDs (no resolvable LHS).
+        entries[idx] = Some(MemoEntry::compute(&snap, &cfds[idx], b, epoch));
+    }
+    if !stale_vars.is_empty() {
+        let per_var: Vec<Vec<DecodedGroup>> = if snap.n_chunks() >= 2 {
+            variable_groups_threaded(&snap, &stale_vars, threads)
+        } else {
+            // Single chunk: nothing to fan out.
+            stale_vars
+                .iter()
+                .map(|(_, b, r)| violating_groups(&snap, b, r))
+                .collect()
+        };
+        for ((idx, ..), groups) in stale_vars.iter().zip(per_var) {
+            entries[*idx] = Some(MemoEntry {
+                cfd: cfds[*idx].clone(),
+                epoch,
+                singles: Vec::new(),
+                groups,
+            });
+        }
+    }
+    let mut report = ViolationReport::default();
+    let memo: Vec<MemoEntry> = entries
+        .into_iter()
+        .map(|e| e.expect("every CFD classified"))
+        .collect();
+    for (idx, entry) in memo.iter().enumerate() {
+        entry.replay(idx, &mut report);
+    }
+    cache.memo = memo;
     Ok(report)
 }
 

@@ -7,13 +7,18 @@
 //! free-text columns entirely). The snapshot is the unit of reuse: encode
 //! once, then evaluate an arbitrary number of CFDs (or build partitions, or
 //! seed the incremental detector) against the same code columns. Cloning a
-//! snapshot is cheap — row ids and columns are `Arc`-shared.
+//! snapshot is cheap — row ids and sealed code chunks are `Arc`-shared.
+//!
+//! Every encoded column shares one snapshot-wide chunk size
+//! ([`Snapshot::chunk_rows`]), so chunk `ci` covers the same global row
+//! positions in every column — the alignment the morsel-driven detector
+//! scans by ([`Snapshot::n_chunks`] morsels per variable CFD).
 
 use std::sync::Arc;
 
 use minidb::{RowId, Schema, Table, Value};
 
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{default_chunk_rows, Column, ColumnAppender, ColumnBuilder};
 
 /// A columnar, dictionary-encoded, immutable copy of a table's live rows.
 #[derive(Debug, Clone)]
@@ -24,6 +29,8 @@ pub struct Snapshot {
     /// One slot per schema column; `None` for columns outside the
     /// projection of [`Snapshot::projected`].
     columns: Vec<Option<Column>>,
+    /// Rows per code chunk, shared by every encoded column.
+    chunk_rows: usize,
 }
 
 impl Snapshot {
@@ -34,13 +41,20 @@ impl Snapshot {
         Snapshot::projected(table, &all)
     }
 
-    /// Encode only the columns in `cols` (deduplicated; order irrelevant).
-    /// Accessing a column outside the projection panics — project onto
-    /// exactly what the consumer evaluates.
+    /// Encode only the columns in `cols` (deduplicated; order irrelevant),
+    /// with the process-default chunk size. Accessing a column outside the
+    /// projection panics — project onto exactly what the consumer
+    /// evaluates.
+    pub fn projected(table: &Table, cols: &[usize]) -> Snapshot {
+        Snapshot::projected_with_chunk(table, cols, default_chunk_rows())
+    }
+
+    /// [`Snapshot::projected`] with an explicit chunk size — the knob the
+    /// chunk-equivalence property tests and benchmarks turn.
     ///
     /// Columns encode independently, so large tables fan the per-column
     /// interning passes across scoped threads.
-    pub fn projected(table: &Table, cols: &[usize]) -> Snapshot {
+    pub fn projected_with_chunk(table: &Table, cols: &[usize], chunk_rows: usize) -> Snapshot {
         /// Below this row count the spawn overhead outweighs the win.
         const PARALLEL_ROWS: usize = 8_192;
 
@@ -69,7 +83,7 @@ impl Snapshot {
             // walk over the row arena, amortized by the parallelism).
             row_ids = table.iter().map(|(id, _)| id).collect();
             let encode_one = |c: usize| {
-                let mut b = ColumnBuilder::with_capacity(rows);
+                let mut b = ColumnBuilder::chunked(rows, chunk_rows);
                 for (_, row) in table.iter() {
                     b.push(&row[c]);
                 }
@@ -95,7 +109,7 @@ impl Snapshot {
             let mut ids = Vec::with_capacity(rows);
             let mut builders: Vec<(usize, ColumnBuilder)> = targets
                 .iter()
-                .map(|&c| (c, ColumnBuilder::with_capacity(rows)))
+                .map(|&c| (c, ColumnBuilder::chunked(rows, chunk_rows)))
                 .collect();
             for (id, row) in table.iter() {
                 ids.push(id);
@@ -113,6 +127,7 @@ impl Snapshot {
             schema: table.schema().clone(),
             row_ids: Arc::new(row_ids),
             columns,
+            chunk_rows,
         }
     }
 
@@ -134,6 +149,17 @@ impl Snapshot {
     /// True when the snapshot holds no rows.
     pub fn is_empty(&self) -> bool {
         self.row_ids.is_empty()
+    }
+
+    /// Rows per code chunk (shared by every encoded column).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of code chunks each encoded column holds — the morsel count
+    /// per variable CFD.
+    pub fn n_chunks(&self) -> usize {
+        self.n_rows().div_ceil(self.chunk_rows)
     }
 
     /// One column by schema position. Panics if `idx` was projected away.
@@ -163,9 +189,10 @@ impl Snapshot {
 
     // Patch operations, used by `lifecycle::SnapshotCache` to keep a cached
     // snapshot in lock-step with small table deltas instead of re-encoding.
-    // All are copy-on-write: shared row-id / code vectors are cloned (a
-    // memcpy) before the first in-place edit, so snapshots already handed
-    // out stay immutable.
+    // Appends are O(1) tail-chunk pushes (sealed chunks stay shared with
+    // snapshots already handed out); cell edits copy at most the one
+    // touched chunk; only the shared row-id vector still pays a full
+    // copy-on-write clone on the first patch.
 
     /// Append one encoded row. Columns outside the projection stay absent.
     pub(crate) fn append_row(&mut self, id: RowId, row: &[Value]) {
@@ -179,23 +206,23 @@ impl Snapshot {
 
     /// Append a run of encoded rows in one pass — the bulk-ingest
     /// counterpart of [`Snapshot::append_row`]. Each encoded column
-    /// unshares and reserves **once** for the whole run
-    /// ([`Column::parts_mut`]); the rows themselves are walked in a
+    /// unshares its dictionary and reserves **once** for the whole run
+    /// ([`Column::appender`]); the rows themselves are walked in a
     /// single interleaved pass (row-major, like the serial encoder: every
     /// row is dereferenced once, not once per column).
     pub(crate) fn append_rows(&mut self, rows: &[(RowId, &[Value])]) {
         let ids = Arc::make_mut(&mut self.row_ids);
         ids.reserve(rows.len());
         ids.extend(rows.iter().map(|(id, _)| *id));
-        let mut cols: Vec<(usize, (&mut Vec<u32>, &mut crate::Dictionary))> = self
+        let mut cols: Vec<(usize, ColumnAppender<'_>)> = self
             .columns
             .iter_mut()
             .enumerate()
-            .filter_map(|(i, c)| c.as_mut().map(|c| (i, c.parts_mut(rows.len()))))
+            .filter_map(|(i, c)| c.as_mut().map(|c| (i, c.appender(rows.len()))))
             .collect();
         for (_, row) in rows {
-            for (i, (codes, dict)) in cols.iter_mut() {
-                codes.push(dict.intern(&row[*i]));
+            for (i, appender) in cols.iter_mut() {
+                appender.push(&row[*i]);
             }
         }
     }
@@ -249,8 +276,12 @@ mod tests {
         let s = Snapshot::of(&t);
         assert_eq!(s.n_rows(), 2);
         assert_eq!(s.row_ids(), &[RowId(0), RowId(2)]);
-        assert_eq!(s.column(0).codes(), &[1, 1], "x interned once");
-        assert_eq!(s.column(1).codes(), &[1, 2]);
+        assert_eq!(
+            s.column(0).contiguous().as_ref(),
+            &[1, 1],
+            "x interned once"
+        );
+        assert_eq!(s.column(1).contiguous().as_ref(), &[1, 2]);
         assert_eq!(s.schema().arity(), 2);
     }
 
@@ -268,6 +299,7 @@ mod tests {
         let s = Snapshot::of(&t);
         assert!(s.is_empty());
         assert_eq!(s.column(0).len(), 0);
+        assert_eq!(s.n_chunks(), 0);
     }
 
     #[test]
@@ -276,8 +308,21 @@ mod tests {
         let s = Snapshot::projected(&t, &[1]);
         assert!(!s.has_column(0));
         assert!(s.has_column(1));
-        assert_eq!(s.column(1).codes(), &[1, 0, 2]);
+        assert_eq!(s.column(1).contiguous().as_ref(), &[1, 0, 2]);
         assert_eq!(s.encoded_columns().count(), 1);
+    }
+
+    #[test]
+    fn explicit_chunk_size_aligns_every_column() {
+        let t = table();
+        let s = Snapshot::projected_with_chunk(&t, &[0, 1], 2);
+        assert_eq!(s.chunk_rows(), 2);
+        assert_eq!(s.n_chunks(), 2, "3 rows at 2 per chunk");
+        for c in 0..2 {
+            assert_eq!(s.column(c).n_chunks(), 2);
+            assert_eq!(s.column(c).chunk(0).len(), 2);
+            assert_eq!(s.column(c).chunk(1).len(), 1);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend, RepairSummary};
 use audit::{quality_map, quality_report, QualityMap, QualityReport};
 use cfd::{CfdError, CfdResult, Consistency};
-use colstore::{detect_cached, SnapshotCache, TableDelta};
+use colstore::{detect_cached_threads, SnapshotCache, TableDelta};
 use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
 use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
 use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
@@ -44,6 +44,13 @@ pub struct ServerConfig {
     pub detector: DetectorKind,
     /// Repair configuration.
     pub repair: RepairConfig,
+    /// Worker threads for the columnar detector's morsel pool. `None`
+    /// resolves through `SDQ_DETECT_THREADS`, then the machine's available
+    /// parallelism; `Some(1)` pins the exact serial path.
+    pub detect_threads: Option<usize>,
+    /// Snapshot-cache delta threshold (fraction of rows patched before a
+    /// full rebuild); `None` keeps the cache default.
+    pub delta_threshold: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +61,8 @@ impl Default for ServerConfig {
             // `with_config` away.
             detector: DetectorKind::Columnar,
             repair: RepairConfig::default(),
+            detect_threads: None,
+            delta_threshold: None,
         }
     }
 }
@@ -96,6 +105,9 @@ impl QualityServer {
 
     /// Adjust the configuration.
     pub fn with_config(mut self, config: ServerConfig) -> QualityServer {
+        if let Some(t) = config.delta_threshold {
+            self.snapshots = std::mem::take(&mut self.snapshots).with_delta_threshold(t);
+        }
         self.config = config;
         self
     }
@@ -249,7 +261,8 @@ impl QualityServer {
                 // Disjoint field borrows: the cache is written while the
                 // database is only read.
                 let table = self.db.table(&self.relation).map_err(db_err)?;
-                detect_cached(&mut self.snapshots, table, &cfds)?
+                let threads = colstore::morsel::resolve_threads(self.config.detect_threads);
+                detect_cached_threads(&mut self.snapshots, table, &cfds, threads)?
             }
         };
         self.last_report = Some(report.clone());
@@ -319,7 +332,12 @@ impl QualityServer {
     /// pays zero encode work.
     pub fn repair(&mut self) -> CfdResult<RepairResult> {
         let cfds = self.engine.cfds().to_vec();
-        let cfg = self.config.repair.clone();
+        let mut cfg = self.config.repair.clone();
+        // One worker knob drives detection and repair alike unless the
+        // repair config pins its own count.
+        if cfg.threads.is_none() {
+            cfg.threads = self.config.detect_threads;
+        }
         let result = batch_repair_with_cache(
             &mut self.db,
             &self.relation,

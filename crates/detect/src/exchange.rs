@@ -97,59 +97,95 @@ struct MergedGroup {
     members: Vec<(RowId, u32)>,
 }
 
-/// Merge one CFD's partials from every shard into `report`, as violation
-/// records under `cfd_idx`.
-///
-/// The output is `normalized()`-equal to evaluating the CFD single-node
-/// over the union of the shards' rows: constant violators concatenate;
-/// variable groups union by key, and a merged group violates iff it holds
-/// ≥ 2 distinct non-NULL RHS values — whether the disagreement sat inside
-/// one shard or only appears across shards.
-pub fn merge_cfd_partials<'a, I>(cfd_idx: usize, parts: I, report: &mut ViolationReport)
+/// A merged violating group, decoded into the report format's parts: LHS
+/// key, members with their RHS values, per-member distinct-value counts.
+pub type MergedDecoded = (Vec<Value>, Vec<(RowId, Value)>, Vec<u64>);
+
+/// Union variable-CFD group partials by LHS key and return every merged
+/// group holding ≥ 2 distinct non-NULL RHS values, decoded. This is the
+/// gather half of both distribution axes: shards in a cluster *and*
+/// chunk-morsels inside one node merge through this single function, so
+/// the two execution modes cannot drift apart semantically.
+pub fn merge_variable_partials<'a, I>(parts: I) -> Vec<MergedDecoded>
 where
-    I: IntoIterator<Item = &'a CfdPartial>,
+    I: IntoIterator<Item = &'a [GroupPartial]>,
 {
-    let mut singles: Vec<RowId> = Vec::new();
     // Insertion-ordered group table (a plain map would randomize output
     // order between runs; normalized() would hide it, but deterministic
     // reports are worth one index map).
     let mut groups: Vec<(Vec<Value>, MergedGroup)> = Vec::new();
     let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
 
+    for gs in parts {
+        for g in gs {
+            let at = *index.entry(g.key.clone()).or_insert_with(|| {
+                groups.push((g.key.clone(), MergedGroup::default()));
+                groups.len() - 1
+            });
+            let merged = &mut groups[at].1;
+            // Re-map this partial's value indices into the merged
+            // distinct-value table (linear scan: groups disagree on a
+            // handful of values; the producer already deduplicated).
+            let remap: Vec<u32> = g
+                .values
+                .iter()
+                .map(
+                    |(v, n)| match merged.values.iter().position(|(u, _)| u == v) {
+                        Some(i) => {
+                            merged.values[i].1 += n;
+                            i as u32
+                        }
+                        None => {
+                            merged.values.push((v.clone(), *n));
+                            (merged.values.len() - 1) as u32
+                        }
+                    },
+                )
+                .collect();
+            merged
+                .members
+                .extend(g.members.iter().map(|&(r, vi)| (r, remap[vi as usize])));
+        }
+    }
+
+    groups
+        .into_iter()
+        .filter(|(_, merged)| merged.values.len() >= 2)
+        .map(|(key, merged)| {
+            let rows: Vec<(RowId, Value)> = merged
+                .members
+                .iter()
+                .map(|&(r, vi)| (r, merged.values[vi as usize].0.clone()))
+                .collect();
+            let own: Vec<u64> = merged
+                .members
+                .iter()
+                .map(|&(_, vi)| merged.values[vi as usize].1)
+                .collect();
+            (key, rows, own)
+        })
+        .collect()
+}
+
+/// Merge one CFD's partials from every shard into `report`, as violation
+/// records under `cfd_idx`.
+///
+/// The output is `normalized()`-equal to evaluating the CFD single-node
+/// over the union of the shards' rows: constant violators concatenate;
+/// variable groups union by key ([`merge_variable_partials`]), and a
+/// merged group violates iff it holds ≥ 2 distinct non-NULL RHS values —
+/// whether the disagreement sat inside one shard or only appears across
+/// shards.
+pub fn merge_cfd_partials<'a, I>(cfd_idx: usize, parts: I, report: &mut ViolationReport)
+where
+    I: IntoIterator<Item = &'a CfdPartial>,
+{
+    let mut singles: Vec<RowId> = Vec::new();
+    let mut variable: Vec<&'a [GroupPartial]> = Vec::new();
     for part in parts {
         match part {
             CfdPartial::Constant { violating } => singles.extend(violating.iter().copied()),
-            CfdPartial::Variable { groups: gs } => {
-                for g in gs {
-                    let at = *index.entry(g.key.clone()).or_insert_with(|| {
-                        groups.push((g.key.clone(), MergedGroup::default()));
-                        groups.len() - 1
-                    });
-                    let merged = &mut groups[at].1;
-                    // Re-map this shard's value indices into the merged
-                    // distinct-value table (linear scan: groups disagree on
-                    // a handful of values; the shard already deduplicated).
-                    let remap: Vec<u32> = g
-                        .values
-                        .iter()
-                        .map(
-                            |(v, n)| match merged.values.iter().position(|(u, _)| u == v) {
-                                Some(i) => {
-                                    merged.values[i].1 += n;
-                                    i as u32
-                                }
-                                None => {
-                                    merged.values.push((v.clone(), *n));
-                                    (merged.values.len() - 1) as u32
-                                }
-                            },
-                        )
-                        .collect();
-                    merged
-                        .members
-                        .extend(g.members.iter().map(|&(r, vi)| (r, remap[vi as usize])));
-                }
-            }
+            CfdPartial::Variable { groups } => variable.push(groups),
         }
     }
 
@@ -157,20 +193,7 @@ where
     for row in singles {
         report.push_single(cfd_idx, row);
     }
-    for (key, merged) in groups {
-        if merged.values.len() < 2 {
-            continue; // globally clean group
-        }
-        let rows: Vec<(RowId, Value)> = merged
-            .members
-            .iter()
-            .map(|&(r, vi)| (r, merged.values[vi as usize].0.clone()))
-            .collect();
-        let own: Vec<u64> = merged
-            .members
-            .iter()
-            .map(|&(_, vi)| merged.values[vi as usize].1)
-            .collect();
+    for (key, rows, own) in merge_variable_partials(variable) {
         report.push_multi_prepared(cfd_idx, key, rows, &own);
     }
 }

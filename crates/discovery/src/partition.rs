@@ -55,7 +55,7 @@ pub fn partition_by_column(table: &Table, col: usize) -> Partition {
         b.push(&row[col]);
     }
     let column = b.finish();
-    partition_from_codes(column.codes(), column.distinct(), table.len())
+    partition_from_codes(&column.contiguous(), column.distinct(), table.len())
 }
 
 /// Build a stripped partition directly from a dictionary-encoded code slice
@@ -81,7 +81,7 @@ pub fn snapshot_partitions(snap: &Snapshot) -> Vec<(usize, Partition)> {
         .map(|(i, c)| {
             (
                 i,
-                partition_from_codes(c.codes(), c.distinct(), snap.n_rows()),
+                partition_from_codes(&c.contiguous(), c.distinct(), snap.n_rows()),
             )
         })
         .collect()
@@ -311,10 +311,10 @@ mod tests {
         let snap = Snapshot::of(&table);
         let pa = partition_by_column(&table, 0);
         for col in 1..3 {
-            let codes = snap.column(col).codes();
-            assert_eq!(fd_holds_codes(codes, &pa), fd_holds(&table, &pa, col));
+            let codes = snap.column(col).contiguous();
+            assert_eq!(fd_holds_codes(&codes, &pa), fd_holds(&table, &pa, col));
             assert!(
-                (g3_error_codes(codes, &pa, table.len()) - g3_error(&table, &pa, col)).abs()
+                (g3_error_codes(&codes, &pa, table.len()) - g3_error(&table, &pa, col)).abs()
                     < 1e-12
             );
         }

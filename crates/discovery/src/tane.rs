@@ -86,12 +86,12 @@ pub fn discover_fds(table: &Table, cfg: &TaneConfig) -> Vec<DiscoveredFd> {
                 {
                     continue;
                 }
-                let codes = snap.column(a).codes();
-                let exact = fd_holds_codes(codes, pi_x);
+                let codes = snap.column(a).contiguous();
+                let exact = fd_holds_codes(&codes, pi_x);
                 let g3 = if exact {
                     0.0
                 } else {
-                    g3_error_codes(codes, pi_x, snap.n_rows())
+                    g3_error_codes(&codes, pi_x, snap.n_rows())
                 };
                 if exact || g3 <= cfg.g3_threshold {
                     minimal_lhs.entry(a).or_default().push(x.clone());

@@ -139,6 +139,11 @@ pub struct RepairConfig {
     /// Use the similarity term of the cost model; `false` switches to 0/1
     /// costs (ablation A2).
     pub use_similarity: bool,
+    /// Worker count for candidate-cost evaluation in the resolve phase;
+    /// `None` defers to `SDQ_DETECT_THREADS` / available parallelism (the
+    /// same knob and pool as morsel-driven detection). Cost scans below
+    /// [`PARALLEL_CANDIDATES`] candidates stay serial regardless.
+    pub threads: Option<usize>,
 }
 
 impl Default for RepairConfig {
@@ -147,8 +152,31 @@ impl Default for RepairConfig {
             max_iterations: 32,
             weights: crate::cost::WeightModel::uniform(),
             use_similarity: true,
+            threads: None,
         }
     }
+}
+
+/// Candidate pools smaller than this are cost-scanned serially — below it
+/// the pool fan-out costs more than the scan.
+pub const PARALLEL_CANDIDATES: usize = 64;
+
+/// Evaluate `cost(i)` for every candidate index in `0..n`, fanning out over
+/// the shared morsel pool when the pool is large enough to pay for it.
+/// Results are positional, so the caller's serial reduce (strict `<`,
+/// first-seen minimum wins) is order-identical to the old inline loop.
+fn candidate_costs<F>(cfg: &RepairConfig, n: usize, cost: F) -> Vec<Option<f64>>
+where
+    F: Fn(usize) -> Option<f64> + Sync,
+{
+    let workers = colstore::morsel::resolve_threads(cfg.threads);
+    if n < PARALLEL_CANDIDATES || workers <= 1 {
+        return (0..n).map(cost).collect();
+    }
+    colstore::morsel::run_morsels(workers, n, cost)
+        .into_iter()
+        .map(|c| c.flatten())
+        .collect()
 }
 
 /// The distinct values of one column with their live occurrence counts —
@@ -401,33 +429,40 @@ fn resolve_constant<S: RepairStore>(
         }
     }
 
-    // Candidates 2..k: break a constant-patterned LHS cell.
+    // Candidates 2..k: break a constant-patterned LHS cell. Candidate
+    // costs (simulate + cost model, no store access) fan out over the
+    // morsel pool; the reduce below walks pool order, so the chosen
+    // candidate is exactly the serial loop's.
     for (j, pat) in b.cfd.lhs_pat.iter().enumerate() {
         let Pattern::Const(c) = pat else { continue };
         let col = b.lhs_cols[j];
-        let cell = CellRef::new(row, col);
-        if eq.pinned(cell).is_some() {
+        if eq.pinned(CellRef::new(row, col)).is_some() {
             continue; // pinned LHS cells are not breakable
         }
-        if let Some(pool) = domains.get(&col) {
-            for v in pool {
-                if v.strong_eq(c) || v.strong_eq(&current[col]) {
-                    continue;
-                }
-                let mut sim = current.clone();
-                sim[col] = v.clone();
-                if const_violates(bound, &sim) {
-                    continue;
-                }
-                let cost = change_cost(cfg, row, col, &current[col], v);
-                if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
-                    best = Some((
-                        cost,
-                        col,
-                        v.clone(),
-                        ChangeReason::ConstantLhsBreak { cfd_idx },
-                    ));
-                }
+        let Some(pool) = domains.get(&col) else {
+            continue;
+        };
+        let costs = candidate_costs(cfg, pool.len(), |i| {
+            let v = &pool[i];
+            if v.strong_eq(c) || v.strong_eq(&current[col]) {
+                return None;
+            }
+            let mut sim = current.clone();
+            sim[col] = v.clone();
+            if const_violates(bound, &sim) {
+                return None;
+            }
+            Some(change_cost(cfg, row, col, &current[col], v))
+        });
+        for (v, cost) in pool.iter().zip(costs) {
+            let Some(cost) = cost else { continue };
+            if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
+                best = Some((
+                    cost,
+                    col,
+                    v.clone(),
+                    ChangeReason::ConstantLhsBreak { cfd_idx },
+                ));
             }
         }
     }
@@ -586,14 +621,22 @@ fn resolve_variable<S: RepairStore>(
             .collect();
         candidates.sort_by(|a, b| a.total_cmp(b));
         candidates.dedup_by(|a, b| a.strong_eq(b));
+        // Per-candidate class cost is pure (no store access), so the scan
+        // fans out over the morsel pool; the serial reduce preserves the
+        // sorted-candidate first-seen-minimum tie-break exactly.
+        let totals = candidate_costs(cfg, candidates.len(), |i| {
+            Some(
+                class_values
+                    .iter()
+                    .map(|(r, v)| change_cost(cfg, *r, b.rhs_col, v, candidates[i]))
+                    .sum(),
+            )
+        });
         let mut best: Option<(f64, Value)> = None;
-        for cand in candidates {
-            let total: f64 = class_values
-                .iter()
-                .map(|(r, v)| change_cost(cfg, *r, b.rhs_col, v, cand))
-                .sum();
+        for (cand, total) in candidates.iter().zip(totals) {
+            let total = total.expect("every candidate cost computed");
             if best.as_ref().is_none_or(|(bc, _)| total < *bc) {
-                best = Some((total, cand.clone()));
+                best = Some((total, (*cand).clone()));
             }
         }
         match best {

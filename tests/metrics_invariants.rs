@@ -7,7 +7,9 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use semandaq::cluster::{RoundRobinRouter, ShardedQualityServer};
-use semandaq::colstore::{detect_cached, detect_columnar, SnapshotCache};
+use semandaq::colstore::{
+    detect_cached, detect_columnar, detect_on_snapshot_threads, Snapshot, SnapshotCache,
+};
 use semandaq::datagen::dirty_customers;
 use semandaq::repair::{batch_repair, RepairConfig};
 
@@ -101,6 +103,35 @@ fn cluster_exports_equal_merges_consumed() {
     // 3 detects × 4 shards × n_cfds partials each (memoized or not, the
     // partial is still shipped and merged).
     assert_eq!(shipped, 3 * 4 * d.cfds.len() as u64);
+}
+
+#[test]
+fn detect_morsels_equal_chunks_times_variable_cfds() {
+    let _g = lock();
+    let morsels = semandaq::obs::counter("detect_morsels_total");
+    let workers = semandaq::obs::gauge("detect_workers");
+
+    let d = dirty_customers(300, 0.06, 315);
+    let t = d.db.table("customer").unwrap();
+    let cols: Vec<usize> = (0..t.schema().arity()).collect();
+    // 300 rows at 64 rows/chunk → 5 chunks, so the threaded fan-out is
+    // taken and the morsel count is fully determined by the layout.
+    let snap = Snapshot::projected_with_chunk(t, &cols, 64);
+    let n_chunks = snap.n_chunks() as u64;
+    assert!(n_chunks >= 2, "layout must produce multiple chunks");
+    // Every variable (wild-RHS) CFD contributes one morsel per chunk;
+    // constant CFDs are scanned outside the pool.
+    let n_vars = d.cfds.iter().filter(|c| c.rhs_pat.is_wild()).count() as u64;
+    assert!(n_vars >= 1, "workload must carry variable CFDs");
+
+    let m0 = morsels.get();
+    detect_on_snapshot_threads(&snap, &d.cfds, 4).unwrap();
+    assert_eq!(
+        morsels.get() - m0,
+        n_chunks * n_vars,
+        "morsels == chunks × variable CFDs"
+    );
+    assert_eq!(workers.get(), 4, "gauge records the last pool size");
 }
 
 #[test]
