@@ -104,6 +104,11 @@ pub struct Capabilities {
     /// Does [`QualityBackend::metrics`] answer with telemetry? True for
     /// every in-process backend (they share the `obs` global registry).
     pub metrics: bool,
+    /// Does [`QualityBackend::trace`] answer with request traces? True
+    /// for every in-process backend (they share the `obs::trace` flight
+    /// recorder); traces are only captured while tracing is enabled
+    /// (`SDQ_TRACE=1` / `obs::trace::set_enabled`).
+    pub trace: bool,
 }
 
 /// Wire-friendly summary of a repair pass (the full
@@ -212,6 +217,27 @@ pub trait QualityBackend {
         }
         Ok(obs::snapshot())
     }
+
+    /// The span tree of the most recently completed traced request, if
+    /// [`Capabilities::trace`] says so. In-process backends share the
+    /// `obs::trace` flight recorder, so the default reads it; a remote
+    /// proxy would override this to forward the request. Errors when no
+    /// trace has been captured (tracing off, or no request completed).
+    fn trace(&self) -> CfdResult<obs::TraceReport> {
+        if !self.capabilities().trace {
+            return Err(CfdError::Unsupported(format!(
+                "backend '{}' does not expose request traces",
+                self.capabilities().backend
+            )));
+        }
+        obs::trace::last_trace().ok_or_else(|| {
+            CfdError::Unsupported(
+                "no completed request trace captured (enable SDQ_TRACE=1 or \
+                 obs::trace::set_enabled, then run a request)"
+                    .into(),
+            )
+        })
+    }
 }
 
 /// Apply one [`Mutation`] through the trait's single-mutation surface;
@@ -246,6 +272,7 @@ mod tests {
                 streaming: false,
                 shards: 1,
                 metrics: true,
+                trace: true,
             }
         }
         fn register_cfds(&mut self, _text: &str) -> CfdResult<usize> {

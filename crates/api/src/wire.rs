@@ -72,6 +72,9 @@ pub enum Request {
     Capabilities,
     /// Snapshot the telemetry registry (capability-gated).
     Metrics,
+    /// The span tree of the last completed traced request
+    /// (capability-gated; traces are captured while `SDQ_TRACE=1`).
+    Trace,
 }
 
 impl Request {
@@ -91,6 +94,27 @@ impl Request {
             Request::Len => "len",
             Request::Capabilities => "capabilities",
             Request::Metrics => "metrics",
+            Request::Trace => "trace",
+        }
+    }
+
+    /// The request's root span name (`api.<kind>`) — static so disabled
+    /// tracing allocates nothing.
+    fn trace_name(&self) -> &'static str {
+        match self {
+            Request::RegisterCfds { .. } => "api.register_cfds",
+            Request::Insert { .. } => "api.insert",
+            Request::Delete { .. } => "api.delete",
+            Request::UpdateCell { .. } => "api.update_cell",
+            Request::ApplyBatch { .. } => "api.apply_batch",
+            Request::Detect => "api.detect",
+            Request::Audit => "api.audit",
+            Request::Repair => "api.repair",
+            Request::LastReport => "api.last_report",
+            Request::Len => "api.len",
+            Request::Capabilities => "api.capabilities",
+            Request::Metrics => "api.metrics",
+            Request::Trace => "api.trace",
         }
     }
 }
@@ -200,6 +224,8 @@ pub enum Response {
     Caps(Capabilities),
     /// Telemetry snapshot.
     Metrics(obs::MetricsReport),
+    /// Span tree of the last completed traced request.
+    Trace(obs::TraceReport),
     /// The request failed; the backend state reflects any prefix that did
     /// apply (see [`QualityBackend::apply_batch`]).
     Error {
@@ -227,6 +253,11 @@ pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response 
     let kind = request.kind();
     obs::counter(&format!("api_requests_total{{kind=\"{kind}\"}}")).inc();
     let _span = obs::span(&format!("api_request_ns{{kind=\"{kind}\"}}"));
+    // Root span of the request's trace (inert unless tracing is on). The
+    // trace completes — and lands in the flight recorder — when this
+    // guard drops, after the response is built; a `Request::Trace`
+    // therefore reads back the *previous* request, never itself.
+    let _trace = obs::trace::root(request.trace_name());
     match request {
         Request::RegisterCfds { text } => match backend.register_cfds(&text) {
             Ok(rules) => Response::Registered { rules },
@@ -273,6 +304,10 @@ pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response 
         Request::Capabilities => Response::Caps(backend.capabilities()),
         Request::Metrics => match backend.metrics() {
             Ok(report) => Response::Metrics(report),
+            Err(e) => err(e),
+        },
+        Request::Trace => match backend.trace() {
+            Ok(report) => Response::Trace(report),
             Err(e) => err(e),
         },
     }
@@ -325,6 +360,7 @@ impl Request {
             Request::Len => obj(&[("op", Json::str("len"))]),
             Request::Capabilities => obj(&[("op", Json::str("capabilities"))]),
             Request::Metrics => obj(&[("op", Json::str("metrics"))]),
+            Request::Trace => obj(&[("op", Json::str("trace"))]),
         };
         j.render()
     }
@@ -365,6 +401,7 @@ impl Request {
             "len" => Request::Len,
             "capabilities" => Request::Capabilities,
             "metrics" => Request::Metrics,
+            "trace" => Request::Trace,
             other => return Err(parse_err(format!("unknown op '{other}'"))),
         })
     }
@@ -444,6 +481,7 @@ impl Response {
                 ("streaming", Json::Bool(c.streaming)),
                 ("shards", Json::num(c.shards as u64)),
                 ("metrics", Json::Bool(c.metrics)),
+                ("trace", Json::Bool(c.trace)),
             ]),
             Response::Metrics(m) => obj(&[
                 ("ok", Json::str("metrics")),
@@ -485,6 +523,15 @@ impl Response {
                             })
                             .collect(),
                     ),
+                ),
+            ]),
+            Response::Trace(t) => obj(&[
+                ("ok", Json::str("trace")),
+                ("name", Json::str(&t.name)),
+                ("duration_us", Json::num(t.duration_us)),
+                (
+                    "spans",
+                    Json::Arr(t.spans.iter().map(span_record_json).collect()),
                 ),
             ]),
             Response::Error { message } => obj(&[("err", Json::str(message))]),
@@ -574,6 +621,7 @@ impl Response {
                 streaming: j.field("streaming")?.as_bool()?,
                 shards: j.field_u64("shards")? as usize,
                 metrics: j.field("metrics")?.as_bool()?,
+                trace: j.field("trace")?.as_bool()?,
             }),
             "metrics" => Response::Metrics(obs::MetricsReport {
                 counters: j
@@ -619,9 +667,61 @@ impl Response {
                     })
                     .collect::<CfdResult<_>>()?,
             }),
+            "trace" => Response::Trace(obs::TraceReport {
+                name: j.field_str("name")?.to_string(),
+                duration_us: j.field_u64("duration_us")?,
+                spans: j
+                    .field("spans")?
+                    .as_arr()?
+                    .iter()
+                    .map(decode_span_record)
+                    .collect::<CfdResult<_>>()?,
+            }),
             other => return Err(parse_err(format!("unknown response tag '{other}'"))),
         })
     }
+}
+
+fn span_record_json(s: &obs::SpanRecord) -> Json {
+    obj(&[
+        ("id", Json::num(s.id)),
+        ("parent", Json::num(s.parent)),
+        ("name", Json::str(&s.name)),
+        ("start_us", Json::num(s.start_us)),
+        ("end_us", Json::num(s.end_us)),
+        ("thread", Json::num(s.thread)),
+        (
+            "attrs",
+            Json::Arr(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_span_record(j: &Json) -> CfdResult<obs::SpanRecord> {
+    Ok(obs::SpanRecord {
+        id: j.field_u64("id")?,
+        parent: j.field_u64("parent")?,
+        name: j.field_str("name")?.to_string(),
+        start_us: j.field_u64("start_us")?,
+        end_us: j.field_u64("end_us")?,
+        thread: j.field_u64("thread")?,
+        attrs: j
+            .field("attrs")?
+            .as_arr()?
+            .iter()
+            .map(|p| {
+                let [k, v] = p.as_arr()? else {
+                    return Err(parse_err("attr entry must be a pair".into()));
+                };
+                Ok((k.as_str()?.to_string(), v.as_str()?.to_string()))
+            })
+            .collect::<CfdResult<_>>()?,
+    })
 }
 
 fn mutation_json(m: &Mutation) -> Json {
@@ -1108,6 +1208,7 @@ mod tests {
             Request::Len,
             Request::Capabilities,
             Request::Metrics,
+            Request::Trace,
         ] {
             roundtrip_request(r);
         }
@@ -1156,6 +1257,7 @@ mod tests {
                 streaming: false,
                 shards: 4,
                 metrics: true,
+                trace: true,
             }),
             Response::Metrics(obs::MetricsReport {
                 counters: vec![
@@ -1174,6 +1276,34 @@ mod tests {
                 }],
             }),
             Response::Metrics(obs::MetricsReport::default()),
+            Response::Trace(obs::TraceReport {
+                name: "api.detect".into(),
+                duration_us: 4_200,
+                spans: vec![
+                    obs::SpanRecord {
+                        id: 1,
+                        parent: 0,
+                        name: "api.detect".into(),
+                        start_us: 0,
+                        end_us: 4_200,
+                        thread: 0,
+                        attrs: Vec::new(),
+                    },
+                    obs::SpanRecord {
+                        id: 2,
+                        parent: 1,
+                        name: "shard.export".into(),
+                        start_us: 10,
+                        end_us: 900,
+                        thread: 2,
+                        attrs: vec![
+                            ("shard".into(), "0".into()),
+                            ("quoted".into(), "a \"b\" c".into()),
+                        ],
+                    },
+                ],
+            }),
+            Response::Trace(obs::TraceReport::default()),
             Response::Error {
                 message: "bad \"row\"".into(),
             },

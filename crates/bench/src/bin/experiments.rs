@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E13 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E14 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -7,8 +7,8 @@
 //! ```
 //!
 //! E8 (detection engines), E9 (sharded cluster), E10 (batched vs per-row
-//! ingest), E11 (sharded repair) and E13 (chunked columns + morsel
-//! scaling) additionally record a machine-readable baseline (`rows`,
+//! ingest), E11 (sharded repair), E13 (chunked columns + morsel scaling)
+//! and E14 (tracing overhead) record a machine-readable baseline (`rows`,
 //! `engine`, `ns_per_op`) into `BENCH_detection.json` for regression
 //! tracking. The file is merged, not overwritten: re-running one
 //! experiment updates its own entries and leaves the others' in place.
@@ -909,6 +909,42 @@ fn main() {
             println!("{:>12} {threads:>8} {:>14.1}", "default", n / 1e6);
             baseline.push((rows, format!("e13_detect_threads{threads}"), n));
         }
+        println!();
+    }
+
+    if wanted("e14") {
+        println!("== E14: request-tracing overhead (warm cached detect) ==");
+        // The contract tracing is sold on: a *disabled* span site is one
+        // relaxed load, so the instrumented engine at SDQ_TRACE unset must
+        // price like the uninstrumented one. Measure the same warm cached
+        // detect through the dispatch path (root span site included) with
+        // tracing off, then on — both land in the baseline so a regression
+        // in either shows up in BENCH_detection.json.
+        let rows = 100_000usize;
+        let w = workload(rows, 0.05, 17);
+        let mut s = semandaq_core::QualityServer::new(w.db.clone(), "customer").unwrap();
+        s.register_cfds(datagen::customer::CANONICAL_CFDS).unwrap();
+        dispatch(&mut s, Request::Detect); // cold encode, untimed
+        let iters = 20u32;
+        obs::trace::set_enabled(false);
+        let off = time_ns(iters, || {
+            dispatch(&mut s, Request::Detect);
+        });
+        obs::trace::set_enabled(true);
+        let on = time_ns(iters, || {
+            dispatch(&mut s, Request::Detect);
+        });
+        obs::trace::set_enabled(false);
+        obs::trace::clear();
+        println!(
+            "warm detect ({rows} rows): tracing off {:>10.1} µs, on {:>10.1} µs \
+             ({:+.2}% when enabled)",
+            off / 1e3,
+            on / 1e3,
+            (on / off - 1.0) * 100.0
+        );
+        baseline.push((rows, "e14_warm_detect_trace_off".into(), off));
+        baseline.push((rows, "e14_warm_detect_trace_on".into(), on));
         println!();
     }
 

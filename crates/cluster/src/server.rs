@@ -122,12 +122,16 @@ impl Shard {
             reused: 0,
         };
         for (i, b) in bound.iter().enumerate() {
+            let sp = obs::trace::span("detect.cfd");
+            sp.attr("cfd", i);
             match &self.memo[i] {
                 Some((e, p)) if self.cache.fragment_fresh(*e, &cols[i]) => {
+                    sp.attr("memo", "hit");
                     out.reused += 1;
                     out.partials.push(Arc::clone(p));
                 }
                 _ => {
+                    sp.attr("memo", "recompute");
                     out.computed += 1;
                     let p = Arc::new(cfd_partial_one(&snap, b));
                     self.memo[i] = Some((epoch, Arc::clone(&p)));
@@ -567,6 +571,7 @@ impl ShardedQualityServer {
         // `run_morsels` clamps it to the shard count — one pool, never the
         // old shards × threads oversubscription.
         let t0 = Instant::now();
+        let scatter_span = obs::trace::span("cluster.scatter");
         let workers = colstore::morsel::resolve_threads(self.detect_threads);
         let (bound_ref, cols_ref, needed_ref) = (&bound, &cols, &needed);
         let slots: Vec<std::sync::Mutex<&mut Shard>> =
@@ -574,7 +579,11 @@ impl ShardedQualityServer {
         let exports: Vec<ShardExport> = colstore::morsel::run_morsels(workers, slots.len(), |i| {
             // Uncontended: each index is claimed by exactly one worker; the
             // mutex only converts the shared borrow into the exclusive one
-            // the export needs.
+            // the export needs. The span lands on whichever pool worker
+            // ran the shard, parented under `cluster.scatter` through the
+            // context the pool propagated.
+            let sp = obs::trace::span("shard.export");
+            sp.attr("shard", i);
             let mut shard = slots[i].lock().expect("shard slot lock");
             shard.export(bound_ref, cols_ref, needed_ref)
         })
@@ -582,11 +591,14 @@ impl ShardedQualityServer {
         .map(|e| e.expect("every shard exports"))
         .collect();
         drop(slots);
+        drop(scatter_span);
         let scatter_ns = t0.elapsed().as_nanos() as u64;
 
         // Gather: merge per CFD across shards. Each pass consumes one
         // partial per shard, so merges consumed == partials exported.
         let t1 = Instant::now();
+        let merge_span = obs::trace::span("cluster.merge");
+        merge_span.attr("shards", exports.len());
         let mut report = ViolationReport::default();
         for idx in 0..bound.len() {
             merge_cfd_partials(
@@ -596,6 +608,7 @@ impl ShardedQualityServer {
             );
             cluster_obs().partials_merged.add(exports.len() as u64);
         }
+        drop(merge_span);
         let merge_ns = t1.elapsed().as_nanos() as u64;
         let o = cluster_obs();
         o.detects.inc();
@@ -672,6 +685,7 @@ impl QualityBackend for ShardedQualityServer {
             streaming: false,
             shards: self.shards.len(),
             metrics: true,
+            trace: true,
         }
     }
 

@@ -177,6 +177,8 @@ pub fn detect_on_snapshot_threads(
     let mut report = ViolationReport::default();
     if threads.max(1) == 1 || snap.n_chunks() < 2 {
         for (idx, b) in bound.iter().enumerate() {
+            let sp = obs::trace::span("detect.cfd");
+            sp.attr("cfd", idx);
             detect_one_columnar(snap, idx, b, &mut report);
         }
         return Ok(report);
@@ -231,8 +233,11 @@ pub(crate) fn variable_groups_threaded(
     o.rows_scanned.add((vars.len() * snap.n_rows()) as u64);
     let partials: Vec<Option<Vec<GroupPartial>>> =
         morsel::run_morsels(threads, vars.len() * nc, |m| {
-            let (_, b, r) = &vars[m / nc];
+            let (cfd_idx, b, r) = &vars[m / nc];
             let ci = m % nc;
+            let sp = obs::trace::span("detect.morsel");
+            sp.attr("cfd", cfd_idx);
+            sp.attr("chunk", ci);
             group_by_codes_range(snap, r, ci..ci + 1)
                 .into_iter()
                 .map(|(key, g)| export_partial(snap, b, r, &key, &g))
@@ -296,6 +301,8 @@ pub(crate) fn detect_constant(
     let rhs = snap.column(r.rhs_col);
     let o = detect_obs();
     o.rows_scanned.add(snap.n_rows() as u64);
+    obs::trace::note("path", "constant");
+    obs::trace::note("chunks", rhs.n_chunks());
     let before = report.len();
     let filters: Vec<(&Column, u32)> = r
         .cells
@@ -515,6 +522,7 @@ pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> V
     let rhs = snap.column(r.rhs_col);
     let o = detect_obs();
     o.rows_scanned.add(n as u64);
+    obs::trace::note("chunks", rhs.n_chunks());
 
     let groups: Vec<(Key, Group)> = if let Some(total_bits) = scan.packed_bits() {
         let slots = 1u64 << total_bits.min(63);
@@ -524,14 +532,17 @@ pub(crate) fn violating_groups(snap: &Snapshot, b: &BoundCfd, r: &Resolved) -> V
         // of zeroing gigabytes per CFD.
         if slots <= (64 * n as u64).clamp(4_096, MAX_DENSE_STATE_SLOTS) {
             o.path_dense.inc();
+            obs::trace::note("path", "dense");
             packed_violating_groups(&scan, rhs, DenseState(vec![EMPTY; slots as usize]))
         } else {
             o.path_hashed.inc();
+            obs::trace::note("path", "hashed");
             packed_violating_groups(&scan, rhs, HashedState(FxHashMap::default()))
         }
     } else {
         // Wide keys: accumulate everything (rare: > 64 key bits).
         o.path_wide.inc();
+        obs::trace::note("path", "wide");
         group_by_codes(snap, r)
             .into_iter()
             .filter(|(_, g)| g.conflict)
@@ -902,6 +913,8 @@ pub fn cfd_partial_one(snap: &Snapshot, b: &BoundCfd) -> CfdPartial {
             violating: scratch.dirty_rows(),
         }
     } else {
+        obs::trace::note("path", "export");
+        obs::trace::note("chunks", snap.n_chunks());
         let groups = group_by_codes(snap, &r)
             .into_iter()
             .map(|(key, g)| export_partial(snap, b, &r, &key, &g))

@@ -208,13 +208,16 @@ impl SnapshotCache {
     }
 
     fn snapshot_for(&mut self, table: &Table, cols: Option<&[usize]>) -> Arc<Snapshot> {
+        let sp = obs::trace::span("cache.snapshot");
         if let Some(c) = &self.cached {
             if c.epoch == table.epoch() && c.snap.name() == table.name() && covers(&c.snap, cols) {
                 cache_obs().hits.inc();
+                sp.attr("decision", "hit");
                 return Arc::clone(&c.snap);
             }
         }
         cache_obs().misses.inc();
+        sp.attr("decision", "encode");
         // Fragment freshness is pure epoch arithmetic, so it can only be
         // trusted across a re-encode that provably stays on the same table
         // lineage moving forward (same name, epoch not regressed). Anything
@@ -591,8 +594,10 @@ fn patchable<'a>(
     if !in_step || c.patched + steps as usize > budget {
         *cached = None;
         cache_obs().rebuild_fallbacks.inc();
+        obs::trace::note("cache", "rebuild_fallback");
         return None;
     }
+    obs::trace::note("cache", "patch");
     cached.as_mut()
 }
 
@@ -672,6 +677,8 @@ pub fn detect_cached(
     let mut old = std::mem::take(&mut cache.memo);
     let mut report = ViolationReport::default();
     for (idx, b) in bound.iter().enumerate() {
+        let sp = obs::trace::span("detect.cfd");
+        sp.attr("cfd", idx);
         let cols: Vec<usize> = b.lhs_cols.iter().copied().chain([b.rhs_col]).collect();
         let entry = match old
             .iter()
@@ -680,11 +687,13 @@ pub fn detect_cached(
             Some(p) => {
                 cache.fragments_reused += 1;
                 cache_obs().fragments_reused.inc();
+                sp.attr("memo", "hit");
                 old.swap_remove(p)
             }
             None => {
                 cache.fragments_computed += 1;
                 cache_obs().fragments_computed.inc();
+                sp.attr("memo", "recompute");
                 MemoEntry::compute(&snap, &cfds[idx], b, epoch)
             }
         };
@@ -723,6 +732,8 @@ pub fn detect_cached_threads(
     let mut entries: Vec<Option<MemoEntry>> = (0..bound.len()).map(|_| None).collect();
     let mut stale_vars: Vec<(usize, &BoundCfd, Resolved)> = Vec::new();
     for (idx, b) in bound.iter().enumerate() {
+        let sp = obs::trace::span("detect.cfd");
+        sp.attr("cfd", idx);
         let cols: Vec<usize> = b.lhs_cols.iter().copied().chain([b.rhs_col]).collect();
         if let Some(p) = old
             .iter()
@@ -730,11 +741,13 @@ pub fn detect_cached_threads(
         {
             cache.fragments_reused += 1;
             cache_obs().fragments_reused.inc();
+            sp.attr("memo", "hit");
             entries[idx] = Some(old.swap_remove(p));
             continue;
         }
         cache.fragments_computed += 1;
         cache_obs().fragments_computed.inc();
+        sp.attr("memo", "recompute");
         if b.cfd.rhs_pat.is_wild() {
             if let Some(r) = resolve(&snap, b) {
                 stale_vars.push((idx, b, r));

@@ -84,6 +84,14 @@ where
     if workers == 1 {
         return (0..n).map(|i| Some(timed(i))).collect();
     }
+    // Captured once on the dispatching thread: every pool worker installs
+    // the same trace position, so spans opened inside morsels parent
+    // under the caller's open span. This one seam propagates request
+    // traces across every fan-out in the system — threaded detection,
+    // the cluster scatter, and the repair candidate scans all ride this
+    // pool. The serial path above needs nothing: it runs on the caller's
+    // thread where the trace is already installed.
+    let trace_ctx = obs::trace::current();
 
     // Striped indexes: worker `w` owns `stripes[w].0 .. stripes[w].1`.
     let stripes: Vec<(usize, usize)> = (0..workers)
@@ -98,7 +106,9 @@ where
                 let stripes = &stripes;
                 let cursors = &cursors;
                 let timed = &timed;
+                let trace_ctx = &trace_ctx;
                 s.spawn(move |_| {
+                    let _trace = obs::trace::install(trace_ctx.as_ref());
                     let mut got: Vec<(usize, T)> = Vec::new();
                     // Drain the own stripe first, then sweep the victims.
                     // A cursor racing past its stripe end is harmless —

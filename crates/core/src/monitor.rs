@@ -255,6 +255,7 @@ impl QualityBackend for DataMonitor {
             streaming: true,
             shards: 1,
             metrics: true,
+            trace: true,
         }
     }
 

@@ -51,6 +51,10 @@ pub struct ServerConfig {
     /// Snapshot-cache delta threshold (fraction of rows patched before a
     /// full rebuild); `None` keeps the cache default.
     pub delta_threshold: Option<f64>,
+    /// Enable request-scoped tracing (`obs::trace`) process-wide. The
+    /// flag is sticky — `true` turns the (global) tracing layer on,
+    /// `false` leaves whatever `SDQ_TRACE` / a sibling component chose.
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +67,7 @@ impl Default for ServerConfig {
             repair: RepairConfig::default(),
             detect_threads: None,
             delta_threshold: None,
+            tracing: false,
         }
     }
 }
@@ -107,6 +112,9 @@ impl QualityServer {
     pub fn with_config(mut self, config: ServerConfig) -> QualityServer {
         if let Some(t) = config.delta_threshold {
             self.snapshots = std::mem::take(&mut self.snapshots).with_delta_threshold(t);
+        }
+        if config.tracing {
+            obs::trace::set_enabled(true);
         }
         self.config = config;
         self
@@ -386,6 +394,7 @@ impl QualityBackend for QualityServer {
             streaming: false,
             shards: 1,
             metrics: true,
+            trace: true,
         }
     }
 

@@ -35,6 +35,10 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod trace;
+
+pub use trace::{SpanRecord, TraceReport};
+
 /// A monotonically increasing counter. All operations are relaxed
 /// atomics: increments from racing threads never lose counts, and
 /// readers see some recent value — exactly the guarantee metrics need.
@@ -342,8 +346,19 @@ impl Registry {
         self.snapshot().render_text()
     }
 
-    /// Zero every registered metric (names and handles stay valid —
-    /// call sites cache `Arc`s, so entries are never removed).
+    /// Zero every registered metric **in place**.
+    ///
+    /// Instrumented modules cache their `Arc<Counter>`/`Arc<Histogram>`
+    /// handles in module-local `OnceLock`s (one name hash + shard lock
+    /// per process, not per increment), so a reset MUST NOT remove or
+    /// replace registry entries: a cached handle pointing at an orphaned
+    /// metric would keep counting into an object [`Registry::snapshot`]
+    /// can no longer see, silently zeroing that module's telemetry for
+    /// the rest of the process. Resetting therefore zeroes each metric
+    /// where it stands — every handle cached before the reset stays
+    /// live, and increments through it are visible to the next
+    /// snapshot. Pinned by `reset_keeps_cached_module_handles_live` in
+    /// `tests/metrics_invariants.rs`.
     pub fn reset(&self) {
         for shard in &self.shards {
             let shard = shard
@@ -397,6 +412,7 @@ pub fn render_text() -> String {
 }
 
 /// Zero every metric in the [`global()`] registry (test/bench helper).
+/// Zeroes in place — cached handles stay live; see [`Registry::reset`].
 pub fn reset() {
     global().reset()
 }

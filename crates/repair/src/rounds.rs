@@ -250,6 +250,8 @@ pub fn repair_rounds<S: RepairStore>(
 
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
+        let round_span = obs::trace::span("repair.round");
+        round_span.attr("round", iter);
         // Normalized order makes the whole repair deterministic (hash maps
         // inside detection would otherwise reorder resolutions), and keeps
         // the resolution sequence independent of snapshot row order — the
@@ -321,6 +323,7 @@ pub fn repair_rounds<S: RepairStore>(
         o.resolve_ns.record(resolve_t0.elapsed().as_nanos() as u64);
         o.changes_per_round
             .record((changes.len() - changes_before) as u64);
+        round_span.attr("changes", changes.len() - changes_before);
         if !const_progress && !var_progress {
             break; // defensive: avoid spinning without effect
         }

@@ -18,6 +18,11 @@
 //! `--metrics` appends the Prometheus-style exposition of the process-wide
 //! telemetry registry after the request loop — the same numbers a
 //! `Request::Metrics` over the wire would carry.
+//!
+//! `--trace` enables request-scoped tracing, then after the loop prints
+//! the rendered span tree of the slowest captured request and writes all
+//! captured traces as a Chrome trace-event file (`chrome://tracing`,
+//! Perfetto) next to the binary.
 
 use semandaq::api::{dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response};
 use semandaq::cluster::{HashRouter, ShardedQualityServer};
@@ -149,7 +154,11 @@ fn serve(kind: &str) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics = args.iter().any(|a| a == "--metrics");
-    args.retain(|a| a != "--metrics");
+    let trace = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--metrics" && a != "--trace");
+    if trace {
+        semandaq::obs::trace::set_enabled(true);
+    }
     match args.as_slice() {
         [] => {
             for kind in ["single", "cluster", "monitor"] {
@@ -158,11 +167,51 @@ fn main() {
         }
         [flag, kind] if flag == "--backend" => serve(kind),
         other => panic!(
-            "usage: quality_service [--backend single|cluster|monitor] [--metrics], got {other:?}"
+            "usage: quality_service [--backend single|cluster|monitor] [--metrics] [--trace], got {other:?}"
         ),
     }
     if metrics {
         println!("=== metrics ===");
         print!("{}", semandaq::obs::render_text());
+    }
+    if trace {
+        let traces = semandaq::obs::trace::recent_traces();
+        match traces.iter().max_by_key(|t| t.duration_us) {
+            None => println!("=== trace: nothing captured ==="),
+            Some(slowest) => {
+                println!("=== trace: {} captured requests ===", traces.len());
+                for t in &traces {
+                    println!(
+                        "{:<14} {:>8}µs  {} spans",
+                        t.name,
+                        t.duration_us,
+                        t.spans.len()
+                    );
+                }
+                println!("--- slowest ---");
+                print!("{}", slowest.render_tree());
+                // One Chrome trace-event file for *all* captured requests,
+                // written next to the binary so repeat runs overwrite.
+                let events: Vec<String> = traces
+                    .iter()
+                    .map(|t| {
+                        let json = t.to_chrome_json();
+                        // Splice each report's event array into one stream.
+                        json.trim_start_matches('[')
+                            .trim_end_matches(']')
+                            .trim()
+                            .to_string()
+                    })
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                let path = std::env::current_exe()
+                    .map(|p| p.with_file_name("quality_service_trace.json"))
+                    .unwrap_or_else(|_| std::path::PathBuf::from("quality_service_trace.json"));
+                match std::fs::write(&path, format!("[{}]", events.join(","))) {
+                    Ok(()) => println!("chrome trace written to {}", path.display()),
+                    Err(e) => println!("chrome trace not written: {e}"),
+                }
+            }
+        }
     }
 }

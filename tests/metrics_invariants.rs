@@ -134,6 +134,49 @@ fn detect_morsels_equal_chunks_times_variable_cfds() {
     assert_eq!(workers.get(), 4, "gauge records the last pool size");
 }
 
+/// Pins the `obs::reset()` contract the module-local handle caches rely
+/// on: reset zeroes every metric **in place** and never removes or
+/// replaces registry entries, so an `Arc` handle cached before the reset
+/// (every engine module caches its handles in a `OnceLock` on first use)
+/// still feeds the same metric the registry snapshots afterwards. If
+/// reset ever swapped entries out, cached handles would keep bumping
+/// orphaned atomics and the registry would silently report zeros.
+#[test]
+fn reset_keeps_cached_module_handles_live() {
+    let _g = lock();
+    // Cache handles first — stand-ins for the engine's OnceLock caches.
+    let counter = semandaq::obs::counter("reset_liveness_probe_total");
+    let gauge = semandaq::obs::gauge("reset_liveness_probe");
+    counter.add(7);
+    gauge.set(7);
+
+    semandaq::obs::reset();
+    assert_eq!(counter.get(), 0, "reset zeroes through the cached handle");
+
+    // Bumps through the pre-reset handles must be visible to a fresh
+    // registry lookup *and* to the snapshot — same atomics, not orphans.
+    counter.inc();
+    gauge.set(3);
+    assert_eq!(
+        semandaq::obs::counter("reset_liveness_probe_total").get(),
+        1,
+        "re-looked-up handle sees bumps made through the cached one"
+    );
+    let snap = semandaq::obs::snapshot();
+    let c = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "reset_liveness_probe_total")
+        .expect("reset must not remove registry entries");
+    assert_eq!(c.1, 1);
+    let g = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "reset_liveness_probe")
+        .expect("reset must not remove registry entries");
+    assert_eq!(g.1, 3);
+}
+
 #[test]
 fn repair_round_and_change_counters_match_the_result() {
     let _g = lock();
