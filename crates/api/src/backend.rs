@@ -240,6 +240,56 @@ pub trait QualityBackend {
     }
 }
 
+/// Boxed backends are backends: forwards *every* method — including the
+/// defaulted ones — so a `Box<dyn QualityBackend + Send>` handed to the
+/// network tier's generic `ConcurrentEngine<B>` keeps each concrete
+/// backend's overridden `apply_batch`/`repair`/`metrics`/`trace`
+/// behavior instead of falling back to the trait defaults.
+impl<T: QualityBackend + ?Sized> QualityBackend for Box<T> {
+    fn capabilities(&self) -> Capabilities {
+        (**self).capabilities()
+    }
+    fn register_cfds(&mut self, text: &str) -> CfdResult<usize> {
+        (**self).register_cfds(text)
+    }
+    fn insert(&mut self, row: Vec<Value>) -> CfdResult<RowId> {
+        (**self).insert(row)
+    }
+    fn delete(&mut self, row: RowId) -> CfdResult<Vec<Value>> {
+        (**self).delete(row)
+    }
+    fn update_cell(&mut self, row: RowId, col: usize, value: Value) -> CfdResult<Value> {
+        (**self).update_cell(row, col, value)
+    }
+    fn apply_batch(&mut self, batch: MutationBatch) -> CfdResult<BatchOutcome> {
+        (**self).apply_batch(batch)
+    }
+    fn detect(&mut self) -> CfdResult<ViolationReport> {
+        (**self).detect()
+    }
+    fn audit(&mut self) -> CfdResult<QualityReport> {
+        (**self).audit()
+    }
+    fn last_report(&self) -> Option<ViolationReport> {
+        (**self).last_report()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn repair(&mut self) -> CfdResult<RepairSummary> {
+        (**self).repair()
+    }
+    fn metrics(&self) -> CfdResult<obs::MetricsReport> {
+        (**self).metrics()
+    }
+    fn trace(&self) -> CfdResult<obs::TraceReport> {
+        (**self).trace()
+    }
+}
+
 /// Apply one [`Mutation`] through the trait's single-mutation surface;
 /// returns the assigned id for an insert. The canonical mutation →
 /// method mapping — the trait's default [`QualityBackend::apply_batch`],

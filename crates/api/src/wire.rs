@@ -79,8 +79,9 @@ pub enum Request {
 
 impl Request {
     /// The request's wire op name — also the `kind` label the dispatcher
-    /// records per-request counters and latency histograms under.
-    pub fn kind(&self) -> &'static str {
+    /// (and the network tier's per-connection counters) record per-request
+    /// counters and latency histograms under.
+    pub fn kind_str(&self) -> &'static str {
         match self {
             Request::RegisterCfds { .. } => "register_cfds",
             Request::Insert { .. } => "insert",
@@ -95,6 +96,32 @@ impl Request {
             Request::Capabilities => "capabilities",
             Request::Metrics => "metrics",
             Request::Trace => "trace",
+        }
+    }
+
+    /// True when serving the request cannot change the relation, the rule
+    /// set, or any derived state a later request could observe — the
+    /// MVCC-lite split the network tier's `ConcurrentEngine` is built on:
+    /// read-only requests are served lock-free from the latest published
+    /// epoch snapshot while mutating ones funnel through the single
+    /// writer. `Detect` and `Audit` are read-only in this sense even
+    /// though the serial trait takes `&mut self` for them (they only
+    /// refresh caches, never data).
+    pub fn is_read_only(&self) -> bool {
+        match self {
+            Request::Detect
+            | Request::Audit
+            | Request::LastReport
+            | Request::Len
+            | Request::Capabilities
+            | Request::Metrics
+            | Request::Trace => true,
+            Request::RegisterCfds { .. }
+            | Request::Insert { .. }
+            | Request::Delete { .. }
+            | Request::UpdateCell { .. }
+            | Request::ApplyBatch { .. }
+            | Request::Repair => false,
         }
     }
 
@@ -250,7 +277,7 @@ pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response 
             message: e.to_string(),
         }
     }
-    let kind = request.kind();
+    let kind = request.kind_str();
     obs::counter(&format!("api_requests_total{{kind=\"{kind}\"}}")).inc();
     let _span = obs::span(&format!("api_request_ns{{kind=\"{kind}\"}}"));
     // Root span of the request's trace (inert unless tracing is on). The
@@ -313,10 +340,27 @@ pub fn dispatch(backend: &mut dyn QualityBackend, request: Request) -> Response 
     }
 }
 
+/// Longest frame [`dispatch_line`] (and the network transport sitting in
+/// front of it) accepts, in bytes. A frame beyond the cap is refused with
+/// an encoded protocol error *without parsing it* — the cap is what keeps
+/// one client from making the service buffer an unbounded line.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
 /// Decode one encoded request, dispatch it, and encode the response — the
-/// inner step of a text-transport service loop. A request that does not
-/// decode becomes an encoded [`Response::Error`].
+/// inner step of a text-transport service loop. Malformed, empty, and
+/// oversized (> [`MAX_FRAME_BYTES`]) frames all become an encoded
+/// [`Response::Error`]; this function never panics and never swallows a
+/// frame silently.
 pub fn dispatch_line(backend: &mut dyn QualityBackend, line: &str) -> String {
+    if line.len() > MAX_FRAME_BYTES {
+        return Response::Error {
+            message: format!(
+                "frame too large: {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                line.len()
+            ),
+        }
+        .encode();
+    }
     match Request::decode(line) {
         Ok(req) => dispatch(backend, req).encode(),
         Err(e) => Response::Error {
@@ -1325,6 +1369,157 @@ mod tests {
             panic!("wrong value");
         };
         assert!(f.is_nan());
+    }
+
+    /// One of every [`Request`] variant — the exhaustiveness backstop for
+    /// the classification tests below (the `match` inside `is_read_only`
+    /// already breaks the build on a new variant; this pins the *values*).
+    fn every_request() -> Vec<Request> {
+        vec![
+            Request::RegisterCfds {
+                text: "r: [A] -> [B]".into(),
+            },
+            Request::Insert {
+                row: vec![Value::Null],
+            },
+            Request::Delete { row: RowId(0) },
+            Request::UpdateCell {
+                row: RowId(0),
+                col: 0,
+                value: Value::Null,
+            },
+            Request::ApplyBatch {
+                batch: MutationBatch::new(),
+            },
+            Request::Detect,
+            Request::Audit,
+            Request::Repair,
+            Request::LastReport,
+            Request::Len,
+            Request::Capabilities,
+            Request::Metrics,
+            Request::Trace,
+        ]
+    }
+
+    #[test]
+    fn every_variant_is_classified_read_or_write() {
+        let reads = [
+            "detect",
+            "audit",
+            "last_report",
+            "len",
+            "capabilities",
+            "metrics",
+            "trace",
+        ];
+        let writes = [
+            "register_cfds",
+            "insert",
+            "delete",
+            "update_cell",
+            "apply_batch",
+            "repair",
+        ];
+        let all = every_request();
+        assert_eq!(all.len(), reads.len() + writes.len(), "variant inventory");
+        for r in &all {
+            let kind = r.kind_str();
+            if r.is_read_only() {
+                assert!(reads.contains(&kind), "{kind} classified read-only");
+                assert!(!writes.contains(&kind), "{kind} in exactly one class");
+            } else {
+                assert!(writes.contains(&kind), "{kind} classified mutating");
+                assert!(!reads.contains(&kind), "{kind} in exactly one class");
+            }
+        }
+        // Every kind label is distinct (the obs/net counters key on it).
+        let mut kinds: Vec<&str> = all.iter().map(|r| r.kind_str()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len(), "kind_str labels are unique");
+    }
+
+    /// A no-op backend for exercising the `dispatch_line` framing edges.
+    struct Inert;
+
+    impl QualityBackend for Inert {
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                backend: "inert".into(),
+                repair: false,
+                streaming: false,
+                shards: 1,
+                metrics: false,
+                trace: false,
+            }
+        }
+        fn register_cfds(&mut self, _text: &str) -> CfdResult<usize> {
+            Ok(0)
+        }
+        fn insert(&mut self, _row: Vec<Value>) -> CfdResult<RowId> {
+            Ok(RowId(0))
+        }
+        fn delete(&mut self, _row: RowId) -> CfdResult<Vec<Value>> {
+            Ok(Vec::new())
+        }
+        fn update_cell(&mut self, _row: RowId, _col: usize, _value: Value) -> CfdResult<Value> {
+            Ok(Value::Null)
+        }
+        fn detect(&mut self) -> CfdResult<ViolationReport> {
+            Ok(ViolationReport::default())
+        }
+        fn audit(&mut self) -> CfdResult<audit::QualityReport> {
+            Err(CfdError::Unsupported("inert".into()))
+        }
+        fn last_report(&self) -> Option<ViolationReport> {
+            None
+        }
+        fn len(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn dispatch_line_turns_bad_frames_into_encoded_protocol_errors() {
+        let mut b = Inert;
+        // Empty, malformed, truncated, and unknown-op frames: always an
+        // encoded Response::Error that decodes cleanly — never a panic,
+        // never a silent drop.
+        for bad in ["", "   ", "{", "not json", "{\"op\":\"nope\"}", "[1,2"] {
+            let out = dispatch_line(&mut b, bad);
+            let resp = Response::decode(&out).unwrap_or_else(|e| panic!("{bad:?}: {e}"));
+            assert!(
+                matches!(resp, Response::Error { .. }),
+                "{bad:?} answered {out}"
+            );
+        }
+        // A well-formed frame still works after the errors.
+        let out = dispatch_line(&mut b, &Request::Len.encode());
+        assert_eq!(Response::decode(&out).unwrap(), Response::Len { rows: 0 });
+    }
+
+    #[test]
+    fn dispatch_line_caps_frame_length_without_parsing() {
+        let mut b = Inert;
+        // An oversized frame of valid JSON shape: refused by length alone.
+        let huge = format!(
+            "{{\"op\":\"register_cfds\",\"text\":\"{}\"}}",
+            "x".repeat(MAX_FRAME_BYTES + 1)
+        );
+        let out = dispatch_line(&mut b, &huge);
+        let Response::Error { message } = Response::decode(&out).unwrap() else {
+            panic!("oversized frame must be refused: {out}");
+        };
+        assert!(message.contains("frame too large"), "{message}");
+        // At the cap exactly: parsed normally (and refused as malformed
+        // only if it actually is).
+        let at_cap = "x".repeat(MAX_FRAME_BYTES);
+        let out = dispatch_line(&mut b, &at_cap);
+        let Response::Error { message } = Response::decode(&out).unwrap() else {
+            panic!("garbage frame must still error");
+        };
+        assert!(!message.contains("frame too large"), "{message}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E14 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E15 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -7,8 +7,9 @@
 //! ```
 //!
 //! E8 (detection engines), E9 (sharded cluster), E10 (batched vs per-row
-//! ingest), E11 (sharded repair), E13 (chunked columns + morsel scaling)
-//! and E14 (tracing overhead) record a machine-readable baseline (`rows`,
+//! ingest), E11 (sharded repair), E13 (chunked columns + morsel scaling),
+//! E14 (tracing overhead) and E15 (TCP service throughput vs client
+//! count) record a machine-readable baseline (`rows`,
 //! `engine`, `ns_per_op`) into `BENCH_detection.json` for regression
 //! tracking. The file is merged, not overwritten: re-running one
 //! experiment updates its own entries and leaves the others' in place.
@@ -35,6 +36,19 @@ use sdq_bench::{contradictory_chain, rule_chain, scaled_pattern_cfds, workload};
 
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Loopback service config for E15: OS-assigned port so concurrent runs
+/// never collide, defaults otherwise.
+fn e15_config() -> net::NetConfig {
+    net::NetConfig {
+        addr: "127.0.0.1:0".into(),
+        net_threads: 4,
+        max_conns: 64,
+        queue_depth: 256,
+        idle_timeout: std::time::Duration::from_secs(30),
+        max_frame: api::MAX_FRAME_BYTES,
+    }
 }
 
 /// Mean ns/op of `f` over `iters` runs (one untimed warm-up).
@@ -945,6 +959,98 @@ fn main() {
         );
         baseline.push((rows, "e14_warm_detect_trace_off".into(), off));
         baseline.push((rows, "e14_warm_detect_trace_on".into(), on));
+        println!();
+    }
+
+    if wanted("e15") {
+        println!("== E15: TCP service throughput vs client count (10% mutation mix) ==");
+        println!(
+            "{:>9} {:>8} {:>12} {:>12}",
+            "backend", "clients", "req/s", "ns/req"
+        );
+        let rows = 10_000usize;
+        let w = workload(rows, 0.05, 23);
+        let donor: Vec<Value> = {
+            let mut r =
+                w.db.table("customer")
+                    .unwrap()
+                    .iter()
+                    .next()
+                    .unwrap()
+                    .1
+                    .to_vec();
+            r[2] = Value::str("E15CITY");
+            r
+        };
+        for backend_kind in ["single", "cluster"] {
+            for clients in [1usize, 4, 16] {
+                let server = match backend_kind {
+                    "single" => {
+                        let mut s =
+                            semandaq_core::QualityServer::new(w.db.clone(), "customer").unwrap();
+                        s.register_cfds(datagen::customer::CANONICAL_CFDS).unwrap();
+                        net::NetServer::serve(
+                            Box::new(s) as Box<dyn QualityBackend + Send>,
+                            e15_config(),
+                        )
+                        .unwrap()
+                    }
+                    _ => {
+                        let mut c = ShardedQualityServer::partition(
+                            w.db.table("customer").unwrap(),
+                            3,
+                            Box::new(HashRouter::new(vec![1])),
+                        )
+                        .unwrap();
+                        c.register_cfds(w.cfds.clone()).unwrap();
+                        net::NetServer::serve(
+                            Box::new(c) as Box<dyn QualityBackend + Send>,
+                            e15_config(),
+                        )
+                        .unwrap()
+                    }
+                };
+                let addr = server.local_addr();
+                const REQS: usize = 200;
+                let t0 = Instant::now();
+                let sessions: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let donor = donor.clone();
+                        std::thread::spawn(move || {
+                            let mut client = net::Client::connect(addr).unwrap();
+                            for i in 0..REQS {
+                                // 1 insert + 1 cell update per 10 detects:
+                                // the sustained mutation/read mix.
+                                let req = match i % 10 {
+                                    0 => Request::Insert { row: donor.clone() },
+                                    5 => Request::UpdateCell {
+                                        row: minidb::RowId(((c * 37 + i) % rows) as u64),
+                                        col: 2,
+                                        value: Value::str("E15MOVED"),
+                                    },
+                                    _ => Request::Detect,
+                                };
+                                let resp = client.request(&req).unwrap();
+                                assert!(
+                                    !matches!(resp, api::Response::Error { .. }),
+                                    "e15 request refused: {resp:?}"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for s in sessions {
+                    s.join().unwrap();
+                }
+                let elapsed = t0.elapsed();
+                server.shutdown();
+                let total = (clients * REQS) as f64;
+                let reqps = total / elapsed.as_secs_f64();
+                let ns = elapsed.as_nanos() as f64 / total;
+                println!("{backend_kind:>9} {clients:>8} {reqps:>12.0} {ns:>12.0}");
+                baseline.push((rows, format!("e15_net_{backend_kind}_c{clients}"), ns));
+            }
+        }
         println!();
     }
 

@@ -1,0 +1,81 @@
+//! A small blocking client for the newline-framed wire protocol — what
+//! the tests, the benchmark harness, and `quality_service --connect`
+//! speak to a [`NetServer`](crate::NetServer).
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use api::wire::{Request, Response};
+
+/// One connection to the quality service. Requests and responses pair
+/// one-to-one in order; [`Client::send`] / [`Client::recv`] expose the
+/// halves separately so callers can pipeline.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect (blocking) to a running service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Bound how long [`Client::recv`] waits for a response.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// One round trip: send the request, wait for its response.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Ship one request without waiting — pair each with a later
+    /// [`Client::recv`]; responses come back in send order.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        self.send_raw(&request.encode())
+    }
+
+    /// Ship one raw frame verbatim (the frame-edge tests use this to
+    /// send malformed and oversized lines).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Write bytes with no framing at all — a *partial* frame, for
+    /// exercising the server's mid-frame timeout and EOF handling.
+    pub fn write_fragment(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Close the write half (EOF to the server); responses can still be
+    /// read.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Read the next response frame.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::decode(line.trim_end_matches(['\n', '\r'])).map_err(|e| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("undecodable response frame: {e}"),
+            )
+        })
+    }
+}

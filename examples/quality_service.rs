@@ -23,18 +23,28 @@
 //! the rendered span tree of the slowest captured request and writes all
 //! captured traces as a Chrome trace-event file (`chrome://tracing`,
 //! Perfetto) next to the binary.
+//!
+//! The same script also runs *over TCP*:
+//!
+//! ```sh
+//! # server: serve the chosen backend until a stdin line (or EOF)
+//! cargo run --example quality_service -- --backend cluster --listen 127.0.0.1:7744 --metrics
+//! # clients: N concurrent mixed read/write sessions against it
+//! cargo run --example quality_service -- --connect 127.0.0.1:7744 --clients 4
+//! ```
 
 use semandaq::api::{dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response};
 use semandaq::cluster::{HashRouter, ShardedQualityServer};
 use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
 use semandaq::minidb::{RowId, Value};
+use semandaq::net::{Client, NetConfig, NetServer};
 use semandaq::system::{DataMonitor, MonitorMode, QualityServer};
 
 const ROWS: usize = 2_000;
 const SEED: u64 = 42;
 
 /// Stand up the chosen backend over the same dirty customer workload.
-fn backend(kind: &str) -> Box<dyn QualityBackend> {
+fn backend(kind: &str) -> Box<dyn QualityBackend + Send> {
     let w = dirty_customers(ROWS, 0.05, SEED);
     match kind {
         "single" => Box::new(QualityServer::new(w.db, "customer").unwrap()),
@@ -151,6 +161,130 @@ fn serve(kind: &str) {
     println!();
 }
 
+/// Serve the backend over TCP until stdin yields a line (or EOF) — the
+/// shutdown handshake the CI fifo uses. Drains the writer queue before
+/// returning.
+fn listen(kind: &str, addr: Option<String>) {
+    let mut config = NetConfig::from_env();
+    if let Some(addr) = addr {
+        config.addr = addr;
+    }
+    let server = NetServer::serve(backend(kind), config).expect("bind listen address");
+    println!(
+        "listening on {} (backend: {kind}; a stdin line or EOF stops the server)",
+        server.local_addr()
+    );
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let backend = server.shutdown();
+    println!(
+        "server stopped; {} rows after shutdown drain",
+        backend.len()
+    );
+}
+
+/// One client session: mixed reads and writes that stay out of other
+/// clients' way (each mutates only rows it inserted itself), ending with
+/// a `Request::Metrics` that proves the service counted the traffic.
+/// `peers` is the total session count — the bound on how many rows the
+/// others can delete while this one works.
+fn client_session(addr: &str, c: usize, peers: usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut served = 0usize;
+    let mut ask = |client: &mut Client, req: &Request| -> Response {
+        let resp = client.request(req).expect("round trip");
+        assert!(
+            !matches!(resp, Response::Error { .. }),
+            "client {c}: {req:?} refused: {resp:?}"
+        );
+        served += 1;
+        resp
+    };
+    ask(&mut client, &Request::Capabilities);
+    let Response::Len { rows: before } = ask(&mut client, &Request::Len) else {
+        panic!("client {c}: Len answered something else");
+    };
+    ask(&mut client, &Request::Detect);
+    let Response::Inserted { row: own } = ask(
+        &mut client,
+        &Request::Insert {
+            row: dirty_row(2, &format!("CLIENT{c}")),
+        },
+    ) else {
+        panic!("client {c}: Insert answered something else");
+    };
+    // Read-your-writes: the insert reply arrived after its epoch
+    // published, so the row count includes the row (minus whatever other
+    // clients deleted concurrently), and — the real pin — the mutations
+    // below on the freshly inserted row must find it.
+    let Response::Len { rows: after } = ask(&mut client, &Request::Len) else {
+        panic!("client {c}: Len answered something else");
+    };
+    assert!(
+        after + peers > before,
+        "client {c}: own insert is visible (len {before} -> {after})"
+    );
+    ask(
+        &mut client,
+        &Request::UpdateCell {
+            row: own,
+            col: 2,
+            value: Value::str("MOVED"),
+        },
+    );
+    ask(&mut client, &Request::Detect);
+    ask(&mut client, &Request::Audit);
+    ask(&mut client, &Request::Delete { row: own });
+    ask(&mut client, &Request::LastReport);
+    let Response::Metrics(report) = ask(&mut client, &Request::Metrics) else {
+        panic!("client {c}: Metrics answered something else");
+    };
+    let detects = report
+        .counter("net_requests_total{kind=\"detect\"}")
+        .unwrap_or(0);
+    assert!(detects > 0, "client {c}: the service counts requests");
+    println!("client {c}: {served} requests served, net detect count {detects}");
+}
+
+/// N concurrent sessions against a running server.
+fn connect(addr: &str, clients: usize) {
+    // Rules are registered once, not per client — re-registration is a
+    // write every client would race on.
+    let mut ctl = Client::connect(addr).expect("connect");
+    let resp = ctl
+        .request(&Request::RegisterCfds {
+            text: CANONICAL_CFDS.to_string(),
+        })
+        .expect("register rules");
+    assert!(
+        matches!(resp, Response::Registered { .. }),
+        "rule registration refused: {resp:?}"
+    );
+    let sessions: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || client_session(&addr, c, clients))
+        })
+        .collect();
+    for s in sessions {
+        s.join().expect("client session clean");
+    }
+    println!("{clients} concurrent clients OK against {addr}");
+}
+
+/// Pull `--flag [value]` out of the argument list; the value is taken
+/// only when the next argument isn't itself a flag.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<Option<String>> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.remove(at);
+    let value = if args.get(at).is_some_and(|a| !a.starts_with("--")) {
+        Some(args.remove(at))
+    } else {
+        None
+    };
+    Some(value)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics = args.iter().any(|a| a == "--metrics");
@@ -159,15 +293,31 @@ fn main() {
     if trace {
         semandaq::obs::trace::set_enabled(true);
     }
-    match args.as_slice() {
-        [] => {
+    let listen_to = take_flag(&mut args, "--listen");
+    let connect_to = take_flag(&mut args, "--connect");
+    let clients = take_flag(&mut args, "--clients")
+        .map(|v| {
+            v.expect("--clients needs a count")
+                .parse::<usize>()
+                .expect("--clients needs a number")
+        })
+        .unwrap_or(1);
+    match (connect_to, listen_to, args.as_slice()) {
+        (Some(addr), None, []) => {
+            connect(&addr.expect("--connect needs ADDR"), clients.max(1));
+            return;
+        }
+        (None, Some(addr), []) => listen("single", addr),
+        (None, Some(addr), [flag, kind]) if flag == "--backend" => listen(kind, addr),
+        (None, None, []) => {
             for kind in ["single", "cluster", "monitor"] {
                 serve(kind);
             }
         }
-        [flag, kind] if flag == "--backend" => serve(kind),
-        other => panic!(
-            "usage: quality_service [--backend single|cluster|monitor] [--metrics] [--trace], got {other:?}"
+        (None, None, [flag, kind]) if flag == "--backend" => serve(kind),
+        (_, _, other) => panic!(
+            "usage: quality_service [--backend single|cluster|monitor] [--listen [ADDR]] \
+             [--connect ADDR [--clients N]] [--metrics] [--trace], got {other:?}"
         ),
     }
     if metrics {

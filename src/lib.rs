@@ -18,6 +18,9 @@
 //!   with scatter/gather CFD detection and report merge.
 //! * [`discovery`] — FD/CFD discovery from reference data.
 //! * [`datagen`] — seeded workload generators.
+//! * [`net`] — the TCP service tier: a single-writer / lock-free
+//!   multi-reader `ConcurrentEngine` over any backend, a newline-framed
+//!   `NetServer` transport, and a blocking `Client`.
 //! * [`obs`] — zero-dependency telemetry: counters, gauges, latency
 //!   histograms and span timers on a global registry, snapshotted as a
 //!   `MetricsReport` (also served over the wire via `Request::Metrics`).
@@ -34,6 +37,7 @@ pub use detect;
 pub use discovery;
 pub use explore;
 pub use minidb;
+pub use net;
 pub use obs;
 pub use repair;
 pub use semandaq_core as system;
