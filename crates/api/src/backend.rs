@@ -218,6 +218,56 @@ pub trait QualityBackend {
         Ok(obs::snapshot())
     }
 
+    /// Export every live row with its stable id, in id order — the raw
+    /// material of a durability checkpoint. The default refuses; backends
+    /// that can enumerate their relation (and honor [`restore_row`] below)
+    /// override it.
+    ///
+    /// [`restore_row`]: QualityBackend::restore_row
+    fn export_rows(&self) -> CfdResult<Vec<(RowId, Vec<Value>)>> {
+        Err(CfdError::Unsupported(format!(
+            "backend '{}' does not support checkpoint export",
+            self.capabilities().backend
+        )))
+    }
+
+    /// Re-insert a checkpointed row under its original id. Only valid on
+    /// a backend whose relation is empty or being restored in ascending
+    /// id order (the id allocator is advanced past `id`); the default
+    /// refuses.
+    fn restore_row(&mut self, id: RowId, row: Vec<Value>) -> CfdResult<()> {
+        let _ = (id, row);
+        Err(CfdError::Unsupported(format!(
+            "backend '{}' does not support checkpoint restore",
+            self.capabilities().backend
+        )))
+    }
+
+    /// The id the next insert will be assigned — the id allocator's
+    /// position. This can sit past the last live row (ids of deleted rows
+    /// are never reused), which is why a checkpoint must record it
+    /// explicitly: restoring the rows alone would resume allocation too
+    /// early and break replay id-determinism. The default refuses.
+    fn next_row_id(&self) -> CfdResult<u64> {
+        Err(CfdError::Unsupported(format!(
+            "backend '{}' does not expose its row-id allocator",
+            self.capabilities().backend
+        )))
+    }
+
+    /// Advance the id allocator so the next insert is assigned
+    /// `RowId(next)` (no-op if it is already at or past `next`) — the
+    /// restore-side twin of [`next_row_id`]. The default refuses.
+    ///
+    /// [`next_row_id`]: QualityBackend::next_row_id
+    fn restore_arena(&mut self, next: u64) -> CfdResult<()> {
+        let _ = next;
+        Err(CfdError::Unsupported(format!(
+            "backend '{}' does not support checkpoint restore",
+            self.capabilities().backend
+        )))
+    }
+
     /// The span tree of the most recently completed traced request, if
     /// [`Capabilities::trace`] says so. In-process backends share the
     /// `obs::trace` flight recorder, so the default reads it; a remote
@@ -281,6 +331,18 @@ impl<T: QualityBackend + ?Sized> QualityBackend for Box<T> {
     }
     fn repair(&mut self) -> CfdResult<RepairSummary> {
         (**self).repair()
+    }
+    fn export_rows(&self) -> CfdResult<Vec<(RowId, Vec<Value>)>> {
+        (**self).export_rows()
+    }
+    fn restore_row(&mut self, id: RowId, row: Vec<Value>) -> CfdResult<()> {
+        (**self).restore_row(id, row)
+    }
+    fn next_row_id(&self) -> CfdResult<u64> {
+        (**self).next_row_id()
+    }
+    fn restore_arena(&mut self, next: u64) -> CfdResult<()> {
+        (**self).restore_arena(next)
     }
     fn metrics(&self) -> CfdResult<obs::MetricsReport> {
         (**self).metrics()

@@ -425,7 +425,7 @@ impl Request {
             },
             "update_cell" => Request::UpdateCell {
                 row: RowId(j.field_u64("row")?),
-                col: j.field_u64("col")? as usize,
+                col: j.field_usize("col")?,
                 value: decode_value(j.field("value")?)?,
             },
             "apply_batch" => Request::ApplyBatch {
@@ -594,7 +594,7 @@ impl Response {
         let ok = j.field_str("ok")?;
         Ok(match ok {
             "registered" => Response::Registered {
-                rules: j.field_u64("rules")? as usize,
+                rules: j.field_usize("rules")?,
             },
             "inserted" => Response::Inserted {
                 row: RowId(j.field_u64("row")?),
@@ -605,11 +605,11 @@ impl Response {
             },
             "cell_updated" => Response::CellUpdated {
                 row: RowId(j.field_u64("row")?),
-                col: j.field_u64("col")? as usize,
+                col: j.field_usize("col")?,
                 old: decode_value(j.field("old")?)?,
             },
             "batch_applied" => Response::BatchApplied {
-                applied: j.field_u64("applied")? as usize,
+                applied: j.field_usize("applied")?,
                 inserted: j
                     .field("inserted")?
                     .as_arr()?
@@ -618,8 +618,8 @@ impl Response {
                     .collect::<CfdResult<_>>()?,
             },
             "report" => Response::Report(ReportSummary {
-                violations: j.field_u64("violations")? as usize,
-                dirty_rows: j.field_u64("dirty_rows")? as usize,
+                violations: j.field_usize("violations")?,
+                dirty_rows: j.field_usize("dirty_rows")?,
                 total_vio: j.field_u64("total_vio")?,
                 per_cfd: j
                     .field("per_cfd")?
@@ -630,7 +630,7 @@ impl Response {
                         if p.len() != 2 {
                             return Err(parse_err("per_cfd entry must be a pair".into()));
                         }
-                        Ok((p[0].as_u64()? as usize, p[1].as_u64()? as usize))
+                        Ok((p[0].as_usize()?, p[1].as_usize()?))
                     })
                     .collect::<CfdResult<_>>()?,
             }),
@@ -642,28 +642,28 @@ impl Response {
                 }
                 let mut classes = [0usize; 4];
                 for (slot, v) in classes.iter_mut().zip(cls) {
-                    *slot = v.as_u64()? as usize;
+                    *slot = v.as_usize()?;
                 }
                 Response::Audited(AuditSummary {
-                    tuples: j.field_u64("tuples")? as usize,
+                    tuples: j.field_usize("tuples")?,
                     classes,
                     dirty_fraction: j.field("dirty_fraction")?.as_float()?,
                 })
             }
             "repaired" => Response::Repaired(RepairSummary {
-                changes: j.field_u64("changes")? as usize,
-                iterations: j.field_u64("iterations")? as usize,
+                changes: j.field_usize("changes")?,
+                iterations: j.field_usize("iterations")?,
                 total_cost: j.field("total_cost")?.as_float()?,
-                residual: j.field_u64("residual")? as usize,
+                residual: j.field_usize("residual")?,
             }),
             "len" => Response::Len {
-                rows: j.field_u64("rows")? as usize,
+                rows: j.field_usize("rows")?,
             },
             "capabilities" => Response::Caps(Capabilities {
                 backend: j.field_str("backend")?.to_string(),
                 repair: j.field("repair")?.as_bool()?,
                 streaming: j.field("streaming")?.as_bool()?,
-                shards: j.field_u64("shards")? as usize,
+                shards: j.field_usize("shards")?,
                 metrics: j.field("metrics")?.as_bool()?,
                 trace: j.field("trace")?.as_bool()?,
             }),
@@ -787,7 +787,7 @@ fn decode_mutation(j: &Json) -> CfdResult<Mutation> {
         "delete" => Mutation::Delete(RowId(j.field_u64("row")?)),
         "set" => Mutation::SetCell {
             row: RowId(j.field_u64("row")?),
-            col: j.field_u64("col")? as usize,
+            col: j.field_usize("col")?,
             value: decode_value(j.field("value")?)?,
         },
         other => return Err(parse_err(format!("unknown mutation '{other}'"))),
@@ -905,6 +905,17 @@ impl Json {
         self.field(key)?.as_u64()
     }
 
+    /// A `u64` field narrowed to `usize` — an encoded protocol error on a
+    /// 32-bit build when the count doesn't fit, never a silent wrap.
+    fn field_usize(&self, key: &str) -> CfdResult<usize> {
+        let v = self.field_u64(key)?;
+        usize::try_from(v).map_err(|_| {
+            parse_err(format!(
+                "field '{key}': {v} does not fit this platform's usize"
+            ))
+        })
+    }
+
     fn as_str(&self) -> CfdResult<&str> {
         match self {
             Json::Str(s) => Ok(s),
@@ -926,6 +937,13 @@ impl Json {
                 .map_err(|e| parse_err(format!("bad integer '{s}': {e}"))),
             _ => Err(parse_err("expected an integer".into())),
         }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize` with the same no-wrap rule as
+    /// [`Json::field_usize`].
+    fn as_usize(&self) -> CfdResult<usize> {
+        let v = self.as_u64()?;
+        usize::try_from(v).map_err(|_| parse_err(format!("{v} does not fit this platform's usize")))
     }
 
     /// A float field: the tagged `["f","..."]` form (or a bare integer
@@ -1369,6 +1387,79 @@ mod tests {
             panic!("wrong value");
         };
         assert!(f.is_nan());
+    }
+
+    /// The values most likely to break a newline-delimited log: raw
+    /// newlines and control characters in text, non-finite floats, empty
+    /// strings. The durability WAL stores mutations *in this encoding*,
+    /// so these pins are load-bearing for crash recovery, not just for
+    /// the TCP transport.
+    fn wal_critical_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::str("line one\nline two\r\nline three")],
+            vec![Value::str("\n"), Value::str("\r"), Value::str("\t")],
+            vec![Value::str("\u{0}\u{1}\u{8}\u{b}\u{c}\u{1f}\u{7f}")],
+            vec![
+                Value::Float(f64::NAN),
+                Value::Float(f64::INFINITY),
+                Value::Float(f64::NEG_INFINITY),
+                Value::Float(-0.0),
+            ],
+            vec![Value::str(""), Value::Null, Value::str("")],
+            vec![
+                Value::str("mixed \n \u{0} \"quoted\" Ω"),
+                Value::Int(i64::MIN),
+            ],
+        ]
+    }
+
+    /// Every WAL-critical mutation encodes to exactly one physical line
+    /// (no raw newline anywhere — the log's framing depends on it) and
+    /// decodes back `==`, NaN compared by bit pattern.
+    #[test]
+    fn wal_critical_mutations_encode_single_line_and_round_trip() {
+        for row in wal_critical_rows() {
+            for req in [
+                Request::Insert { row: row.clone() },
+                Request::ApplyBatch {
+                    batch: vec![
+                        Mutation::Insert(row.clone()),
+                        Mutation::SetCell {
+                            row: RowId(0),
+                            col: 0,
+                            value: row[0].clone(),
+                        },
+                    ]
+                    .into(),
+                },
+            ] {
+                let line = req.encode();
+                assert!(
+                    !line.contains('\n') && !line.contains('\r'),
+                    "encoding leaked a raw line break: {line:?}"
+                );
+                let back = Request::decode(&line).unwrap_or_else(|e| panic!("decode {line}: {e}"));
+                // NaN != NaN, so compare via the canonical re-encoding
+                // (bit-exact float rendering) as well as structurally
+                // where possible.
+                assert_eq!(back.encode(), line, "re-encode is canonical");
+            }
+        }
+    }
+
+    /// The same payloads through the full server-side step (`decode` →
+    /// dispatch → `encode`): a mutation carrying WAL-hostile values must
+    /// be *served*, not refused, and the answer must be a single line.
+    #[test]
+    fn wal_critical_mutations_dispatch_cleanly() {
+        let mut b = Inert;
+        for row in wal_critical_rows() {
+            let line = Request::Insert { row }.encode();
+            let out = dispatch_line(&mut b, &line);
+            assert!(!out.contains('\n'), "response leaked a newline: {out:?}");
+            let resp = Response::decode(&out).unwrap();
+            assert_eq!(resp, Response::Inserted { row: RowId(0) }, "served: {line}");
+        }
     }
 
     /// One of every [`Request`] variant — the exhaustiveness backstop for

@@ -1,4 +1,4 @@
-//! Regenerate the measured experiment tables E1–E15 / A1–A2 recorded in
+//! Regenerate the measured experiment tables E1–E16 / A1–A2 recorded in
 //! EXPERIMENTS.md (wall-clock timings plus quality metrics).
 //!
 //! ```sh
@@ -8,8 +8,9 @@
 //!
 //! E8 (detection engines), E9 (sharded cluster), E10 (batched vs per-row
 //! ingest), E11 (sharded repair), E13 (chunked columns + morsel scaling),
-//! E14 (tracing overhead) and E15 (TCP service throughput vs client
-//! count) record a machine-readable baseline (`rows`,
+//! E14 (tracing overhead), E15 (TCP service throughput vs client
+//! count) and E16 (WAL replay time, spill-budget detect) record a
+//! machine-readable baseline (`rows`,
 //! `engine`, `ns_per_op`) into `BENCH_detection.json` for regression
 //! tracking. The file is merged, not overwritten: re-running one
 //! experiment updates its own entries and leaves the others' in place.
@@ -1051,6 +1052,104 @@ fn main() {
                 baseline.push((rows, format!("e15_net_{backend_kind}_c{clients}"), ns));
             }
         }
+        println!();
+    }
+
+    if wanted("e16") {
+        println!("== E16: durability — recovery time vs WAL length, detect at 10x budget ==");
+        let rows = 10_000usize;
+        let w = workload(rows, 0.05, 29);
+        let donor: Vec<Value> = {
+            let mut r =
+                w.db.table("customer")
+                    .unwrap()
+                    .iter()
+                    .next()
+                    .unwrap()
+                    .1
+                    .to_vec();
+            r[2] = Value::str("E16CITY");
+            r
+        };
+        let dir = std::env::temp_dir().join(format!("sdq_e16_{}", std::process::id()));
+        let mk = || {
+            Box::new(semandaq_core::QualityServer::new(w.db.clone(), "customer").unwrap())
+                as Box<dyn QualityBackend + Send>
+        };
+
+        // (a) Recovery time as the log grows: load a mutation mix with
+        // fsync off (the replay is what's being measured), reopen, and
+        // time `Durable::open` — scan + decode + re-apply.
+        println!(
+            "{:>12} {:>12} {:>14} {:>12}",
+            "wal records", "wal bytes", "recover (ms)", "ns/record"
+        );
+        for n in [1_000usize, 5_000, 20_000] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut d = durable::Durable::open(&dir, mk()).unwrap();
+            d.set_sync(false);
+            for i in 0..n {
+                if i % 4 == 3 {
+                    d.update_cell(minidb::RowId((i % rows) as u64), 2, Value::str("E16MOVED"))
+                        .unwrap();
+                } else {
+                    d.insert(donor.clone()).unwrap();
+                }
+            }
+            let bytes = d.wal_bytes();
+            drop(d);
+            let fresh = mk();
+            let t0 = Instant::now();
+            let d = durable::Durable::open(&dir, fresh).unwrap();
+            let t = ms(t0);
+            assert_eq!(d.recovery().records_replayed, n, "every record replays");
+            let ns_per_record = t * 1e6 / n as f64;
+            println!("{n:>12} {bytes:>12} {t:>14.1} {ns_per_record:>12.0}");
+            baseline.push((n, "e16_wal_replay".into(), ns_per_record));
+        }
+
+        // (b) Warm cached detect with the encoded table at 10x the memory
+        // budget: sealed chunks live in the paged spill file and fault
+        // back per morsel, so the run prices the page churn.
+        let cols = w.db.table("customer").unwrap().schema().arity();
+        let budget = (rows * cols * 4) / 10;
+        let iters = 20u32;
+        let mut report = |label: &str, budget: Option<usize>| {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let config = semandaq_core::ServerConfig {
+                mem_budget: budget,
+                spill_store: budget.map(|_| {
+                    durable::PagedStore::create(
+                        &dir.join("spill.pages"),
+                        colstore::default_chunk_rows(),
+                        4,
+                    )
+                    .unwrap() as std::sync::Arc<dyn colstore::ChunkStore>
+                }),
+                ..Default::default()
+            };
+            let mut s = semandaq_core::QualityServer::new(w.db.clone(), "customer")
+                .unwrap()
+                .with_config(config);
+            s.register_cfds(datagen::customer::CANONICAL_CFDS).unwrap();
+            dispatch(&mut s, Request::Detect); // cold encode + first spill, untimed
+            let ns = time_ns(iters, || {
+                dispatch(&mut s, Request::Detect);
+            });
+            println!(
+                "warm detect {label:>14}: {:>10.1} µs ({} chunks spilled)",
+                ns / 1e3,
+                s.spilled_chunks()
+            );
+            if budget.is_some() {
+                assert!(s.spilled_chunks() > 0, "e16 budget must force spill");
+            }
+            baseline.push((rows, format!("e16_warm_detect_{label}"), ns));
+        };
+        report("resident", None);
+        report("budget_10pct", Some(budget));
+        let _ = std::fs::remove_dir_all(&dir);
         println!();
     }
 

@@ -240,6 +240,29 @@ impl ShardedQualityServer {
         self
     }
 
+    /// Bound the cluster's snapshot residency at `budget` bytes total:
+    /// every shard's cache shares `store` and gets an equal slice of the
+    /// budget, so a detect over shards much larger than memory faults
+    /// spilled chunks back page-at-a-time instead of holding every shard
+    /// resident (see [`SnapshotCache::with_spill`]).
+    pub fn with_spill(
+        mut self,
+        store: std::sync::Arc<dyn colstore::ChunkStore>,
+        budget: usize,
+    ) -> ShardedQualityServer {
+        let per_shard = budget / self.shards.len().max(1);
+        for s in &mut self.shards {
+            s.cache = std::mem::take(&mut s.cache).with_spill(Arc::clone(&store), per_shard);
+        }
+        self
+    }
+
+    /// Sealed snapshot chunks evicted to the spill store across shards
+    /// (0 without [`ShardedQualityServer::with_spill`]).
+    pub fn spilled_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.spilled_chunks()).sum()
+    }
+
     /// Partition an existing table across `n_shards` shards, preserving
     /// every row's id (the columnar snapshot of each shard is built lazily
     /// at the first detect).
@@ -734,6 +757,42 @@ impl QualityBackend for ShardedQualityServer {
             total_cost: r.total_cost,
             residual: r.residual.len(),
         })
+    }
+
+    fn export_rows(&self) -> CfdResult<Vec<(RowId, Vec<Value>)>> {
+        // Id order across shards — the union a single-node table would
+        // export, so a cluster checkpoint restores onto any shard count.
+        let mut rows: Vec<(RowId, Vec<Value>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.table.iter().map(|(id, r)| (id, r.to_vec())))
+            .collect();
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        Ok(rows)
+    }
+
+    fn restore_row(&mut self, id: RowId, row: Vec<Value>) -> CfdResult<()> {
+        // Route exactly like a live insert, but keep the checkpointed id —
+        // the router sees the same values, so the row lands on the shard
+        // it lived on (for the same shard count; a different count is a
+        // legitimate re-partition).
+        let sid = self.router.route(&row, self.shards.len());
+        let shard = &mut self.shards[sid];
+        shard.table.insert_at(id, row).map_err(db_err)?;
+        shard.cache.note_insert(&shard.table, id);
+        self.set_shard(id, sid);
+        self.next_row = self.next_row.max(id.0 + 1);
+        self.last_report = None;
+        Ok(())
+    }
+
+    fn next_row_id(&self) -> CfdResult<u64> {
+        Ok(self.next_row)
+    }
+
+    fn restore_arena(&mut self, next: u64) -> CfdResult<()> {
+        self.next_row = self.next_row.max(next);
+        Ok(())
     }
 }
 

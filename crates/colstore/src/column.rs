@@ -17,9 +17,11 @@
 //! every sealed chunk with the live one for free.
 
 use std::borrow::Cow;
+use std::io;
 use std::sync::{Arc, OnceLock};
 
 use crate::dictionary::{Dictionary, NULL_CODE};
+use crate::spill::{ChunkGuard, ChunkStore, PageHandle};
 use minidb::Value;
 
 /// Default rows per chunk when none is configured.
@@ -30,20 +32,34 @@ const DEFAULT_CHUNK_ROWS: usize = 4096;
 /// chunk sizes pass them explicitly instead of racing on the environment.
 pub fn default_chunk_rows() -> usize {
     static ROWS: OnceLock<usize> = OnceLock::new();
-    *ROWS.get_or_init(|| {
-        std::env::var("SDQ_CHUNK_ROWS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(DEFAULT_CHUNK_ROWS)
-    })
+    *ROWS.get_or_init(|| obs::env::positive("SDQ_CHUNK_ROWS").unwrap_or(DEFAULT_CHUNK_ROWS))
+}
+
+/// One sealed (immutable, exactly `chunk_rows` long) chunk: resident in
+/// memory, or spilled to a [`ChunkStore`] page. Clones share the `Arc`
+/// either way, so a spilled chunk's page is freed only when the last
+/// column clone referencing it drops.
+#[derive(Debug, Clone)]
+enum SealedChunk {
+    Resident(Arc<Vec<u32>>),
+    Spilled(Arc<PageHandle>),
+}
+
+impl SealedChunk {
+    /// Read access: borrow resident codes, fault spilled ones back in.
+    fn guard(&self) -> ChunkGuard<'_> {
+        match self {
+            SealedChunk::Resident(codes) => ChunkGuard::Borrowed(codes),
+            SealedChunk::Spilled(handle) => ChunkGuard::Faulted(handle.fault()),
+        }
+    }
 }
 
 /// One dictionary-encoded column: sealed code chunks plus a mutable tail.
 #[derive(Debug, Clone)]
 pub struct Column {
     /// Immutable chunks of exactly `chunk_rows` codes each.
-    sealed: Vec<Arc<Vec<u32>>>,
+    sealed: Vec<SealedChunk>,
     /// The growing tail chunk, always shorter than `chunk_rows`.
     tail: Vec<u32>,
     dict: Arc<Dictionary>,
@@ -69,7 +85,7 @@ impl Column {
         let mut codes = codes;
         while codes.len() >= chunk_rows {
             let rest = codes.split_off(chunk_rows);
-            col.sealed.push(Arc::new(codes));
+            col.sealed.push(SealedChunk::Resident(Arc::new(codes)));
             codes = rest;
         }
         col.tail = codes;
@@ -101,19 +117,21 @@ impl Column {
         self.sealed.len() + usize::from(!self.tail.is_empty())
     }
 
-    /// The code slice of chunk `ci`. Chunk `ci` covers global positions
+    /// The codes of chunk `ci`, behind a guard: a plain borrow when the
+    /// chunk is resident, a pool-backed fault-in when it is spilled. The
+    /// guard derefs to `[u32]`. Chunk `ci` covers global positions
     /// `ci * chunk_rows ..`; every chunk except the last holds exactly
     /// `chunk_rows` codes.
-    pub fn chunk(&self, ci: usize) -> &[u32] {
+    pub fn chunk(&self, ci: usize) -> ChunkGuard<'_> {
         if ci < self.sealed.len() {
-            &self.sealed[ci]
+            self.sealed[ci].guard()
         } else {
-            &self.tail
+            ChunkGuard::Borrowed(&self.tail)
         }
     }
 
     /// All chunks in position order.
-    pub fn chunks(&self) -> impl Iterator<Item = &[u32]> {
+    pub fn chunks(&self) -> impl Iterator<Item = ChunkGuard<'_>> {
         (0..self.n_chunks()).map(|ci| self.chunk(ci))
     }
 
@@ -124,21 +142,64 @@ impl Column {
     }
 
     /// The codes as one contiguous slice: borrowed when the column is a
-    /// single chunk, materialized (one memcpy pass) otherwise. For
-    /// consumers that genuinely need flat positional access (partition
-    /// refinement in discovery); scans should iterate [`Column::chunks`].
+    /// single resident chunk, materialized (one memcpy pass, faulting any
+    /// spilled chunks) otherwise. For consumers that genuinely need flat
+    /// positional access (partition refinement in discovery); scans should
+    /// iterate [`Column::chunks`].
     pub fn contiguous(&self) -> Cow<'_, [u32]> {
         match (self.sealed.as_slice(), self.tail.is_empty()) {
             ([], _) => Cow::Borrowed(&self.tail),
-            ([only], true) => Cow::Borrowed(only),
+            ([SealedChunk::Resident(only)], true) => Cow::Borrowed(only),
             _ => {
                 let mut flat = Vec::with_capacity(self.len());
                 for chunk in self.chunks() {
-                    flat.extend_from_slice(chunk);
+                    flat.extend_from_slice(&chunk);
                 }
                 Cow::Owned(flat)
             }
         }
+    }
+
+    // Spill operations ([`crate::spill`]). Only sealed chunks spill — the
+    // tail is mutable and always shorter than one page.
+
+    /// Evict sealed chunk `ci` to `store` if it is currently resident.
+    /// Returns whether a spill happened (`false` for the tail index or an
+    /// already-spilled chunk).
+    pub fn spill_chunk(&mut self, ci: usize, store: &Arc<dyn ChunkStore>) -> io::Result<bool> {
+        match self.sealed.get(ci) {
+            Some(SealedChunk::Resident(codes)) => {
+                let handle = PageHandle::spill(store, codes)?;
+                self.sealed[ci] = SealedChunk::Spilled(Arc::new(handle));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// True when sealed chunk `ci` is resident (the tail index counts as
+    /// resident — it never spills).
+    pub fn chunk_is_resident(&self, ci: usize) -> bool {
+        !matches!(self.sealed.get(ci), Some(SealedChunk::Spilled(_)))
+    }
+
+    /// Number of currently spilled chunks.
+    pub fn n_spilled(&self) -> usize {
+        self.sealed
+            .iter()
+            .filter(|c| matches!(c, SealedChunk::Spilled(_)))
+            .count()
+    }
+
+    /// Bytes of code storage currently held in memory (resident sealed
+    /// chunks plus the tail). This is what a memory budget meters.
+    pub fn resident_bytes(&self) -> usize {
+        let sealed: usize = self
+            .sealed
+            .iter()
+            .filter(|c| matches!(c, SealedChunk::Resident(_)))
+            .count();
+        (sealed * self.chunk_rows + self.tail.len()) * std::mem::size_of::<u32>()
     }
 
     /// Number of distinct non-NULL values.
@@ -166,7 +227,7 @@ impl Column {
     pub fn value_counts(&self) -> Vec<(Value, u64)> {
         let mut counts = vec![0u64; self.dict.len() + 1];
         for chunk in self.chunks() {
-            for &code in chunk {
+            for &code in chunk.iter() {
                 counts[code as usize] += 1;
             }
         }
@@ -201,19 +262,43 @@ impl Column {
     fn set_code(&mut self, pos: usize, code: u32) {
         let ci = pos / self.chunk_rows;
         if ci < self.sealed.len() {
-            Arc::make_mut(&mut self.sealed[ci])[pos % self.chunk_rows] = code;
+            let off = pos % self.chunk_rows;
+            self.resident_mut(ci)[off] = code;
         } else {
             self.tail[pos - self.sealed.len() * self.chunk_rows] = code;
         }
     }
 
+    /// Mutable access to sealed chunk `ci`, faulting a spilled chunk back
+    /// to residency first (a patched chunk is hot by definition) and
+    /// unsharing a still-shared resident one.
+    fn resident_mut(&mut self, ci: usize) -> &mut Vec<u32> {
+        if let SealedChunk::Spilled(handle) = &self.sealed[ci] {
+            let codes = handle.fault();
+            // The buffer pool usually holds another reference, so this is
+            // a clone; the page itself is freed when the handle's last
+            // owner (possibly a snapshot clone) drops.
+            let owned = Arc::try_unwrap(codes).unwrap_or_else(|shared| (*shared).clone());
+            self.sealed[ci] = SealedChunk::Resident(Arc::new(owned));
+        }
+        match &mut self.sealed[ci] {
+            SealedChunk::Resident(codes) => Arc::make_mut(codes),
+            SealedChunk::Spilled(_) => unreachable!("faulted to resident above"),
+        }
+    }
+
     /// Remove the cell at `pos` by swapping the last cell into its place.
     /// An empty tail first unseals the last chunk (the one place a whole
-    /// chunk may be copied, and only if it is still shared).
+    /// chunk may be copied, and only if it is still shared or spilled).
     pub(crate) fn swap_remove(&mut self, pos: usize) {
         if self.tail.is_empty() {
             let last = self.sealed.pop().expect("swap_remove on empty column");
-            self.tail = Arc::try_unwrap(last).unwrap_or_else(|shared| (*shared).clone());
+            self.tail = match last {
+                SealedChunk::Resident(codes) => {
+                    Arc::try_unwrap(codes).unwrap_or_else(|shared| (*shared).clone())
+                }
+                SealedChunk::Spilled(handle) => handle.fault().to_vec(),
+            };
         }
         let code = self.tail.pop().expect("tail refilled above");
         if pos < self.len() {
@@ -241,7 +326,7 @@ impl Column {
 /// Batch append handle: the dictionary copy-on-write check was paid once
 /// when the appender was created (see [`Column::appender`]).
 pub(crate) struct ColumnAppender<'a> {
-    sealed: &'a mut Vec<Arc<Vec<u32>>>,
+    sealed: &'a mut Vec<SealedChunk>,
     tail: &'a mut Vec<u32>,
     dict: &'a mut Dictionary,
     chunk_rows: usize,
@@ -254,7 +339,7 @@ impl ColumnAppender<'_> {
         self.tail.push(code);
         if self.tail.len() == self.chunk_rows {
             let full = std::mem::replace(self.tail, Vec::with_capacity(self.chunk_rows));
-            self.sealed.push(Arc::new(full));
+            self.sealed.push(SealedChunk::Resident(Arc::new(full)));
         }
     }
 }
@@ -262,7 +347,7 @@ impl ColumnAppender<'_> {
 /// Incremental builder used while scanning a table once.
 #[derive(Debug)]
 pub struct ColumnBuilder {
-    sealed: Vec<Arc<Vec<u32>>>,
+    sealed: Vec<SealedChunk>,
     tail: Vec<u32>,
     dict: Dictionary,
     chunk_rows: usize,
@@ -298,7 +383,7 @@ impl ColumnBuilder {
         self.tail.push(code);
         if self.tail.len() == self.chunk_rows {
             let full = std::mem::replace(&mut self.tail, Vec::with_capacity(self.chunk_rows));
-            self.sealed.push(Arc::new(full));
+            self.sealed.push(SealedChunk::Resident(Arc::new(full)));
         }
     }
 
@@ -375,7 +460,7 @@ mod tests {
         for pos in 0..8 {
             assert_eq!(c.value_at(pos), Value::Int(pos as i64 % 4), "pos {pos}");
         }
-        let flat: Vec<u32> = c.chunks().flatten().copied().collect();
+        let flat: Vec<u32> = c.chunks().flat_map(|ch| ch.to_vec()).collect();
         assert_eq!(flat.as_slice(), c.contiguous().as_ref());
         assert_eq!(flat.len(), c.len());
     }
@@ -416,6 +501,90 @@ mod tests {
         assert_eq!(c.value_at(0), Value::str("d"));
         assert_eq!(c.value_at(1), Value::str("b"));
         assert_eq!(c.value_at(2), Value::str("c"));
+    }
+
+    #[test]
+    fn spilled_chunks_read_identically_and_patch_back_resident() {
+        use crate::spill::MemChunkStore;
+
+        let mut b = ColumnBuilder::chunked(7, 3);
+        for i in 0..7 {
+            b.push(&Value::Int(i));
+        }
+        let mut c = b.finish();
+        let before: Vec<u32> = c.contiguous().into_owned();
+
+        let mem = Arc::new(MemChunkStore::default());
+        let store: Arc<dyn crate::spill::ChunkStore> = mem.clone();
+        assert!(c.spill_chunk(0, &store).unwrap());
+        assert!(c.spill_chunk(1, &store).unwrap());
+        assert!(!c.spill_chunk(1, &store).unwrap(), "already spilled");
+        assert!(!c.spill_chunk(2, &store).unwrap(), "tail never spills");
+        assert_eq!(c.n_spilled(), 2);
+        assert_eq!(mem.live_pages(), 2);
+        assert_eq!(
+            c.resident_bytes(),
+            c.tail.len() * 4,
+            "all sealed chunks out"
+        );
+
+        // Every read path faults transparently.
+        assert_eq!(c.contiguous().into_owned(), before);
+        for pos in 0..7 {
+            assert_eq!(c.value_at(pos), Value::Int(pos as i64), "pos {pos}");
+        }
+        assert_eq!(c.chunk(1).as_slice(), &before[3..6]);
+
+        // Patching a spilled chunk faults it back to residency; the page
+        // is freed once no clone references it.
+        c.set_value(4, &Value::Int(99));
+        assert!(c.chunk_is_resident(1));
+        assert_eq!(c.n_spilled(), 1);
+        assert_eq!(mem.live_pages(), 1);
+        assert_eq!(c.value_at(4), Value::Int(99));
+        assert_eq!(c.value_at(3), Value::Int(3), "neighbors survive the patch");
+    }
+
+    #[test]
+    fn clones_keep_spilled_pages_alive() {
+        use crate::spill::MemChunkStore;
+
+        let mut b = ColumnBuilder::chunked(4, 2);
+        for i in 0..4 {
+            b.push(&Value::Int(i));
+        }
+        let mut c = b.finish();
+        let mem = Arc::new(MemChunkStore::default());
+        let store: Arc<dyn crate::spill::ChunkStore> = mem.clone();
+        c.spill_chunk(0, &store).unwrap();
+        let snap = c.clone();
+        // The original patches chunk 0 back to resident; the snapshot's
+        // handle keeps the page alive and still reads the old value.
+        c.set_value(0, &Value::Int(77));
+        assert_eq!(mem.live_pages(), 1);
+        assert_eq!(snap.value_at(0), Value::Int(0));
+        assert_eq!(c.value_at(0), Value::Int(77));
+        drop(snap);
+        assert_eq!(mem.live_pages(), 0, "last handle drop frees the page");
+    }
+
+    #[test]
+    fn swap_remove_unseals_a_spilled_last_chunk() {
+        use crate::spill::MemChunkStore;
+
+        let mut b = ColumnBuilder::chunked(4, 2);
+        for v in ["a", "b", "c", "d"] {
+            b.push(&Value::str(v));
+        }
+        let mut c = b.finish();
+        let mem = Arc::new(MemChunkStore::default());
+        let store: Arc<dyn crate::spill::ChunkStore> = mem.clone();
+        c.spill_chunk(1, &store).unwrap();
+        c.swap_remove(0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_at(0), Value::str("d"));
+        assert_eq!(c.value_at(2), Value::str("c"));
+        assert_eq!(mem.live_pages(), 0, "unsealing released the page");
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::column::Column;
 use crate::dictionary::NULL_CODE;
 use crate::morsel;
 use crate::snapshot::Snapshot;
+use crate::spill::ChunkGuard;
 use detect::fxhash::{DistinctCounter, FxHashMap};
 
 /// Global-registry handles for the detector's telemetry: which grouping
@@ -320,9 +321,15 @@ pub(crate) fn detect_constant(
     for ci in 0..rhs.n_chunks() {
         let codes = rhs.chunk(ci);
         let base = ci * rhs.chunk_rows();
-        let fs: Vec<(&[u32], u32)> = filters
+        // Two-step: hold the chunk guards (they keep faulted pages alive),
+        // then view them as plain slices for the scan loops below.
+        let guards: Vec<(ChunkGuard<'_>, u32)> = filters
             .iter()
             .map(|(c, code)| (c.chunk(ci), *code))
+            .collect();
+        let fs: Vec<(&[u32], u32)> = guards
+            .iter()
+            .map(|(g, code)| (g.as_slice(), *code))
             .collect();
         let any = match fs.as_slice() {
             [] => codes.iter().fold(0u32, |acc, &c| {
@@ -459,7 +466,8 @@ fn packed_violating_groups<S: ConflictState>(
     mut state: S,
 ) -> Vec<(Key, Group)> {
     for ci in 0..rhs.n_chunks() {
-        let cs = scan.at(ci);
+        let guards = scan.at(ci);
+        let cs = guards.scan();
         let codes = rhs.chunk(ci);
         for i in 0..codes.len() {
             let Some(key) = cs.packed_key(i) else {
@@ -476,7 +484,8 @@ fn packed_violating_groups<S: ConflictState>(
         return groups;
     }
     for ci in 0..rhs.n_chunks() {
-        let cs = scan.at(ci);
+        let guards = scan.at(ci);
+        let cs = guards.scan();
         let codes = rhs.chunk(ci);
         let base = (ci * rhs.chunk_rows()) as u32;
         for i in 0..codes.len() {
@@ -590,8 +599,17 @@ struct Scan<'a> {
     total_bits: u32,
 }
 
+/// One chunk's guards across every scan column: keeps spilled chunks
+/// faulted in while the borrowing [`ChunkScan`] (built by
+/// [`ChunkGuards::scan`]) reads them as plain slices.
+struct ChunkGuards<'a> {
+    filters: Vec<(ChunkGuard<'a>, u32)>,
+    wilds: Vec<(ChunkGuard<'a>, u32)>,
+}
+
 /// One chunk's resolved scan state: code slices aligned at the same chunk
-/// index across columns, indexed by chunk-local position.
+/// index across columns, indexed by chunk-local position. Borrows from a
+/// [`ChunkGuards`], which owns any faulted pages.
 struct ChunkScan<'a> {
     filters: Vec<(&'a [u32], u32)>,
     wilds: Vec<(&'a [u32], u32)>,
@@ -627,17 +645,36 @@ impl<'a> Scan<'a> {
         (self.total_bits <= 64).then_some(self.total_bits)
     }
 
-    /// Resolve chunk `ci`'s slices and dispatch their shape.
-    fn at(&self, ci: usize) -> ChunkScan<'a> {
-        let filters: Vec<(&'a [u32], u32)> = self
+    /// Resolve chunk `ci`'s guards (faulting spilled chunks in); call
+    /// [`ChunkGuards::scan`] on the result for the slice-level view.
+    fn at(&self, ci: usize) -> ChunkGuards<'a> {
+        ChunkGuards {
+            filters: self
+                .filters
+                .iter()
+                .map(|(c, code)| (c.chunk(ci), *code))
+                .collect(),
+            wilds: self
+                .wilds
+                .iter()
+                .map(|(c, bits)| (c.chunk(ci), *bits))
+                .collect(),
+        }
+    }
+}
+
+impl ChunkGuards<'_> {
+    /// Borrow the guarded codes as slices and dispatch their shape.
+    fn scan(&self) -> ChunkScan<'_> {
+        let filters: Vec<(&[u32], u32)> = self
             .filters
             .iter()
-            .map(|(c, code)| (c.chunk(ci), *code))
+            .map(|(g, code)| (g.as_slice(), *code))
             .collect();
-        let wilds: Vec<(&'a [u32], u32)> = self
+        let wilds: Vec<(&[u32], u32)> = self
             .wilds
             .iter()
-            .map(|(c, bits)| (c.chunk(ci), *bits))
+            .map(|(g, bits)| (g.as_slice(), *bits))
             .collect();
         let shape = match (filters.as_slice(), wilds.as_slice()) {
             ([], [(w, _)]) => Shape::W1(w),
@@ -740,7 +777,8 @@ fn group_by_codes_range(
             let mut groups: Vec<Group> = Vec::new();
             groups.resize_with(slots as usize, Group::default);
             for ci in chunks {
-                let cs = scan.at(ci);
+                let guards = scan.at(ci);
+                let cs = guards.scan();
                 let codes = rhs.chunk(ci);
                 let base = (ci * chunk_rows) as u32;
                 for i in 0..codes.len() {
@@ -764,7 +802,8 @@ fn group_by_codes_range(
         // Hashed path: pack the whole key into one u64.
         let mut groups: FxHashMap<u64, Group> = FxHashMap::default();
         for ci in chunks {
-            let cs = scan.at(ci);
+            let guards = scan.at(ci);
+            let cs = guards.scan();
             let codes = rhs.chunk(ci);
             let base = (ci * chunk_rows) as u32;
             for i in 0..codes.len() {
@@ -787,7 +826,8 @@ fn group_by_codes_range(
         // before the key allocation).
         let mut groups: FxHashMap<Box<[u32]>, Group> = FxHashMap::default();
         for ci in chunks {
-            let cs = scan.at(ci);
+            let guards = scan.at(ci);
+            let cs = guards.scan();
             let codes = rhs.chunk(ci);
             let base = (ci * chunk_rows) as u32;
             for i in 0..codes.len() {

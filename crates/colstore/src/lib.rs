@@ -41,6 +41,7 @@ pub mod dictionary;
 pub mod lifecycle;
 pub mod morsel;
 pub mod snapshot;
+pub mod spill;
 
 pub use self::column::{default_chunk_rows, Column, ColumnBuilder};
 pub use self::detect::{
@@ -50,3 +51,4 @@ pub use self::detect::{
 pub use self::dictionary::{Dictionary, NULL_CODE};
 pub use self::lifecycle::{detect_cached, detect_cached_threads, SnapshotCache, TableDelta};
 pub use self::snapshot::Snapshot;
+pub use self::spill::{ChunkGuard, ChunkStore, MemChunkStore, PageHandle};

@@ -44,6 +44,7 @@ use crate::detect::{
     DecodedGroup, Resolved,
 };
 use crate::snapshot::Snapshot;
+use crate::spill::ChunkStore;
 
 /// Global-registry handles for the cache's telemetry, resolved once per
 /// process. Every [`SnapshotCache`] instance keeps its own counters for
@@ -61,6 +62,7 @@ struct CacheObs {
     batch_rows: Arc<obs::Histogram>,
     fragments_computed: Arc<obs::Counter>,
     fragments_reused: Arc<obs::Counter>,
+    spill_chunks: Arc<obs::Counter>,
 }
 
 fn cache_obs() -> &'static CacheObs {
@@ -73,6 +75,7 @@ fn cache_obs() -> &'static CacheObs {
         batch_rows: obs::histogram("colstore_note_batch_rows"),
         fragments_computed: obs::counter("colstore_detect_fragments_computed_total"),
         fragments_reused: obs::counter("colstore_detect_fragments_reused_total"),
+        spill_chunks: obs::counter("colstore_spill_chunks_total"),
     })
 }
 
@@ -152,6 +155,11 @@ pub struct SnapshotCache {
     memo: Vec<MemoEntry>,
     fragments_computed: u64,
     fragments_reused: u64,
+    /// Cold-chunk spill target and resident-byte budget: when set, every
+    /// snapshot this cache serves is evicted down to the budget first
+    /// (oldest chunks out, [`Snapshot::spill_to_budget`]).
+    spill: Option<(Arc<dyn ChunkStore>, usize)>,
+    spilled_chunks: u64,
 }
 
 impl Default for SnapshotCache {
@@ -172,6 +180,8 @@ impl SnapshotCache {
             memo: Vec::new(),
             fragments_computed: 0,
             fragments_reused: 0,
+            spill: None,
+            spilled_chunks: 0,
         }
     }
 
@@ -194,6 +204,21 @@ impl SnapshotCache {
         self
     }
 
+    /// Evict cold sealed chunks of served snapshots to `store` until at
+    /// most `budget` resident code bytes remain. Detection faults spilled
+    /// chunks back page-at-a-time through the store; patches fault their
+    /// chunk back to residency (re-evicted at the next serve if the
+    /// budget is exceeded again).
+    pub fn with_spill(mut self, store: Arc<dyn ChunkStore>, budget: usize) -> SnapshotCache {
+        self.spill = Some((store, budget));
+        self
+    }
+
+    /// Number of chunk evictions this cache has performed.
+    pub fn spilled_chunks(&self) -> u64 {
+        self.spilled_chunks
+    }
+
     /// Full-column snapshot of `table`: cached when the epoch matches,
     /// freshly encoded (and cached) otherwise.
     pub fn snapshot(&mut self, table: &Table) -> Arc<Snapshot> {
@@ -209,12 +234,17 @@ impl SnapshotCache {
 
     fn snapshot_for(&mut self, table: &Table, cols: Option<&[usize]>) -> Arc<Snapshot> {
         let sp = obs::trace::span("cache.snapshot");
-        if let Some(c) = &self.cached {
-            if c.epoch == table.epoch() && c.snap.name() == table.name() && covers(&c.snap, cols) {
-                cache_obs().hits.inc();
-                sp.attr("decision", "hit");
-                return Arc::clone(&c.snap);
-            }
+        let hit = self.cached.as_ref().is_some_and(|c| {
+            c.epoch == table.epoch() && c.snap.name() == table.name() && covers(&c.snap, cols)
+        });
+        if hit {
+            cache_obs().hits.inc();
+            sp.attr("decision", "hit");
+            // Patches fault chunks back to residency; re-evict before
+            // serving so a long patch history cannot creep past the budget.
+            self.enforce_spill_budget();
+            let c = self.cached.as_ref().expect("hit implies cached");
+            return Arc::clone(&c.snap);
         }
         cache_obs().misses.inc();
         sp.attr("decision", "encode");
@@ -251,8 +281,23 @@ impl SnapshotCache {
                 union
             }
         };
-        let snap = Snapshot::projected_with_chunk(table, &union, chunk_rows);
+        let mut snap = Snapshot::projected_with_chunk(table, &union, chunk_rows);
         self.encodes += 1;
+        // Evict before the Arc is shared out: the fresh encode is the one
+        // moment the whole snapshot is provably unaliased.
+        if let Some((store, budget)) = &self.spill {
+            if snap.resident_bytes() > *budget {
+                match snap.spill_to_budget(store, *budget) {
+                    Ok(n) => {
+                        self.spilled_chunks += n as u64;
+                        cache_obs().spill_chunks.add(n as u64);
+                    }
+                    Err(e) => {
+                        eprintln!("WARNING: chunk spill failed ({e}); keeping chunks resident")
+                    }
+                }
+            }
+        }
         let snap = Arc::new(snap);
         // Column/row epochs restart at "changed now": any fragment computed
         // strictly before this epoch is conservatively stale (we no longer
@@ -266,6 +311,31 @@ impl SnapshotCache {
             rows_epoch: table.epoch(),
         });
         snap
+    }
+
+    /// Re-evict the cached snapshot down to the spill budget (no-op
+    /// without a budget, or while already within it). A snapshot still
+    /// shared with outside holders is unshared first (`Arc::make_mut` —
+    /// an Arc-bump-deep column clone); their view keeps its residency.
+    fn enforce_spill_budget(&mut self) {
+        let Some((store, budget)) = &self.spill else {
+            return;
+        };
+        let Some(c) = &mut self.cached else {
+            return;
+        };
+        if c.snap.resident_bytes() <= *budget {
+            return;
+        }
+        let sp = obs::trace::span("cache.spill");
+        match Arc::make_mut(&mut c.snap).spill_to_budget(store, *budget) {
+            Ok(n) => {
+                self.spilled_chunks += n as u64;
+                cache_obs().spill_chunks.add(n as u64);
+                sp.attr("chunks", n);
+            }
+            Err(e) => eprintln!("WARNING: chunk spill failed ({e}); keeping chunks resident"),
+        }
     }
 
     /// Epoch of the cached snapshot, if one is held.

@@ -49,12 +49,7 @@ pub fn resolve_threads(configured: Option<usize>) -> usize {
         return t.max(1);
     }
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
-    let env = *ENV.get_or_init(|| {
-        std::env::var("SDQ_DETECT_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&t: &usize| t >= 1)
-    });
+    let env = *ENV.get_or_init(|| obs::env::positive("SDQ_DETECT_THREADS"));
     env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 

@@ -253,6 +253,51 @@ impl Snapshot {
     pub fn row_ids(&self) -> &[RowId] {
         &self.row_ids
     }
+
+    // Spill operations ([`crate::spill`]): evict cold sealed chunks to a
+    // page store until the resident code bytes fit a memory budget.
+
+    /// Bytes of code storage currently resident across every encoded
+    /// column (spilled chunks excluded). Dictionaries and row ids are not
+    /// counted — the budget meters the part that scales with row count
+    /// and can actually be evicted.
+    pub fn resident_bytes(&self) -> usize {
+        self.encoded_columns()
+            .map(|(_, c)| c.resident_bytes())
+            .sum()
+    }
+
+    /// Evict sealed chunks to `store` until [`Snapshot::resident_bytes`]
+    /// is at or below `budget` bytes (or nothing sealed is left to
+    /// evict — tails never spill). Eviction is oldest-chunk-first across
+    /// all encoded columns: chunk index `ci` of *every* column goes out
+    /// before `ci + 1` of any, so a morsel scanning chunk `ci` faults at
+    /// most one page per column it reads. Returns the number of chunks
+    /// spilled.
+    pub fn spill_to_budget(
+        &mut self,
+        store: &Arc<dyn crate::spill::ChunkStore>,
+        budget: usize,
+    ) -> std::io::Result<usize> {
+        let mut resident = self.resident_bytes();
+        if resident <= budget {
+            return Ok(0);
+        }
+        let mut spilled = 0usize;
+        let n_sealed = self.n_rows() / self.chunk_rows;
+        'evict: for ci in 0..n_sealed {
+            for col in self.columns.iter_mut().flatten() {
+                if col.spill_chunk(ci, store)? {
+                    spilled += 1;
+                    resident = resident.saturating_sub(self.chunk_rows * 4);
+                    if resident <= budget {
+                        break 'evict;
+                    }
+                }
+            }
+        }
+        Ok(spilled)
+    }
 }
 
 #[cfg(test)]

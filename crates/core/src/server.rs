@@ -1,10 +1,12 @@
 //! The data quality server: one facade wiring the six components of Fig. 1
 //! over a [`minidb::Database`].
 
+use std::sync::Arc;
+
 use api::{BatchOutcome, Capabilities, Mutation, MutationBatch, QualityBackend, RepairSummary};
 use audit::{quality_map, quality_report, QualityMap, QualityReport};
 use cfd::{CfdError, CfdResult, Consistency};
-use colstore::{detect_cached_threads, SnapshotCache, TableDelta};
+use colstore::{detect_cached_threads, ChunkStore, MemChunkStore, SnapshotCache, TableDelta};
 use detect::{detect_native, detect_parallel, detect_sql, ViolationReport};
 use discovery::{mine_constant_cfds, mine_variable_cfds, CtaneConfig, MinerConfig};
 use explore::{inspect_tuple, CfdRelevance, NavigationSession, ReviewSession};
@@ -55,6 +57,16 @@ pub struct ServerConfig {
     /// flag is sticky — `true` turns the (global) tracing layer on,
     /// `false` leaves whatever `SDQ_TRACE` / a sibling component chose.
     pub tracing: bool,
+    /// Resident-byte budget for the columnar snapshot cache. When set,
+    /// sealed snapshot chunks beyond the budget spill to `spill_store`
+    /// (oldest chunks first) and detect faults them back page-at-a-time —
+    /// a detect over a table ~10× the budget completes in budget-bounded
+    /// residency. `None` keeps every chunk resident.
+    pub mem_budget: Option<usize>,
+    /// Where spilled chunks go. `None` with a budget set falls back to an
+    /// in-memory store ([`MemChunkStore`] — residency accounting without
+    /// disk I/O); the service tier passes a `durable::PagedStore` here.
+    pub spill_store: Option<Arc<dyn ChunkStore>>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +80,22 @@ impl Default for ServerConfig {
             detect_threads: None,
             delta_threshold: None,
             tracing: false,
+            mem_budget: None,
+            spill_store: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration with the environment knobs applied:
+    /// `SDQ_MEM_BUDGET` (a byte size like `64m`) bounds snapshot
+    /// residency, `SDQ_TRACE` turns request tracing on. Detection threads
+    /// resolve through `SDQ_DETECT_THREADS` lazily, as always.
+    pub fn from_env() -> ServerConfig {
+        ServerConfig {
+            mem_budget: obs::env::bytes("SDQ_MEM_BUDGET"),
+            tracing: obs::env::flag("SDQ_TRACE").unwrap_or(false),
+            ..ServerConfig::default()
         }
     }
 }
@@ -113,11 +141,24 @@ impl QualityServer {
         if let Some(t) = config.delta_threshold {
             self.snapshots = std::mem::take(&mut self.snapshots).with_delta_threshold(t);
         }
+        if let Some(budget) = config.mem_budget {
+            let store = config
+                .spill_store
+                .clone()
+                .unwrap_or_else(MemChunkStore::shared);
+            self.snapshots = std::mem::take(&mut self.snapshots).with_spill(store, budget);
+        }
         if config.tracing {
             obs::trace::set_enabled(true);
         }
         self.config = config;
         self
+    }
+
+    /// Sealed snapshot chunks this server's cache has evicted to the
+    /// spill store (0 without a `mem_budget`).
+    pub fn spilled_chunks(&self) -> u64 {
+        self.snapshots.spilled_chunks()
     }
 
     /// The constraint engine.
@@ -448,6 +489,38 @@ impl QualityBackend for QualityServer {
             total_cost: r.total_cost,
             residual: r.residual.len(),
         })
+    }
+
+    fn export_rows(&self) -> CfdResult<Vec<(RowId, Vec<Value>)>> {
+        Ok(self
+            .table()?
+            .iter()
+            .map(|(id, row)| (id, row.to_vec()))
+            .collect())
+    }
+
+    fn restore_row(&mut self, id: RowId, row: Vec<Value>) -> CfdResult<()> {
+        self.db
+            .table_mut(&self.relation)
+            .map_err(db_err)?
+            .insert_at(id, row)
+            .map_err(db_err)?;
+        let table = self.db.table(&self.relation).map_err(db_err)?;
+        self.snapshots.note_insert(table, id);
+        self.last_report = None;
+        Ok(())
+    }
+
+    fn next_row_id(&self) -> CfdResult<u64> {
+        Ok(self.table()?.arena_size() as u64)
+    }
+
+    fn restore_arena(&mut self, next: u64) -> CfdResult<()> {
+        self.db
+            .table_mut(&self.relation)
+            .map_err(db_err)?
+            .reserve(next);
+        Ok(())
     }
 }
 

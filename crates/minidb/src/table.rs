@@ -115,6 +115,21 @@ impl Table {
         Ok(())
     }
 
+    /// Advance the id allocator so the next [`Table::insert`] assigns
+    /// `RowId(next)`, tombstoning the skipped slots. A `next` at or below
+    /// the current arena end is a no-op — the allocator only moves
+    /// forward. This is the restore-side twin of [`Table::insert_at`]: a
+    /// checkpoint records where the allocator stood (which may be past
+    /// the last live row, when the newest rows were deleted), and replay
+    /// is only id-deterministic if the restored table resumes from the
+    /// same position.
+    pub fn reserve(&mut self, next: u64) {
+        if next as usize > self.rows.len() {
+            self.rows.resize(next as usize, None);
+            self.epoch += 1;
+        }
+    }
+
     /// Insert a run of rows at chosen arena slots — the bulk form of
     /// [`Table::insert_at`]. Ids must be strictly ascending and lie at or
     /// beyond the current arena end. Every row is validated before any is

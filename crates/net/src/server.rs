@@ -56,17 +56,14 @@ pub struct NetConfig {
 impl NetConfig {
     /// Read the `SDQ_LISTEN` / `SDQ_NET_THREADS` / `SDQ_MAX_CONNS` /
     /// `SDQ_QUEUE_DEPTH` / `SDQ_NET_IDLE_MS` environment knobs, with the
-    /// documented defaults for anything unset or unparsable.
+    /// documented defaults for anything unset. A malformed value warns
+    /// loudly once (see [`obs::env`]) before the default applies.
     pub fn from_env() -> NetConfig {
-        fn num(name: &str, default: usize) -> usize {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-                .filter(|&v| v > 0)
-                .unwrap_or(default)
+        fn num(name: &'static str, default: usize) -> usize {
+            obs::env::positive(name).unwrap_or(default)
         }
         NetConfig {
-            addr: std::env::var("SDQ_LISTEN").unwrap_or_else(|_| "127.0.0.1:7744".into()),
+            addr: obs::env::string("SDQ_LISTEN").unwrap_or_else(|| "127.0.0.1:7744".into()),
             net_threads: num("SDQ_NET_THREADS", 4),
             max_conns: num("SDQ_MAX_CONNS", 64),
             queue_depth: num("SDQ_QUEUE_DEPTH", 256),

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod env;
 pub mod trace;
 
 pub use trace::{SpanRecord, TraceReport};

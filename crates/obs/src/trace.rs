@@ -52,18 +52,12 @@ const RING: usize = 16;
 
 // ------------------------------------------------------------------ gating
 
-fn env_truthy(name: &str) -> bool {
-    matches!(
-        std::env::var(name).ok().as_deref(),
-        Some("1" | "true" | "yes" | "on")
-    )
+fn env_truthy(name: &'static str) -> bool {
+    crate::env::flag(name).unwrap_or(false)
 }
 
 fn env_slow_us() -> Option<u64> {
-    std::env::var("SDQ_SLOW_MS")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(|ms| ms.saturating_mul(1_000))
+    crate::env::parse::<u64>("SDQ_SLOW_MS").map(|ms| ms.saturating_mul(1_000))
 }
 
 fn flag() -> &'static AtomicBool {

@@ -32,35 +32,126 @@
 //! # clients: N concurrent mixed read/write sessions against it
 //! cargo run --example quality_service -- --connect 127.0.0.1:7744 --clients 4
 //! ```
+//!
+//! **Durability.** `--wal DIR` (or `SDQ_WAL_DIR`) wraps the backend in a
+//! [`semandaq::durable::Durable`] write-ahead log: every accepted
+//! mutation is logged before it applies, and a restart — including a
+//! `kill -9` — replays the log's valid prefix back to the exact
+//! pre-crash state. A clean server shutdown checkpoints and truncates
+//! the log. `SDQ_MEM_BUDGET` additionally bounds snapshot residency by
+//! spilling cold chunks to a paged file in the same directory.
+//!
+//! Two small modes support the crash-recovery smoke test in CI:
+//! `--report` recovers the WAL offline and prints the encoded detect
+//! report; `--probe ADDR` asks a running server for the same report over
+//! TCP — byte-equal outputs mean server recovery matches serial replay.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use semandaq::api::{dispatch_line, Mutation, MutationBatch, QualityBackend, Request, Response};
 use semandaq::cluster::{HashRouter, ShardedQualityServer};
+use semandaq::colstore::ChunkStore;
 use semandaq::datagen::{customer::CANONICAL_CFDS, dirty_customers};
+use semandaq::durable::{Durable, PagedStore, CHECKPOINT_FILE, SPILL_FILE};
 use semandaq::minidb::{RowId, Value};
 use semandaq::net::{Client, NetConfig, NetServer};
-use semandaq::system::{DataMonitor, MonitorMode, QualityServer};
+use semandaq::system::{DataMonitor, MonitorMode, QualityServer, ServerConfig};
 
 const ROWS: usize = 2_000;
 const SEED: u64 = 42;
 
-/// Stand up the chosen backend over the same dirty customer workload.
-fn backend(kind: &str) -> Box<dyn QualityBackend + Send> {
-    let w = dirty_customers(ROWS, 0.05, SEED);
+/// The spill store for `SDQ_MEM_BUDGET`, if one is configured: a paged
+/// file in `dir` (the WAL directory when logging, the temp dir
+/// otherwise) behind a small buffer pool.
+fn spill_store(dir: Option<&Path>, budget: usize) -> Arc<dyn ChunkStore> {
+    let dir = dir
+        .map(Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("create spill dir");
+    let page_codes = semandaq::colstore::default_chunk_rows();
+    let pool_pages = (budget / 4 / (page_codes * 4)).max(2);
+    PagedStore::create(&dir.join(SPILL_FILE), page_codes, pool_pages).expect("create spill file")
+}
+
+/// Stand up the chosen backend over the dirty customer workload (`rows`
+/// seeded rows — zero when a checkpoint will supply the data), honoring
+/// `SDQ_MEM_BUDGET` (cold snapshot chunks spill to a paged file under
+/// `spill_dir`).
+fn backend_seeded(
+    kind: &str,
+    spill_dir: Option<&Path>,
+    rows: usize,
+) -> Box<dyn QualityBackend + Send> {
+    let w = dirty_customers(rows, 0.05, SEED);
+    let budget = semandaq::obs::env::bytes("SDQ_MEM_BUDGET");
     match kind {
-        "single" => Box::new(QualityServer::new(w.db, "customer").unwrap()),
+        "single" => {
+            let mut config = ServerConfig::from_env();
+            config.spill_store = budget.map(|b| spill_store(spill_dir, b));
+            Box::new(
+                QualityServer::new(w.db, "customer")
+                    .unwrap()
+                    .with_config(config),
+            )
+        }
         // "sharded" is the historical spelling, kept as an alias.
-        "cluster" | "sharded" => Box::new(
-            ShardedQualityServer::partition(
+        "cluster" | "sharded" => {
+            let mut c = ShardedQualityServer::partition(
                 w.db.table("customer").unwrap(),
                 4,
                 Box::new(HashRouter::new(vec![1])),
             )
-            .unwrap(),
-        ),
+            .unwrap();
+            if let Some(b) = budget {
+                c = c.with_spill(spill_store(spill_dir, b), b);
+            }
+            Box::new(c)
+        }
         "monitor" => Box::new(
             DataMonitor::new(w.db, "customer", Vec::new(), MonitorMode::DetectOnly).unwrap(),
         ),
         other => panic!("unknown backend '{other}' (single | cluster | monitor)"),
+    }
+}
+
+fn backend(kind: &str, spill_dir: Option<&Path>) -> Box<dyn QualityBackend + Send> {
+    backend_seeded(kind, spill_dir, ROWS)
+}
+
+/// Open (and recover) the WAL-wrapped backend, announcing what replay
+/// found on stderr — stdout stays clean for `--report` diffing.
+///
+/// The demo workload is seeded only on *first* boot: once a checkpoint
+/// exists it carries every row (seed included), and restore requires the
+/// backend to start empty.
+fn open_durable(kind: &str, dir: &Path) -> Durable<Box<dyn QualityBackend + Send>> {
+    let seed_rows = if dir.join(CHECKPOINT_FILE).exists() {
+        0
+    } else {
+        ROWS
+    };
+    let d = Durable::open(dir, backend_seeded(kind, Some(dir), seed_rows)).expect("recover WAL");
+    let r = d.recovery();
+    eprintln!(
+        "wal: {} — {} checkpoint rows, {} records replayed ({} re-failed), \
+         {} torn bytes truncated",
+        dir.display(),
+        r.checkpoint_rows,
+        r.records_replayed,
+        r.records_refailed,
+        r.truncated_bytes
+    );
+    d
+}
+
+/// The backend with durability applied: when a WAL directory is
+/// configured, wrap in [`Durable`] — prior state replays now, and every
+/// future mutation logs before it applies.
+fn service_backend(kind: &str, wal: Option<&Path>) -> Box<dyn QualityBackend + Send> {
+    match wal {
+        None => backend(kind, None),
+        Some(dir) => Box::new(open_durable(kind, dir)),
     }
 }
 
@@ -129,9 +220,9 @@ fn preview(line: &str) -> String {
     }
 }
 
-fn serve(kind: &str) {
+fn serve(kind: &str, wal: Option<&Path>) {
     println!("=== backend: {kind} ===");
-    let mut b = backend(kind);
+    let mut b = service_backend(kind, wal);
     for request in script() {
         // Client side: serialize. Server side: decode, dispatch, encode.
         let wire_in = request.encode();
@@ -161,26 +252,59 @@ fn serve(kind: &str) {
     println!();
 }
 
-/// Serve the backend over TCP until stdin yields a line (or EOF) — the
+/// Serve one backend over TCP until stdin yields a line (or EOF) — the
 /// shutdown handshake the CI fifo uses. Drains the writer queue before
-/// returning.
-fn listen(kind: &str, addr: Option<String>) {
+/// returning the backend for post-shutdown work.
+fn listen_with<B: QualityBackend + Send + 'static>(b: B, addr: Option<String>, kind: &str) -> B {
     let mut config = NetConfig::from_env();
     if let Some(addr) = addr {
         config.addr = addr;
     }
-    let server = NetServer::serve(backend(kind), config).expect("bind listen address");
+    let server = NetServer::serve(b, config).expect("bind listen address");
     println!(
         "listening on {} (backend: {kind}; a stdin line or EOF stops the server)",
         server.local_addr()
     );
     let mut line = String::new();
     let _ = std::io::stdin().read_line(&mut line);
-    let backend = server.shutdown();
-    println!(
-        "server stopped; {} rows after shutdown drain",
-        backend.len()
-    );
+    server.shutdown()
+}
+
+/// Serve over TCP; with a WAL directory, log every accepted mutation and
+/// checkpoint on clean shutdown (a `kill -9` instead leaves the log for
+/// the next start to replay).
+fn listen(kind: &str, addr: Option<String>, wal: Option<&Path>) {
+    match wal {
+        None => {
+            let b = listen_with(backend(kind, None), addr, kind);
+            println!("server stopped; {} rows after shutdown drain", b.len());
+        }
+        Some(dir) => {
+            let mut d = listen_with(open_durable(kind, dir), addr, kind);
+            match d.checkpoint() {
+                Ok(()) => println!(
+                    "server stopped; checkpointed {} rows, wal truncated",
+                    d.len()
+                ),
+                Err(e) => println!("server stopped; {} rows (checkpoint skipped: {e})", d.len()),
+            }
+        }
+    }
+}
+
+/// Offline crash-recovery check: replay the WAL into a fresh backend and
+/// print the encoded detect report (stdout carries only that line).
+fn report(kind: &str, wal: &Path) {
+    let mut b = service_backend(kind, Some(wal));
+    println!("{}", dispatch_line(b.as_mut(), &Request::Detect.encode()));
+}
+
+/// Online half of the same check: ask a running server for its detect
+/// report over TCP and print the same encoded line.
+fn probe(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.request(&Request::Detect).expect("round trip");
+    println!("{}", resp.encode());
 }
 
 /// One client session: mixed reads and writes that stay out of other
@@ -293,6 +417,28 @@ fn main() {
     if trace {
         semandaq::obs::trace::set_enabled(true);
     }
+    // WAL directory: flag wins, `SDQ_WAL_DIR` is the env spelling.
+    let wal: Option<PathBuf> = take_flag(&mut args, "--wal")
+        .map(|v| v.expect("--wal needs DIR"))
+        .or_else(|| semandaq::obs::env::string("SDQ_WAL_DIR"))
+        .map(PathBuf::from);
+    if let Some(addr) = take_flag(&mut args, "--probe") {
+        probe(&addr.expect("--probe needs ADDR"));
+        return;
+    }
+    if args.iter().any(|a| a == "--report") {
+        args.retain(|a| a != "--report");
+        let kind = take_flag(&mut args, "--backend")
+            .map(|v| v.expect("--backend needs a kind"))
+            .unwrap_or_else(|| "single".into());
+        assert!(
+            args.is_empty(),
+            "--report takes only --backend/--wal, got {args:?}"
+        );
+        let wal = wal.expect("--report needs --wal DIR (or SDQ_WAL_DIR)");
+        report(&kind, &wal);
+        return;
+    }
     let listen_to = take_flag(&mut args, "--listen");
     let connect_to = take_flag(&mut args, "--connect");
     let clients = take_flag(&mut args, "--clients")
@@ -304,20 +450,29 @@ fn main() {
         .unwrap_or(1);
     match (connect_to, listen_to, args.as_slice()) {
         (Some(addr), None, []) => {
-            connect(&addr.expect("--connect needs ADDR"), clients.max(1));
+            // `--clients 0` is a request for no work — refuse it loudly
+            // rather than silently rounding up to one session.
+            if clients == 0 {
+                eprintln!("--clients 0 would run no sessions; pass a positive count");
+                std::process::exit(2);
+            }
+            connect(&addr.expect("--connect needs ADDR"), clients);
             return;
         }
-        (None, Some(addr), []) => listen("single", addr),
-        (None, Some(addr), [flag, kind]) if flag == "--backend" => listen(kind, addr),
+        (None, Some(addr), []) => listen("single", addr, wal.as_deref()),
+        (None, Some(addr), [flag, kind]) if flag == "--backend" => {
+            listen(kind, addr, wal.as_deref())
+        }
         (None, None, []) => {
             for kind in ["single", "cluster", "monitor"] {
-                serve(kind);
+                serve(kind, wal.as_deref());
             }
         }
-        (None, None, [flag, kind]) if flag == "--backend" => serve(kind),
+        (None, None, [flag, kind]) if flag == "--backend" => serve(kind, wal.as_deref()),
         (_, _, other) => panic!(
             "usage: quality_service [--backend single|cluster|monitor] [--listen [ADDR]] \
-             [--connect ADDR [--clients N]] [--metrics] [--trace], got {other:?}"
+             [--connect ADDR [--clients N]] [--wal DIR] [--report] [--probe ADDR] \
+             [--metrics] [--trace], got {other:?}"
         ),
     }
     if metrics {

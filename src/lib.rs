@@ -18,6 +18,10 @@
 //!   with scatter/gather CFD detection and report merge.
 //! * [`discovery`] — FD/CFD discovery from reference data.
 //! * [`datagen`] — seeded workload generators.
+//! * [`durable`] — the durability tier: CRC-framed mutation write-ahead
+//!   log with startup replay and checkpointing (`Durable`), plus the
+//!   paged cold-chunk spill store (`PagedStore`) behind a clock-eviction
+//!   buffer pool.
 //! * [`net`] — the TCP service tier: a single-writer / lock-free
 //!   multi-reader `ConcurrentEngine` over any backend, a newline-framed
 //!   `NetServer` transport, and a blocking `Client`.
@@ -35,6 +39,7 @@ pub use colstore;
 pub use datagen;
 pub use detect;
 pub use discovery;
+pub use durable;
 pub use explore;
 pub use minidb;
 pub use net;
