@@ -24,11 +24,20 @@
 //! **Checkpoint.** [`Durable::checkpoint`] persists the full relation
 //! (rules + rows with their stable ids, via
 //! [`QualityBackend::export_rows`]) into `checkpoint.sdq` — written to a
-//! temp file, fsynced, renamed — then truncates the WAL. Recovery =
-//! restore checkpoint + replay WAL suffix. Replay determinism rests on
-//! the backends' sequential id assignment: the same initial state under
-//! the same request prefix assigns the same row ids (pinned by the crash
-//! recovery property tests).
+//! temp file, fsynced, renamed, directory-fsynced. The WAL is **rotated,
+//! never truncated in place**: the checkpoint header names the WAL
+//! generation that is valid *after* it (`gen=G`), a fresh empty
+//! `wal.G.log` is staged before the rename, and the pre-checkpoint log
+//! is deleted only once the rename has landed. The rename is therefore
+//! the single commit point — a crash on either side of it pairs each
+//! checkpoint with exactly the log generation it names, so recovery can
+//! never replay mutations the checkpoint already folded in (nor lose
+//! ones it didn't). [`Durable::open`] restores the checkpoint, replays
+//! only the named generation, and deletes any stale generation files a
+//! crash left behind. Replay determinism rests on the backends'
+//! sequential id assignment: the same initial state under the same
+//! request prefix assigns the same row ids (pinned by the crash recovery
+//! property tests).
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -38,12 +47,15 @@ use api::{Capabilities, MutationBatch, QualityBackend, RepairSummary, Request};
 use cfd::{CfdError, CfdResult};
 use minidb::{RowId, Value};
 
-use crate::wal::{scan_bytes, Wal, WalTail};
+use crate::wal::{fsync_dir, scan_bytes_with_cap, Wal, WalTail, MAX_CHECKPOINT_RECORD_BYTES};
 
-/// WAL file name inside the durability directory.
+/// Generation-0 WAL file name inside the durability directory (the live
+/// log until the first checkpoint; see [`wal_file`]).
 pub const WAL_FILE: &str = "wal.log";
 /// Checkpoint file name inside the durability directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.sdq";
+/// Temp file a checkpoint is staged in before the install rename.
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 /// Spill-page file name inside the durability directory (used by the
 /// server tiers when a memory budget is configured; the file is scratch
 /// state, not part of recovery).
@@ -51,6 +63,53 @@ pub const SPILL_FILE: &str = "spill.pages";
 
 fn io_err(what: &str, e: io::Error) -> CfdError {
     CfdError::Malformed(format!("{what}: {e}"))
+}
+
+/// The WAL file name for generation `gen`. Each checkpoint rotates to
+/// the next generation; the checkpoint header records which generation
+/// recovery must replay. Generation 0 (no checkpoint yet) is the plain
+/// [`WAL_FILE`].
+pub fn wal_file(gen: u64) -> String {
+    if gen == 0 {
+        WAL_FILE.to_string()
+    } else {
+        format!("wal.{gen}.log")
+    }
+}
+
+/// Inverse of [`wal_file`]: the generation a directory entry names, if
+/// it is a WAL file at all.
+fn parse_wal_gen(name: &str) -> Option<u64> {
+    if name == WAL_FILE {
+        return Some(0);
+    }
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Delete every WAL generation file in `dir` except `keep` — stale
+/// generations a crash mid-checkpoint left behind. Ones older than the
+/// installed checkpoint are already folded into it; newer ones are empty
+/// stage files from an uninstalled checkpoint. Failing to delete is a
+/// hard error: a later checkpoint could rotate into a stale file's name
+/// and a later recovery would then replay foreign history.
+fn remove_stale_wal_generations(dir: &Path, keep: u64) -> CfdResult<()> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("list WAL dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list WAL dir", e))?;
+        let name = entry.file_name();
+        let Some(gen) = name.to_str().and_then(parse_wal_gen) else {
+            continue;
+        };
+        if gen != keep {
+            std::fs::remove_file(entry.path())
+                .map_err(|e| io_err("remove stale WAL generation", e))?;
+        }
+    }
+    Ok(())
 }
 
 struct DurableObs {
@@ -90,6 +149,9 @@ pub struct RecoveryStats {
 pub struct Durable<B> {
     inner: B,
     wal: Wal,
+    /// The live WAL generation — 0 until the first checkpoint, bumped by
+    /// each one (the checkpoint header names the generation to replay).
+    gen: u64,
     dir: PathBuf,
     /// The last registered rule text, remembered for checkpoints (rules
     /// travel as their textual notation).
@@ -110,18 +172,33 @@ impl<B: QualityBackend> Durable<B> {
         let mut recovery = RecoveryStats::default();
         let mut rules = None;
 
+        // A crash before the install rename can leave a staged temp
+        // checkpoint; it was never committed, so discard it.
+        let _ = std::fs::remove_file(dir.join(CHECKPOINT_TMP));
+
         let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let mut gen = 0u64;
         if ckpt_path.exists() {
             let sp = obs::trace::span("durable.restore_checkpoint");
-            let restored = restore_checkpoint(&ckpt_path, &mut backend, &mut rules)?;
+            let restored = restore_checkpoint(&ckpt_path, &mut backend, &mut rules, &mut gen)?;
             recovery.checkpoint_rows = restored;
             sp.attr("rows", restored);
         }
+        // Replay ONLY the generation the installed checkpoint names. Any
+        // other generation file is a crash leftover: older ones are
+        // already folded into the checkpoint (replaying them would
+        // double-apply every mutation), newer ones were staged for a
+        // checkpoint that never committed.
+        remove_stale_wal_generations(dir, gen)?;
 
         let sp = obs::trace::span("durable.replay_wal");
-        let wal_path = dir.join(WAL_FILE);
+        let wal_path = dir.join(wal_file(gen));
         let before = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
         let (wal, scan) = Wal::recover(&wal_path).map_err(|e| io_err("recover WAL", e))?;
+        // Pin the stale-generation deletions and (on first boot) the WAL
+        // file's creation: without this a power loss can durably keep a
+        // record appended to a file whose creation was itself lost.
+        fsync_dir(dir).map_err(|e| io_err("fsync WAL dir", e))?;
         if let WalTail::Torn { .. } = scan.tail {
             recovery.truncated_bytes = before - scan.valid_bytes;
         }
@@ -148,6 +225,7 @@ impl<B: QualityBackend> Durable<B> {
         Ok(Durable {
             inner: backend,
             wal,
+            gen,
             dir: dir.to_path_buf(),
             rules,
             recovery,
@@ -169,6 +247,12 @@ impl<B: QualityBackend> Durable<B> {
         self.wal.len_bytes()
     }
 
+    /// The live WAL generation (0 until the first checkpoint; see
+    /// [`wal_file`]).
+    pub fn wal_generation(&self) -> u64 {
+        self.gen
+    }
+
     /// Toggle fsync-per-append (on by default; benchmarks building long
     /// logs turn it off).
     pub fn set_sync(&mut self, sync: bool) {
@@ -186,42 +270,66 @@ impl<B: QualityBackend> Durable<B> {
         &mut self.inner
     }
 
-    /// Persist the current relation as a checkpoint and truncate the WAL.
-    /// On any error the old checkpoint and the WAL are untouched (the
-    /// checkpoint is written to a temp file and renamed into place; the
-    /// WAL only truncates after the rename).
+    /// Persist the current relation as a checkpoint and rotate the WAL to
+    /// the next generation.
+    ///
+    /// The install rename is the single commit point. Before it, the old
+    /// checkpoint and the old WAL generation are untouched (an error
+    /// leaves recovery exactly as it was); after it, the new checkpoint
+    /// names the fresh, empty generation it was staged with, so a crash
+    /// at *any* point — even between the rename and the old log's
+    /// deletion — recovers the checkpoint plus only post-checkpoint
+    /// mutations, never a double-applied pre-checkpoint log.
     pub fn checkpoint(&mut self) -> CfdResult<()> {
         let _trace = obs::trace::root("durable.checkpoint");
         let rows = self.inner.export_rows()?;
         let arena = self.inner.next_row_id()?;
-        let tmp = self.dir.join("checkpoint.tmp");
+        let next_gen = self.gen + 1;
+        let tmp = self.dir.join(CHECKPOINT_TMP);
         let target = self.dir.join(CHECKPOINT_FILE);
         {
             let mut out =
                 std::fs::File::create(&tmp).map_err(|e| io_err("create checkpoint", e))?;
             let mut buf = String::new();
             buf.push_str(&crate::wal::frame(&format!(
-                "ckpt v1 rows={} arena={arena}",
+                "ckpt v2 rows={} arena={arena} gen={next_gen}",
                 rows.len()
             )));
             if let Some(text) = &self.rules {
-                buf.push_str(&crate::wal::frame(
+                push_checkpoint_record(
+                    &mut buf,
                     &Request::RegisterCfds { text: text.clone() }.encode(),
-                ));
+                )?;
             }
             for (id, row) in &rows {
                 let insert = Request::Insert { row: row.clone() }.encode();
-                buf.push_str(&crate::wal::frame(&format!("{} {insert}", id.0)));
+                push_checkpoint_record(&mut buf, &format!("{} {insert}", id.0))?;
             }
             use std::io::Write;
             out.write_all(buf.as_bytes())
                 .map_err(|e| io_err("write checkpoint", e))?;
             out.sync_all().map_err(|e| io_err("sync checkpoint", e))?;
         }
+        // Stage the next WAL generation before the commit point, so the
+        // file the new checkpoint names already exists; carry the sync
+        // policy over. Any stale file under that name is a pre-commit
+        // leftover of a failed earlier attempt — safe to clear.
+        let next_path = self.dir.join(wal_file(next_gen));
+        let _ = std::fs::remove_file(&next_path);
+        let mut next_wal = Wal::open(&next_path).map_err(|e| io_err("stage next WAL", e))?;
+        next_wal.set_sync(self.wal.sync_enabled());
+        fsync_dir(&self.dir).map_err(|e| io_err("fsync WAL dir", e))?;
+        // Commit point.
         std::fs::rename(&tmp, &target).map_err(|e| io_err("install checkpoint", e))?;
-        self.wal
-            .truncate()
-            .map_err(|e| io_err("truncate WAL after checkpoint", e))?;
+        fsync_dir(&self.dir).map_err(|e| io_err("fsync WAL dir", e))?;
+        // Committed: switch appends to the new generation and drop the
+        // old log (its content is folded into the checkpoint). Deletion
+        // is best-effort — a leftover is cleaned up at the next open.
+        let old_path = self.wal.path().to_path_buf();
+        self.wal = next_wal;
+        self.gen = next_gen;
+        let _ = std::fs::remove_file(&old_path);
+        let _ = fsync_dir(&self.dir);
         let o = durable_obs();
         o.checkpoints.inc();
         o.checkpoint_rows.add(rows.len() as u64);
@@ -272,12 +380,28 @@ fn apply_logged<B: QualityBackend>(
     }
 }
 
+/// Frame one checkpoint record into `buf`, refusing payloads past the
+/// checkpoint scan cap — a record the restore scan would reject as torn
+/// must never be written (a failed checkpoint beats an unreadable one).
+fn push_checkpoint_record(buf: &mut String, payload: &str) -> CfdResult<()> {
+    if payload.len() > MAX_CHECKPOINT_RECORD_BYTES {
+        return Err(CfdError::Malformed(format!(
+            "checkpoint record of {} bytes exceeds the {MAX_CHECKPOINT_RECORD_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    buf.push_str(&crate::wal::frame(payload));
+    Ok(())
+}
+
 /// Restore `path`'s checkpoint into `backend` (which must be empty).
-/// Returns the number of rows restored and stores the rule text.
+/// Returns the number of rows restored; stores the rule text and the WAL
+/// generation the checkpoint names (the only generation replay may use).
 fn restore_checkpoint<B: QualityBackend>(
     path: &Path,
     backend: &mut B,
     rules: &mut Option<String>,
+    gen: &mut u64,
 ) -> CfdResult<usize> {
     if !backend.is_empty() {
         return Err(CfdError::Malformed(
@@ -285,7 +409,9 @@ fn restore_checkpoint<B: QualityBackend>(
         ));
     }
     let data = std::fs::read(path).map_err(|e| io_err("read checkpoint", e))?;
-    let scan = scan_bytes(&data);
+    // Checkpoint row records are WAL-cap payloads plus an id prefix, so
+    // they scan under the (slightly larger) checkpoint cap.
+    let scan = scan_bytes_with_cap(&data, MAX_CHECKPOINT_RECORD_BYTES);
     if let WalTail::Torn { offset, reason } = &scan.tail {
         return Err(CfdError::Malformed(format!(
             "checkpoint {} corrupt at byte {offset}: {reason}",
@@ -296,17 +422,28 @@ fn restore_checkpoint<B: QualityBackend>(
     let header = records
         .next()
         .ok_or_else(|| CfdError::Malformed("checkpoint is empty".into()))?;
-    // Header: `ckpt v1 rows=<N> arena=<M>`. `arena` is the id-allocator
-    // position at checkpoint time — it can exceed the last live id (ids
-    // of deleted rows are never reused), and replay of the WAL suffix is
-    // only id-deterministic if allocation resumes from exactly there.
-    let (declared, arena) = header
-        .strip_prefix("ckpt v1 rows=")
+    // Header: `ckpt v2 rows=<N> arena=<M> gen=<G>`. `arena` is the
+    // id-allocator position at checkpoint time — it can exceed the last
+    // live id (ids of deleted rows are never reused), and replay of the
+    // WAL suffix is only id-deterministic if allocation resumes from
+    // exactly there. `gen` is the WAL generation this checkpoint pairs
+    // with: replaying any other generation would double-apply folded-in
+    // mutations.
+    let (declared, arena, named_gen) = header
+        .strip_prefix("ckpt v2 rows=")
         .and_then(|rest| rest.split_once(" arena="))
-        .and_then(|(n, m)| Some((n.parse::<usize>().ok()?, m.parse::<u64>().ok()?)))
+        .and_then(|(n, rest)| {
+            let (m, g) = rest.split_once(" gen=")?;
+            Some((
+                n.parse::<usize>().ok()?,
+                m.parse::<u64>().ok()?,
+                g.parse::<u64>().ok()?,
+            ))
+        })
         .ok_or_else(|| {
             CfdError::Malformed(format!("checkpoint header unrecognized: {header:?}"))
         })?;
+    *gen = named_gen;
     let mut restored = 0usize;
     for record in records {
         // Rule record: a bare encoded RegisterCfds request.

@@ -27,7 +27,7 @@ pub mod crc;
 pub mod pages;
 pub mod wal;
 
-pub use backend::{Durable, RecoveryStats, CHECKPOINT_FILE, SPILL_FILE, WAL_FILE};
+pub use backend::{wal_file, Durable, RecoveryStats, CHECKPOINT_FILE, SPILL_FILE, WAL_FILE};
 pub use crc::crc32;
 pub use pages::PagedStore;
 pub use wal::{Wal, WalScan, WalTail};
@@ -224,6 +224,120 @@ mod tests {
         let mut d2 = Durable::open(&dir, Toy::default()).unwrap();
         let id = d2.insert(vec![Value::Int(2)]).unwrap();
         assert_eq!(id, RowId(2), "allocation resumes past the tombstone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The kill -9 window between the checkpoint install rename and the
+    /// old log's deletion: the full pre-checkpoint WAL is still on disk
+    /// next to the new checkpoint. Recovery must replay NONE of it — the
+    /// checkpoint names the fresh generation, and replaying the old one
+    /// would double-apply every mutation.
+    #[test]
+    fn stale_pre_checkpoint_log_is_never_replayed() {
+        let dir = tmp_dir("stale_gen");
+        let mut d = Durable::open(&dir, Toy::default()).unwrap();
+        for i in 0..4 {
+            d.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let pre_ckpt_log = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        d.checkpoint().unwrap();
+        assert_eq!(d.wal_generation(), 1);
+        let want = live(d.inner());
+        drop(d);
+        // Resurrect the old generation-0 log, as if the crash hit before
+        // `checkpoint` got to delete it.
+        std::fs::write(dir.join(WAL_FILE), &pre_ckpt_log).unwrap();
+
+        let d2 = Durable::open(&dir, Toy::default()).unwrap();
+        assert_eq!(d2.recovery().records_replayed, 0, "stale log replayed");
+        assert_eq!(d2.recovery().checkpoint_rows, 4);
+        assert_eq!(live(d2.inner()), want, "double-applied mutations");
+        assert!(
+            !dir.join(WAL_FILE).exists(),
+            "stale generation must be cleaned up"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The converse window: a crash *before* the install rename leaves a
+    /// staged temp checkpoint and an empty staged next-generation WAL.
+    /// Recovery must ignore both and replay the old generation in full.
+    #[test]
+    fn aborted_checkpoint_staging_replays_the_old_generation() {
+        let dir = tmp_dir("aborted_ckpt");
+        let mut d = Durable::open(&dir, Toy::default()).unwrap();
+        for i in 0..3 {
+            d.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let want = live(d.inner());
+        drop(d);
+        // Crash mid-checkpoint: staged artifacts exist, no install.
+        std::fs::write(dir.join(backend::wal_file(1)), b"").unwrap();
+        std::fs::write(dir.join("checkpoint.tmp"), b"half-written").unwrap();
+
+        let mut d2 = Durable::open(&dir, Toy::default()).unwrap();
+        assert_eq!(d2.recovery().records_replayed, 3);
+        assert_eq!(live(d2.inner()), want);
+        assert!(!dir.join("checkpoint.tmp").exists(), "stale tmp kept");
+        // And checkpointing still works over the cleaned-up directory.
+        d2.checkpoint().unwrap();
+        assert_eq!(d2.wal_generation(), 1);
+        drop(d2);
+        let d3 = Durable::open(&dir, Toy::default()).unwrap();
+        assert_eq!(d3.recovery().records_replayed, 0);
+        assert_eq!(live(d3.inner()), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Each checkpoint rotates to a fresh generation file; exactly one
+    /// WAL generation survives on disk and reopen pairs with it.
+    #[test]
+    fn repeated_checkpoints_advance_generations() {
+        let dir = tmp_dir("generations");
+        let mut d = Durable::open(&dir, Toy::default()).unwrap();
+        for round in 0..3u64 {
+            d.insert(vec![Value::Int(round as i64)]).unwrap();
+            d.checkpoint().unwrap();
+            assert_eq!(d.wal_generation(), round + 1);
+        }
+        let want = live(d.inner());
+        drop(d);
+        let wal_files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("wal."))
+            .collect();
+        assert_eq!(wal_files, [backend::wal_file(3)]);
+        let d2 = Durable::open(&dir, Toy::default()).unwrap();
+        assert_eq!(d2.wal_generation(), 3);
+        assert_eq!(live(d2.inner()), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A mutation at the WAL record cap — the largest the service can
+    /// accept — must survive a checkpoint round trip even though the
+    /// checkpoint adds an id prefix to its encoding.
+    #[test]
+    fn checkpoint_restores_a_row_at_the_wal_record_cap() {
+        let dir = tmp_dir("cap_row");
+        let mut d = Durable::open(&dir, Toy::default()).unwrap();
+        let base = Request::Insert {
+            row: vec![Value::str("")],
+        }
+        .encode()
+        .len();
+        let row = vec![Value::str("x".repeat(wal::MAX_RECORD_BYTES - base))];
+        assert_eq!(
+            Request::Insert { row: row.clone() }.encode().len(),
+            wal::MAX_RECORD_BYTES,
+            "the probe row must sit exactly at the WAL cap"
+        );
+        d.insert(row.clone()).unwrap();
+        d.checkpoint().unwrap();
+        drop(d);
+        let d2 = Durable::open(&dir, Toy::default()).unwrap();
+        assert_eq!(d2.recovery().checkpoint_rows, 1);
+        assert_eq!(live(d2.inner()), vec![(0, row)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

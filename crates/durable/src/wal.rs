@@ -35,6 +35,19 @@ use crate::crc::crc32;
 /// Cap on one record's payload bytes — identical to the service frame cap.
 pub const MAX_RECORD_BYTES: usize = api::MAX_FRAME_BYTES;
 
+/// Cap on one *checkpoint* record's payload bytes. Checkpoint row records
+/// prefix a WAL-sized insert encoding with `"<id> "` (≤ 21 bytes), so a
+/// mutation the service legitimately accepted at [`MAX_RECORD_BYTES`]
+/// must still fit a checkpoint record; the headroom covers the prefix.
+pub const MAX_CHECKPOINT_RECORD_BYTES: usize = MAX_RECORD_BYTES + 64;
+
+/// `fsync` a directory, pinning its metadata (renames, file creations,
+/// deletions) to stable storage. On ext4/xfs a `rename` can otherwise
+/// reorder after a later data write across a power loss.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 struct WalObs {
     appends: Arc<obs::Counter>,
     append_bytes: Arc<obs::Counter>,
@@ -82,8 +95,15 @@ pub struct WalScan {
 }
 
 /// Scan `data` as WAL bytes: decode the longest valid record prefix,
-/// stopping (never resyncing) at the first invalid byte.
+/// stopping (never resyncing) at the first invalid byte. Records are
+/// capped at [`MAX_RECORD_BYTES`]; checkpoints scan through
+/// [`scan_bytes_with_cap`] with [`MAX_CHECKPOINT_RECORD_BYTES`] instead.
 pub fn scan_bytes(data: &[u8]) -> WalScan {
+    scan_bytes_with_cap(data, MAX_RECORD_BYTES)
+}
+
+/// [`scan_bytes`] with an explicit per-record payload cap.
+pub fn scan_bytes_with_cap(data: &[u8], cap: usize) -> WalScan {
     let mut records = Vec::new();
     let mut pos = 0usize;
     let torn = |offset: usize, reason: String| WalTail::Torn {
@@ -98,7 +118,7 @@ pub fn scan_bytes(data: &[u8]) -> WalScan {
         // <len> — decimal digits up to ':'.
         let Some(colon) = data[pos..]
             .iter()
-            .take(MAX_RECORD_BYTES.ilog10() as usize + 2)
+            .take(cap.ilog10() as usize + 2)
             .position(|&b| b == b':')
         else {
             break torn(record_start, "record header: no length delimiter".into());
@@ -110,10 +130,10 @@ pub fn scan_bytes(data: &[u8]) -> WalScan {
         else {
             break torn(record_start, "record header: malformed length".into());
         };
-        if len > MAX_RECORD_BYTES {
+        if len > cap {
             break torn(
                 record_start,
-                format!("record header: length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"),
+                format!("record header: length {len} exceeds the {cap}-byte cap"),
             );
         }
         pos += colon + 1;
@@ -180,6 +200,14 @@ pub struct Wal {
     len: u64,
     sync: bool,
     appends: u64,
+    /// Set when a failed append could not be rolled back to the last
+    /// record boundary: the file may end in torn bytes, and appending
+    /// past them would write records a recovery scan silently truncates.
+    poisoned: bool,
+    /// Test-only fault injection: the next append writes half its frame
+    /// and then fails, simulating a torn `write_all`.
+    #[cfg(test)]
+    inject_torn_write: bool,
 }
 
 impl Wal {
@@ -199,6 +227,9 @@ impl Wal {
             len,
             sync: true,
             appends: 0,
+            poisoned: false,
+            #[cfg(test)]
+            inject_torn_write: false,
         })
     }
 
@@ -236,7 +267,19 @@ impl Wal {
     /// requests are, by construction) and within [`MAX_RECORD_BYTES`];
     /// the write is fsynced before returning unless [`Wal::set_sync`]
     /// turned syncing off.
+    ///
+    /// A failed append never leaves the log longer than its last record
+    /// boundary: the file is rolled back to the pre-append length, so a
+    /// torn `write_all` cannot strand later (acked) records past bytes a
+    /// recovery scan would truncate at. If the rollback itself fails the
+    /// handle is poisoned and refuses all further appends.
     pub fn append(&mut self, payload: &str) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL is poisoned: an earlier append failed and could not be rolled \
+                 back, so the file may end mid-record",
+            ));
+        }
         if payload.len() > MAX_RECORD_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -253,10 +296,11 @@ impl Wal {
             ));
         }
         let line = frame(payload);
-        self.file.write_all(line.as_bytes())?;
-        if self.sync {
-            let _t = obs::span("wal_fsync_ns");
-            self.file.sync_data()?;
+        if let Err(e) = self.write_line(line.as_bytes()) {
+            if self.rollback().is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
         }
         self.len += line.len() as u64;
         self.appends += 1;
@@ -266,13 +310,46 @@ impl Wal {
         Ok(())
     }
 
+    /// Write one framed line and (when syncing) fsync it.
+    fn write_line(&mut self, line: &[u8]) -> io::Result<()> {
+        #[cfg(test)]
+        if self.inject_torn_write {
+            self.inject_torn_write = false;
+            self.file.write_all(&line[..line.len() / 2])?;
+            self.file.sync_data()?;
+            return Err(io::Error::other("injected torn write"));
+        }
+        self.file.write_all(line)?;
+        if self.sync {
+            let _t = obs::span("wal_fsync_ns");
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Cut the file back to the last record boundary after a failed
+    /// append (any partially written frame bytes are discarded).
+    fn rollback(&mut self) -> io::Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_data()
+    }
+
     /// Toggle fsync-per-append (on by default). Benchmarks building long
     /// WALs turn it off; the service tier leaves it on.
     pub fn set_sync(&mut self, sync: bool) {
         self.sync = sync;
     }
 
-    /// Truncate the log to empty — the post-checkpoint step.
+    /// Whether fsync-per-append is on (carried across WAL rotations).
+    pub fn sync_enabled(&self) -> bool {
+        self.sync
+    }
+
+    /// Truncate the log to empty. Checkpoints do **not** use this — they
+    /// rotate to a fresh generation file instead (see
+    /// `Durable::checkpoint`), so a crash can never pair a new checkpoint
+    /// with a stale pre-checkpoint log.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::End(0))?;
@@ -388,6 +465,51 @@ mod tests {
         };
         assert_eq!(offset as usize, second_start, "tear at the damaged record");
         assert!(reason.contains("checksum mismatch"), "{reason}");
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_the_record_boundary() {
+        let dir = tmpdir("rollback");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append("before-fault").unwrap();
+        let clean_len = wal.len_bytes();
+        wal.inject_torn_write = true;
+        assert!(wal.append("torn-victim").is_err());
+        // The torn half-frame was cut off: the file ends exactly at the
+        // last record boundary and later appends land cleanly after it.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        wal.append("after-fault").unwrap();
+        drop(wal);
+        let (_, scan) = Wal::recover(&path).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records, ["before-fault", "after-fault"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_appends() {
+        let dir = tmpdir("poison");
+        let mut wal = Wal::open(&dir.join("wal.log")).unwrap();
+        wal.append("ok").unwrap();
+        wal.poisoned = true;
+        let err = wal.append("rejected").unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_cap_scan_accepts_oversized_wal_records() {
+        // A payload legal at the WAL cap grows past it once a checkpoint
+        // adds the "<id> " prefix; the checkpoint scan cap absorbs that.
+        let payload = format!("{} {}", u64::MAX, "x".repeat(MAX_RECORD_BYTES - 4));
+        assert!(payload.len() > MAX_RECORD_BYTES);
+        let log = frame(&payload);
+        let wal_scan = scan_bytes(log.as_bytes());
+        assert!(matches!(wal_scan.tail, WalTail::Torn { .. }));
+        let ckpt_scan = scan_bytes_with_cap(log.as_bytes(), MAX_CHECKPOINT_RECORD_BYTES);
+        assert_eq!(ckpt_scan.tail, WalTail::Clean);
+        assert_eq!(ckpt_scan.records, [payload]);
     }
 
     #[test]

@@ -37,8 +37,8 @@
 //! [`semandaq::durable::Durable`] write-ahead log: every accepted
 //! mutation is logged before it applies, and a restart — including a
 //! `kill -9` — replays the log's valid prefix back to the exact
-//! pre-crash state. A clean server shutdown checkpoints and truncates
-//! the log. `SDQ_MEM_BUDGET` additionally bounds snapshot residency by
+//! pre-crash state. A clean server shutdown checkpoints and rotates the
+//! log. `SDQ_MEM_BUDGET` additionally bounds snapshot residency by
 //! spilling cold chunks to a paged file in the same directory.
 //!
 //! Two small modes support the crash-recovery smoke test in CI:
@@ -283,8 +283,9 @@ fn listen(kind: &str, addr: Option<String>, wal: Option<&Path>) {
             let mut d = listen_with(open_durable(kind, dir), addr, kind);
             match d.checkpoint() {
                 Ok(()) => println!(
-                    "server stopped; checkpointed {} rows, wal truncated",
-                    d.len()
+                    "server stopped; checkpointed {} rows, wal rotated to generation {}",
+                    d.len(),
+                    d.wal_generation()
                 ),
                 Err(e) => println!("server stopped; {} rows (checkpoint skipped: {e})", d.len()),
             }
